@@ -1,0 +1,53 @@
+"""Ablation A1: the memoized local encoder.
+
+The paper reports that SLUGGER becomes several orders of magnitude slower
+without its memoized encoding lookup table, while the output is
+unchanged (the memo only caches the exhaustive search).  In this
+reproduction the memo caches the optimal blanket realisation per panel
+shape; disabling it re-runs the exhaustive pattern search on every merge.
+The bench checks that the outputs are identical and that memoization does
+not slow SLUGGER down.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_config import bench_iterations, write_result
+
+from repro.core import Slugger, SluggerConfig
+from repro.experiments import format_table
+from repro.graphs import load_dataset
+
+
+def test_ablation_memoized_encoder(benchmark):
+    graph = load_dataset("PR", seed=0)
+    iterations = bench_iterations()
+
+    def run_with_memo():
+        config = SluggerConfig(iterations=iterations, seed=0, use_memoized_encoder=True)
+        return Slugger(config).summarize(graph)
+
+    def run_without_memo():
+        config = SluggerConfig(iterations=iterations, seed=0, use_memoized_encoder=False)
+        return Slugger(config).summarize(graph)
+
+    with_memo = benchmark.pedantic(run_with_memo, rounds=1, iterations=1)
+    started = time.perf_counter()
+    without_memo = run_without_memo()
+    without_memo_seconds = time.perf_counter() - started
+
+    rows = [
+        {"variant": "memoized", "cost": with_memo.cost(),
+         "seconds": with_memo.runtime_seconds},
+        {"variant": "no-memo", "cost": without_memo.cost(),
+         "seconds": without_memo_seconds},
+    ]
+    table = format_table(rows, ["variant", "cost", "seconds"],
+                         title="Ablation A1 — memoized local encoder")
+    write_result("ablation_encoder", table)
+
+    # Memoization is purely an optimisation: the output must be identical.
+    assert with_memo.cost() == without_memo.cost()
+    # And it must not make SLUGGER slower (generous 1.5x tolerance for noise).
+    assert with_memo.runtime_seconds <= without_memo_seconds * 1.5 + 0.5

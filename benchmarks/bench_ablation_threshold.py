@@ -1,0 +1,45 @@
+"""Ablation A3: the merging-threshold schedule θ(t).
+
+SLUGGER (like SWeG) starts with a high threshold so that the most
+profitable merges happen first, and lowers it to zero in the final
+iteration (Eq. 9).  The ablation compares the paper schedule against a
+constant-zero threshold (merge anything that does not increase the cost)
+and a constant-0.3 threshold (only very profitable merges ever happen).
+The paper schedule must be at least as good as the conservative constant
+threshold and not much worse than the greedy zero threshold.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_iterations, write_result
+
+from repro.core import Slugger, SluggerConfig
+from repro.experiments import format_table
+from repro.graphs import load_dataset
+
+
+def test_ablation_threshold_schedule(benchmark):
+    graph = load_dataset("PR", seed=0)
+    iterations = bench_iterations()
+    schedules = ("paper", "zero", "constant:0.3")
+
+    def run():
+        rows = []
+        for schedule in schedules:
+            config = SluggerConfig(iterations=iterations, seed=0, threshold_schedule=schedule)
+            outcome = Slugger(config).summarize(graph)
+            rows.append({
+                "schedule": schedule,
+                "relative_size": outcome.relative_size(graph),
+                "seconds": outcome.runtime_seconds,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(rows, ["schedule", "relative_size", "seconds"],
+                         title="Ablation A3 — merging-threshold schedule on PR")
+    write_result("ablation_threshold", table)
+
+    sizes = {row["schedule"]: row["relative_size"] for row in rows}
+    assert sizes["paper"] <= sizes["constant:0.3"] + 1e-9
+    assert sizes["paper"] <= sizes["zero"] + 0.05

@@ -1,0 +1,51 @@
+"""Sect. VIII-B: partial decompression (neighbor query) latency.
+
+Paper result: retrieving the neighbors of a node from a SLUGGER summary
+takes microseconds (below 15 µs on all datasets on the authors' machine),
+and the per-dataset latency correlates strongly with the average leaf
+depth of the hierarchy trees (Pearson ≈ 0.82).  The bench measures the
+same quantities on the analogues; absolute times differ (pure Python),
+but queries must stay far below a millisecond on average and the
+latency/depth correlation must be positive when it is defined.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_datasets, bench_iterations, write_result
+
+from repro.experiments import decompression_experiment, format_table
+
+
+def test_appendix_partial_decompression(benchmark):
+    datasets = bench_datasets("small")
+    iterations = bench_iterations()
+
+    def run():
+        return decompression_experiment(datasets, iterations=iterations, seed=0, queries=150)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": record.parameters["dataset"],
+            "slugger_us": record.values["slugger_microseconds"],
+            "sweg_us": record.values["sweg_microseconds"],
+            "avg_leaf_depth": record.values["average_leaf_depth"],
+        }
+        for record in records
+        if record.label != "correlation"
+    ]
+    table = format_table(rows, ["dataset", "slugger_us", "sweg_us", "avg_leaf_depth"],
+                         title="Sect. VIII-B — neighbor-query latency by partial decompression")
+    correlation = next((record for record in records if record.label == "correlation"), None)
+    if correlation is not None:
+        table += (
+            "\nPearson(depth, latency) = "
+            f"{correlation.values['pearson_depth_vs_latency']:.3f}"
+        )
+    write_result("appendix_decompression", table)
+
+    for row in rows:
+        # Partial decompression must stay a micro-operation, not a rebuild
+        # of the whole graph (well under a millisecond per query).
+        assert row["slugger_us"] < 1000.0
+        assert row["sweg_us"] < 1000.0

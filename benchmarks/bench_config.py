@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper.  By
+default the benches run on a subset of the dataset analogues with reduced
+iteration counts so that ``pytest benchmarks/ --benchmark-only`` finishes
+in minutes on a laptop; setting the environment variable
+``REPRO_BENCH_FULL=1`` switches to the full 16-dataset, paper-scale
+configuration.
+
+Each bench also writes the regenerated table to
+``benchmarks/results/<name>.txt`` so the output can be diffed against the
+paper's numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence
+
+import pytest
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+#: Datasets used by default (small analogues, Table II order).
+SMALL_DATASETS: List[str] = ["CA", "FA", "PR", "EM", "DB", "AM"]
+#: Medium subset used by the heavier sweeps.
+MEDIUM_DATASETS: List[str] = ["PR", "DB", "CN"]
+#: All sixteen dataset analogues.
+FULL_DATASETS: List[str] = [
+    "CA", "FA", "PR", "EM", "DB", "AM", "CN", "YO",
+    "SK", "EU", "ES", "LJ", "HO", "IC", "U2", "U5",
+]
+
+
+def full_mode() -> bool:
+    """Whether the paper-scale configuration was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+def bench_datasets(scope: str = "small") -> List[str]:
+    """Datasets to run for the given scope (``small``, ``medium``, ``full``)."""
+    if full_mode():
+        return list(FULL_DATASETS)
+    if scope == "medium":
+        return list(MEDIUM_DATASETS)
+    if scope == "full":
+        return list(SMALL_DATASETS)
+    return list(SMALL_DATASETS)
+
+
+def bench_iterations(default: int = 5) -> int:
+    """Iteration count T used by the iterative methods in benches."""
+    return 20 if full_mode() else default
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one regenerated table under ``benchmarks/results/``."""
+    RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIRECTORY / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def results_writer():
+    """Fixture handing benches the :func:`write_result` helper."""
+    return write_result

@@ -1,0 +1,51 @@
+"""Extension E14: size/error trade-off of lossy summarization (Sect. V).
+
+The lossy variant of graph summarization bounds the per-node neighborhood
+error by ε.  The bench sweeps ε on two analogues and checks the two
+defining properties of the trade-off: the measured error never exceeds
+its bound, and the output size never grows as the bound is relaxed.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_iterations, write_result
+
+from repro.experiments import format_table, lossy_tradeoff_experiment
+
+EPSILONS = (0.0, 0.1, 0.25, 0.5)
+
+
+def test_ext_lossy_tradeoff(benchmark):
+    iterations = bench_iterations()
+
+    def run():
+        return lossy_tradeoff_experiment(["PR", "FA"], epsilons=EPSILONS,
+                                         iterations=iterations, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": record.parameters["dataset"],
+            "epsilon": record.parameters["epsilon"],
+            "relative_size": record.values["relative_size"],
+            "measured_error": record.values["max_relative_error"],
+        }
+        for record in records
+    ]
+    table = format_table(
+        rows,
+        ["dataset", "epsilon", "relative_size", "measured_error"],
+        title="E14 — lossy summarization: output size vs error bound ε",
+    )
+    write_result("ext_lossy_tradeoff", table)
+
+    for record in records:
+        assert record.values["max_relative_error"] <= record.parameters["epsilon"] + 1e-9
+
+    for dataset in ("PR", "FA"):
+        sizes = [
+            record.values["relative_size"]
+            for record in records
+            if record.parameters["dataset"] == dataset
+        ]
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(sizes, sizes[1:]))

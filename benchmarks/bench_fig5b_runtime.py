@@ -1,0 +1,48 @@
+"""Fig. 5(b): running time of every method per dataset.
+
+Paper result: SAGS is the fastest method (but least concise); SLUGGER's
+runtime is comparable to SWeG's (within a small constant factor); the
+purely random baseline and MoSSo are not faster than SLUGGER by an order
+of magnitude.  The bench records the runtimes and checks those speed
+relations on the analogues.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_datasets, bench_iterations, write_result
+
+from repro.experiments import format_table, runtime_experiment
+from repro.utils.stats import mean
+
+
+def test_fig5b_runtimes(benchmark):
+    datasets = bench_datasets("small")
+    iterations = bench_iterations()
+
+    def run():
+        return runtime_experiment(datasets, iterations=iterations, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": record.parameters["dataset"],
+            "method": record.parameters["method"],
+            "runtime_seconds": record.values["runtime_seconds"],
+            "speedup_vs_slugger": record.values.get("speedup_vs_slugger", float("nan")),
+        }
+        for record in records
+    ]
+    table = format_table(rows, ["dataset", "method", "runtime_seconds", "speedup_vs_slugger"],
+                         title="Fig. 5(b) — running time per dataset and method")
+    write_result("fig5b_runtime", table)
+
+    by_method = {}
+    for record in records:
+        by_method.setdefault(record.parameters["method"], []).append(
+            record.values["runtime_seconds"]
+        )
+    average = {method: mean(values) for method, values in by_method.items()}
+    # SAGS is the fastest method on average, as in the paper.
+    assert average["sags"] == min(average.values())
+    # SLUGGER stays within an order of magnitude of SWeG on average.
+    assert average["slugger"] <= 10 * average["sweg"] + 1.0

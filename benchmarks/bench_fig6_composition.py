@@ -1,0 +1,46 @@
+"""Fig. 6: composition of SLUGGER's outputs by edge type.
+
+Paper result: p-edges or h-edges account for the largest share of the
+output on every dataset, while n-edges are a small minority (below ~13%
+everywhere, below ~5% on most datasets).  The bench regenerates the
+composition on the dataset analogues and checks those proportions.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_datasets, bench_iterations, write_result
+
+from repro.experiments import composition_experiment, format_table
+
+
+def test_fig6_output_composition(benchmark):
+    datasets = bench_datasets("small")
+    iterations = bench_iterations()
+
+    def run():
+        return composition_experiment(datasets, iterations=iterations, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": record.parameters["dataset"],
+            "p_share": record.values["share_p_edges"],
+            "n_share": record.values["share_n_edges"],
+            "h_share": record.values["share_h_edges"],
+        }
+        for record in records
+    ]
+    table = format_table(rows, ["dataset", "p_share", "n_share", "h_share"],
+                         title="Fig. 6 — composition of SLUGGER outputs by edge type")
+    write_result("fig6_composition", table)
+
+    for record in records:
+        shares = {
+            "p": record.values["share_p_edges"],
+            "n": record.values["share_n_edges"],
+            "h": record.values["share_h_edges"],
+        }
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        # n-edges are never the dominant type and stay a small minority.
+        assert max(shares, key=shares.get) in ("p", "h")
+        assert shares["n"] < 0.25

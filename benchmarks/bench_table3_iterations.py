@@ -1,0 +1,47 @@
+"""Table III: effect of the iteration number T on output size.
+
+Paper result: the relative size of SLUGGER's output shrinks as T grows
+and has almost converged by T = 40 (most of the improvement is already
+realized by T = 10-20).  The bench sweeps T on a dataset subset and
+checks the monotone-improvement trend and convergence.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_datasets, full_mode, write_result
+
+from repro.experiments import format_table, iteration_sweep
+
+
+def test_table3_iteration_sweep(benchmark):
+    datasets = bench_datasets("medium")
+    iteration_values = (1, 5, 10, 20, 40) if full_mode() else (1, 2, 5, 10)
+
+    def run():
+        return iteration_sweep(datasets, iteration_values=iteration_values, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": record.parameters["dataset"],
+            "T": record.parameters["iterations"],
+            "relative_size": record.values["relative_size"],
+        }
+        for record in records
+    ]
+    table = format_table(rows, ["dataset", "T", "relative_size"],
+                         title="Table III — relative size of outputs vs iteration number T")
+    write_result("table3_iterations", table)
+
+    by_dataset = {}
+    for record in records:
+        by_dataset.setdefault(record.parameters["dataset"], {})[
+            record.parameters["iterations"]
+        ] = record.values["relative_size"]
+    smallest, largest = min(iteration_values), max(iteration_values)
+    for dataset, sizes in by_dataset.items():
+        # More iterations never hurt (up to a small randomness slack) and
+        # the last doubling of T changes the result only marginally.
+        assert sizes[largest] <= sizes[smallest] + 0.01, f"no improvement on {dataset}"
+        previous = sizes[sorted(sizes)[-2]]
+        assert abs(sizes[largest] - previous) < 0.06

@@ -1,0 +1,54 @@
+"""Table IV: effect of each pruning substep.
+
+Paper result: every pruning substep decreases the output size, the
+maximum hierarchy height, and the average leaf depth, with substep 1
+giving the largest reduction.  The bench applies the substeps
+cumulatively (stage 0 = no pruning, stage 3 = all substeps) and checks
+the monotone improvement.
+"""
+
+from __future__ import annotations
+
+from bench_config import bench_datasets, bench_iterations, write_result
+
+from repro.experiments import format_table, pruning_ablation
+
+
+def test_table4_pruning_substeps(benchmark):
+    datasets = bench_datasets("medium")
+    iterations = bench_iterations()
+
+    def run():
+        return pruning_ablation(datasets, iterations=iterations, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": record.parameters["dataset"],
+            "stage": record.parameters["stage"],
+            "relative_size": record.values["relative_size"],
+            "max_height": record.values["max_height"],
+            "average_leaf_depth": record.values["average_leaf_depth"],
+        }
+        for record in records
+    ]
+    table = format_table(
+        rows,
+        ["dataset", "stage", "relative_size", "max_height", "average_leaf_depth"],
+        title="Table IV — effect of the pruning substeps (stage 0 = no pruning)",
+    )
+    write_result("table4_pruning", table)
+
+    by_dataset = {}
+    for record in records:
+        by_dataset.setdefault(record.parameters["dataset"], {})[record.parameters["stage"]] = (
+            record.values
+        )
+    for dataset, stages in by_dataset.items():
+        assert stages[3]["relative_size"] <= stages[0]["relative_size"] + 1e-9
+        assert stages[3]["max_height"] <= stages[0]["max_height"] + 1e-9
+        assert stages[3]["average_leaf_depth"] <= stages[0]["average_leaf_depth"] + 1e-9
+        # Stages are cumulative, so sizes are monotone non-increasing.
+        assert stages[1]["relative_size"] <= stages[0]["relative_size"] + 1e-9
+        assert stages[2]["relative_size"] <= stages[1]["relative_size"] + 1e-9
+        assert stages[3]["relative_size"] <= stages[2]["relative_size"] + 1e-9

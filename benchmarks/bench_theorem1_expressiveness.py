@@ -1,0 +1,45 @@
+"""Theorem 1 / Fig. 3: expressiveness gap between the two models.
+
+Paper result: the Fig. 3 graph family admits an o(n^1.5)-edge encoding
+under the hierarchical model but requires Ω(n^1.5) edges under the flat
+model, i.e. the gap between the two models' best encodings widens with n.
+The bench compares SLUGGER (hierarchical) with SWeG (flat) on the family
+and checks that the hierarchical encoding never loses and that the gap
+does not shrink as n grows.
+"""
+
+from __future__ import annotations
+
+from bench_config import full_mode, write_result
+
+from repro.experiments import format_table, theorem1_experiment
+
+
+def test_theorem1_expressiveness_gap(benchmark):
+    sizes = (4, 6, 8, 10) if full_mode() else (4, 6, 8)
+
+    def run():
+        return theorem1_experiment(sizes=sizes, k=2, iterations=8, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "n": record.parameters["n"],
+            "num_edges": record.values["num_edges"],
+            "hierarchical_cost": record.values["hierarchical_cost"],
+            "flat_cost": record.values["flat_cost"],
+            "flat_over_hierarchical": record.values["flat_over_hierarchical"],
+        }
+        for record in records
+    ]
+    table = format_table(
+        rows,
+        ["n", "num_edges", "hierarchical_cost", "flat_cost", "flat_over_hierarchical"],
+        title="Theorem 1 — hierarchical vs flat encoding cost on the Fig. 3 family",
+    )
+    write_result("theorem1_expressiveness", table)
+
+    for row in rows:
+        assert row["hierarchical_cost"] <= row["flat_cost"]
+    # The advantage of the hierarchical model does not vanish as n grows.
+    assert rows[-1]["flat_over_hierarchical"] >= rows[0]["flat_over_hierarchical"] * 0.9

@@ -1,0 +1,13 @@
+"""Pytest fixtures for the benchmark suite (helpers live in bench_config.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_config import write_result
+
+
+@pytest.fixture
+def results_writer():
+    """Fixture handing benches the :func:`bench_config.write_result` helper."""
+    return write_result

@@ -1,0 +1,79 @@
+"""Inspecting a hierarchical summary: trees, cost decomposition, exports.
+
+Run with::
+
+    python examples/hierarchy_inspection.py
+
+The hierarchical model's selling point is that supernodes nest — groups
+within groups, like the university/department/lab example of Sect. II-A.
+This example summarizes a nested-community graph, prints the resulting
+hierarchy as an ASCII tree, decomposes the encoding cost per root
+(Eq. 2-6), and writes a Graphviz DOT rendering next to the script.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import SluggerConfig, summarize
+from repro.analysis import cost_decomposition, cost_per_root
+from repro.graphs import nested_partition_graph
+from repro.model import ascii_hierarchy, summary_to_dot, supernode_size_distribution
+
+
+def main() -> None:
+    # 1. A graph with explicit two-level nested communities: 3 groups of
+    #    4 sub-groups of 5 nodes (think university -> department -> lab).
+    graph = nested_partition_graph((3, 4, 5), (0.01, 0.15, 0.9), seed=0)
+    print(f"input graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    # 2. Summarize with SLUGGER.
+    result = summarize(graph, SluggerConfig(iterations=15, seed=0))
+    summary = result.summary
+    summary.validate(graph)
+    print(f"encoding cost {summary.cost()} "
+          f"(relative size {summary.relative_size(graph):.3f}), "
+          f"max tree height {summary.hierarchy.max_height()}")
+
+    # 3. Supernode size distribution: how much of the graph was grouped?
+    histogram = supernode_size_distribution(summary)
+    print("\nroot supernode sizes (size: count):")
+    for size in sorted(histogram, reverse=True)[:8]:
+        print(f"  {size:>4}: {histogram[size]}")
+
+    # 4. The hierarchy itself, as an indented tree (largest root shown).
+    largest_root = max(summary.hierarchy.roots(), key=summary.hierarchy.size)
+    print("\nhierarchy tree of the largest root supernode:")
+    tree_lines = [
+        line
+        for line in ascii_hierarchy(summary, max_members=6).splitlines()
+        if line.strip()
+    ]
+    shown = 0
+    for line in tree_lines:
+        if line.startswith(f"S{largest_root} ") or shown:
+            print("  " + line)
+            shown += 1
+            if shown >= 12:
+                print("  ...")
+                break
+
+    # 5. Where does the encoding cost go?  Eq. 2 decomposition plus the
+    #    most expensive roots.
+    decomposition = cost_decomposition(summary)
+    print(f"\ncost decomposition: |H| = {decomposition['cost_h']:.0f}, "
+          f"|P+|+|P-| = {decomposition['cost_p']:.0f} "
+          f"across {decomposition['num_roots']:.0f} root supernodes")
+    expensive = sorted(cost_per_root(summary).items(), key=lambda item: -item[1])[:5]
+    print("most expensive roots (root id: cost):")
+    for root, cost in expensive:
+        print(f"  S{root} ({summary.hierarchy.size(root)} subnodes): {cost}")
+
+    # 6. Export a Graphviz rendering (render with `dot -Tpng summary.dot`).
+    output = Path(__file__).with_name("nested_summary.dot")
+    output.write_text(summary_to_dot(summary) + "\n", encoding="utf-8")
+    print(f"\nGraphviz DOT rendering written to {output.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Maintain a lossless summary of an evolving graph stream with MoSSo.
+
+Run with::
+
+    python examples/streaming_summarization.py
+
+The paper compares SLUGGER against MoSSo (KDD 2020), the incremental
+summarizer for fully dynamic graph streams.  This example replays a
+collaboration-network analogue as a stream of edge insertions followed by
+a burst of deletions, keeping the summary up to date after every change,
+and finally contrasts the online result with an offline SLUGGER run over
+the final graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SluggerConfig, load_dataset, summarize
+from repro.baselines import MoSSo, MossoConfig
+
+
+def main() -> None:
+    graph = load_dataset("DB", seed=0)  # DBLP-style collaboration analogue.
+    edges = sorted(graph.edges(), key=repr)
+    rng = random.Random(7)
+    rng.shuffle(edges)
+
+    streamer = MoSSo(MossoConfig(seed=0))
+
+    # Phase 1: insert all edges, reporting compression as the stream grows.
+    checkpoints = {len(edges) // 4, len(edges) // 2, 3 * len(edges) // 4, len(edges)}
+    for index, (u, v) in enumerate(edges, start=1):
+        streamer.add_edge(u, v)
+        if index in checkpoints:
+            summary = streamer.summary()
+            current = streamer.graph
+            print(f"after {index:5d} insertions: "
+                  f"|V|={current.num_nodes:4d} |E|={current.num_edges:5d} "
+                  f"relative size={summary.relative_size(current):.3f}")
+
+    # Phase 2: delete a random 10% of the edges (the stream is fully dynamic).
+    deletions = edges[: len(edges) // 10]
+    for u, v in deletions:
+        streamer.remove_edge(u, v)
+    final_graph = streamer.graph
+    online_summary = streamer.summary()
+    online_summary.validate(final_graph)
+    print(f"\nafter deleting {len(deletions)} edges: "
+          f"|E|={final_graph.num_edges}, "
+          f"online relative size={online_summary.relative_size(final_graph):.3f} (still lossless)")
+
+    # Offline reference: run SLUGGER once over the final graph.
+    offline = summarize(final_graph, SluggerConfig(iterations=10, seed=0))
+    print(f"offline SLUGGER on the final graph: relative size="
+          f"{offline.relative_size(final_graph):.3f}")
+    print("\nthe online summary tracks every update; the offline pass compresses harder —")
+    print("exactly the trade-off the paper describes between MoSSo and batch summarizers.")
+
+
+if __name__ == "__main__":
+    main()

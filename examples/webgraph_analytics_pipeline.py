@@ -1,0 +1,65 @@
+"""Run graph analytics directly on a compressed web-graph summary.
+
+Run with::
+
+    python examples/webgraph_analytics_pipeline.py
+
+Web graphs are the paper's headline use case: hyperlink structure is so
+redundant that a lossless summary is several times smaller than the raw
+edge list, and — because the summary supports neighbor queries via
+partial decompression (Algorithm 4) — standard graph algorithms can run
+on it without ever rebuilding the full graph.  The script summarizes a
+web-graph analogue, then runs PageRank, BFS, and triangle counting on
+both representations and shows that the results are identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import SluggerConfig, load_dataset, summarize
+from repro.algorithms import bfs_distances, count_triangles, pagerank
+
+
+def timed(label: str, function):
+    started = time.perf_counter()
+    value = function()
+    print(f"  {label:<28s} {time.perf_counter() - started:7.3f}s")
+    return value
+
+
+def main() -> None:
+    graph = load_dataset("CN", seed=0)  # CNR-2000 analogue (hyperlink network).
+    print(f"web graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    result = summarize(graph, SluggerConfig(iterations=8, seed=0))
+    summary = result.summary
+    summary.validate(graph)
+    print(f"summary: {result.cost()} edges "
+          f"(relative size {result.relative_size(graph):.3f}), "
+          f"built in {result.runtime_seconds:.1f}s\n")
+
+    source = graph.nodes()[0]
+
+    print("running analytics on the RAW graph:")
+    raw_ranks = timed("PageRank (10 iterations)", lambda: pagerank(graph, iterations=10))
+    raw_distances = timed("BFS distances", lambda: bfs_distances(graph, source))
+    raw_triangles = timed("triangle count", lambda: count_triangles(graph))
+
+    print("running the same analytics on the SUMMARY (partial decompression):")
+    summary_ranks = timed("PageRank (10 iterations)", lambda: pagerank(summary, iterations=10))
+    summary_distances = timed("BFS distances", lambda: bfs_distances(summary, source))
+    summary_triangles = timed("triangle count", lambda: count_triangles(summary))
+
+    assert raw_distances == summary_distances
+    assert raw_triangles == summary_triangles
+    assert all(abs(raw_ranks[node] - summary_ranks[node]) < 1e-12 for node in graph.nodes())
+    print("\nall three analytics produced identical results on both representations")
+
+    top = sorted(raw_ranks, key=raw_ranks.get, reverse=True)[:5]
+    print("top-5 PageRank nodes:", ", ".join(f"{node} ({raw_ranks[node]:.4f})" for node in top))
+    print(f"triangles: {raw_triangles}")
+
+
+if __name__ == "__main__":
+    main()

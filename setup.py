@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which need ``bdist_wheel``) fail offline.
+Keeping a classic ``setup.py`` lets ``pip install -e . --no-use-pep517``
+(and plain ``python setup.py develop``) work; all project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

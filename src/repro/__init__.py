@@ -1,0 +1,46 @@
+"""repro — a reproduction of SLUGGER (ICDE 2022).
+
+SLUGGER is a scalable heuristic for *lossless hierarchical graph
+summarization*: it represents an undirected graph exactly using positive
+and negative edges between hierarchically nested supernodes, typically
+with far fewer edges than the graph itself.
+
+The most common entry points are re-exported here:
+
+>>> from repro import load_dataset, summarize
+>>> graph = load_dataset("PR", seed=0)
+>>> result = summarize(graph, iterations=5, seed=0)
+>>> result.summary.validate(graph)          # exact, lossless
+>>> result.relative_size(graph) < 1.0       # and smaller than the input
+True
+
+Package map
+-----------
+``repro.graphs``        graph data structure, generators, datasets, I/O
+``repro.model``         hierarchical and flat summarization models
+``repro.core``          the SLUGGER algorithm
+``repro.baselines``     Randomized, Greedy, SWeG, SAGS, MoSSo
+``repro.algorithms``    BFS/DFS/PageRank/Dijkstra/triangles on summaries
+``repro.analysis``      compression metrics and method comparison
+``repro.experiments``   harness regenerating the paper's tables and figures
+"""
+
+from repro.core import Slugger, SluggerConfig, SluggerResult, summarize
+from repro.graphs import Graph, load_dataset, read_edge_list, write_edge_list
+from repro.model import FlatSummary, HierarchicalSummary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Slugger",
+    "SluggerConfig",
+    "SluggerResult",
+    "summarize",
+    "Graph",
+    "load_dataset",
+    "read_edge_list",
+    "write_edge_list",
+    "FlatSummary",
+    "HierarchicalSummary",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Graph algorithms that run on raw graphs or (partially decompressed) summaries.
+
+The paper's appendix (Sect. VIII-B/C) points out that algorithms which
+access the graph only through neighbor queries — DFS, BFS, PageRank,
+Dijkstra, triangle counting — can run directly on a summary via partial
+decompression.  The functions here therefore accept any *neighbor
+provider*: a raw :class:`~repro.graphs.graph.Graph`, a
+:class:`~repro.model.summary.HierarchicalSummary`, or a
+:class:`~repro.model.flat.FlatSummary`.
+"""
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.algorithms.traversal import bfs_order, bfs_distances, connected_component_of, dfs_order
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.shortest_paths import dijkstra_distances, shortest_path
+from repro.algorithms.triangles import count_triangles, local_triangle_counts
+from repro.algorithms.components import (
+    connected_components,
+    is_connected,
+    largest_component,
+    num_connected_components,
+)
+from repro.algorithms.cores import core_numbers, k_core_nodes, max_core
+from repro.algorithms.clustering import (
+    average_clustering,
+    local_clustering,
+    local_clustering_coefficients,
+)
+from repro.algorithms.communities import (
+    community_sizes,
+    label_propagation_communities,
+    modularity,
+)
+
+__all__ = [
+    "NeighborProvider",
+    "as_neighbor_function",
+    "node_universe",
+    "bfs_order",
+    "bfs_distances",
+    "connected_component_of",
+    "dfs_order",
+    "pagerank",
+    "dijkstra_distances",
+    "shortest_path",
+    "count_triangles",
+    "local_triangle_counts",
+    "connected_components",
+    "largest_component",
+    "num_connected_components",
+    "is_connected",
+    "core_numbers",
+    "max_core",
+    "k_core_nodes",
+    "local_clustering",
+    "local_clustering_coefficients",
+    "average_clustering",
+    "label_propagation_communities",
+    "community_sizes",
+    "modularity",
+]

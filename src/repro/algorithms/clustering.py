@@ -1,0 +1,47 @@
+"""Clustering coefficients over any neighbor provider.
+
+Local and average clustering coefficients need only neighbor queries
+(one hop for the neighborhood, membership tests for the wedges), so they
+run directly on summaries like the algorithms of Sect. VIII-C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+
+Node = Hashable
+
+
+def local_clustering(provider: NeighborProvider, node: Node) -> float:
+    """Local clustering coefficient of ``node`` (0 for degree < 2)."""
+    neighbors = as_neighbor_function(provider)
+    nbrs = list(neighbors(node))
+    degree = len(nbrs)
+    if degree < 2:
+        return 0.0
+    nbr_set = set(nbrs)
+    links = 0
+    for index, u in enumerate(nbrs):
+        u_neighbors = neighbors(u)
+        for v in nbrs[index + 1:]:
+            if v in u_neighbors and v in nbr_set:
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def local_clustering_coefficients(
+    provider: NeighborProvider, nodes: Optional[Sequence[Node]] = None
+) -> Dict[Node, float]:
+    """Local clustering coefficient for every node in ``nodes`` (default: all)."""
+    targets = list(nodes) if nodes is not None else node_universe(provider)
+    return {node: local_clustering(provider, node) for node in targets}
+
+
+def average_clustering(provider: NeighborProvider) -> float:
+    """Mean local clustering coefficient over all nodes (0 for empty graphs)."""
+    coefficients = local_clustering_coefficients(provider)
+    if not coefficients:
+        return 0.0
+    return sum(coefficients.values()) / len(coefficients)

@@ -1,0 +1,56 @@
+"""Connected components over any neighbor provider.
+
+Connected components are another example of the algorithm family of the
+paper's appendix (Sect. VIII-C): the graph is accessed only through
+neighbor queries, so the exact same code runs on a raw graph or on a
+summary via partial decompression.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List, Set
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+
+Node = Hashable
+
+
+def connected_components(provider: NeighborProvider) -> List[Set[Node]]:
+    """All connected components, largest first (ties broken arbitrarily)."""
+    neighbors = as_neighbor_function(provider)
+    remaining = set(node_universe(provider))
+    components: List[Set[Node]] = []
+    while remaining:
+        start = remaining.pop()
+        component = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in neighbors(node):
+                if neighbor in remaining:
+                    remaining.discard(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(provider: NeighborProvider) -> Set[Node]:
+    """The node set of the largest connected component (empty set for empty input)."""
+    components = connected_components(provider)
+    return components[0] if components else set()
+
+
+def num_connected_components(provider: NeighborProvider) -> int:
+    """Number of connected components."""
+    return len(connected_components(provider))
+
+
+def is_connected(provider: NeighborProvider) -> bool:
+    """Whether the represented graph is connected (vacuously true when empty)."""
+    universe = node_universe(provider)
+    if not universe:
+        return True
+    return len(largest_component(provider)) == len(universe)

@@ -1,0 +1,55 @@
+"""k-core decomposition over any neighbor provider.
+
+The k-core decomposition (Matula–Beck peeling) repeatedly removes the
+node of smallest remaining degree; a node's *core number* is the largest
+``k`` such that it survives in a subgraph of minimum degree ``k``.  Like
+the other algorithms of Sect. VIII-C it only needs neighbor queries, so
+it runs unchanged on summaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+
+Node = Hashable
+
+
+def core_numbers(provider: NeighborProvider) -> Dict[Node, int]:
+    """Core number of every node (empty dictionary for an empty graph)."""
+    neighbors = as_neighbor_function(provider)
+    adjacency: Dict[Node, set] = {node: set(neighbors(node)) for node in node_universe(provider)}
+    degrees: Dict[Node, int] = {node: len(nbrs) for node, nbrs in adjacency.items()}
+    heap = [(degree, repr(node), node) for node, degree in degrees.items()]
+    heapq.heapify(heap)
+    removed: set = set()
+    cores: Dict[Node, int] = {}
+    current = 0
+    while heap:
+        degree, _, node = heapq.heappop(heap)
+        if node in removed or degree != degrees[node]:
+            continue  # Stale heap entry.
+        current = max(current, degree)
+        cores[node] = current
+        removed.add(node)
+        for neighbor in adjacency[node]:
+            if neighbor in removed:
+                continue
+            degrees[neighbor] -= 1
+            heapq.heappush(heap, (degrees[neighbor], repr(neighbor), neighbor))
+    return cores
+
+
+def max_core(provider: NeighborProvider) -> int:
+    """Degeneracy of the graph: the largest core number (0 for empty graphs)."""
+    cores = core_numbers(provider)
+    return max(cores.values()) if cores else 0
+
+
+def k_core_nodes(provider: NeighborProvider, k: int) -> set:
+    """Nodes whose core number is at least ``k``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return {node for node, core in core_numbers(provider).items() if core >= k}

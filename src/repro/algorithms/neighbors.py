@@ -1,0 +1,46 @@
+"""Uniform neighbor access over graphs and summaries.
+
+A *neighbor provider* is anything exposing the two calls the algorithms
+need: the set of nodes and the neighbors of one node.  Raw graphs answer
+neighbor queries from their adjacency sets; summaries answer them through
+partial decompression (Algorithm 4), which is exactly the execution model
+of Sect. VIII-C.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, Set, Union
+
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.model.summary import HierarchicalSummary
+
+Subnode = Hashable
+NeighborProvider = Union[Graph, HierarchicalSummary, FlatSummary]
+NeighborFunction = Callable[[Subnode], Set[Subnode]]
+
+
+def as_neighbor_function(provider: NeighborProvider) -> NeighborFunction:
+    """A callable returning the neighbor set of a node for any provider type."""
+    if isinstance(provider, Graph):
+        return lambda node: set(provider.neighbor_set(node))
+    if isinstance(provider, (HierarchicalSummary, FlatSummary)):
+        return provider.neighbors
+    raise TypeError(
+        "provider must be a Graph, HierarchicalSummary, or FlatSummary, "
+        f"got {type(provider).__name__}"
+    )
+
+
+def node_universe(provider: NeighborProvider) -> List[Subnode]:
+    """All nodes known to the provider."""
+    if isinstance(provider, Graph):
+        return provider.nodes()
+    if isinstance(provider, HierarchicalSummary):
+        return provider.hierarchy.subnodes()
+    if isinstance(provider, FlatSummary):
+        return list(provider.group_of)
+    raise TypeError(
+        "provider must be a Graph, HierarchicalSummary, or FlatSummary, "
+        f"got {type(provider).__name__}"
+    )

@@ -1,0 +1,49 @@
+"""PageRank over any neighbor provider (Algorithm 6 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.utils.validation import require_positive, require_probability
+
+Subnode = Hashable
+
+
+def pagerank(
+    provider: NeighborProvider,
+    damping: float = 0.85,
+    iterations: int = 20,
+) -> Dict[Subnode, float]:
+    """Power-iteration PageRank on an undirected graph or summary.
+
+    Follows Algorithm 6: each iteration pushes every node's current score
+    to its neighbors (retrieved through the provider, i.e. by partial
+    decompression when the provider is a summary), then applies the
+    damping factor and redistributes the leaked mass uniformly.  Scores
+    sum to 1.
+    """
+    require_probability(damping, "damping")
+    require_positive(iterations, "iterations")
+    nodes = node_universe(provider)
+    if not nodes:
+        return {}
+    neighbors = as_neighbor_function(provider)
+    num_nodes = len(nodes)
+    scores: Dict[Subnode, float] = {node: 1.0 / num_nodes for node in nodes}
+    for _ in range(iterations):
+        incoming: Dict[Subnode, float] = {node: 0.0 for node in nodes}
+        for node in nodes:
+            adjacent = neighbors(node)
+            if not adjacent:
+                continue
+            share = scores[node] / len(adjacent)
+            for neighbor in adjacent:
+                incoming[neighbor] += share
+        total_flow = 0.0
+        for node in nodes:
+            incoming[node] *= damping
+            total_flow += incoming[node]
+        leak = (1.0 - total_flow) / num_nodes
+        scores = {node: incoming[node] + leak for node in nodes}
+    return scores

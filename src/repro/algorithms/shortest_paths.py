@@ -1,0 +1,87 @@
+"""Dijkstra's algorithm over any neighbor provider.
+
+The summarization models describe unweighted graphs, so edge weights are
+supplied externally through a weight function (defaulting to unit
+weights, where Dijkstra reduces to BFS but exercises the same code path
+the paper's appendix describes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function
+
+Subnode = Hashable
+WeightFunction = Callable[[Subnode, Subnode], float]
+
+
+def _unit_weight(_u: Subnode, _v: Subnode) -> float:
+    return 1.0
+
+
+def dijkstra_distances(
+    provider: NeighborProvider,
+    source: Subnode,
+    weight: Optional[WeightFunction] = None,
+) -> Dict[Subnode, float]:
+    """Shortest-path distances from ``source`` to every reachable node."""
+    weight_of = weight or _unit_weight
+    neighbors = as_neighbor_function(provider)
+    distances: Dict[Subnode, float] = {source: 0.0}
+    settled: set = set()
+    heap: List[Tuple[float, int, Subnode]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        distance, _tie, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor in neighbors(node):
+            step = weight_of(node, neighbor)
+            if step < 0:
+                raise ValueError("Dijkstra's algorithm requires non-negative weights")
+            candidate = distance + step
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return distances
+
+
+def shortest_path(
+    provider: NeighborProvider,
+    source: Subnode,
+    target: Subnode,
+    weight: Optional[WeightFunction] = None,
+) -> Optional[List[Subnode]]:
+    """One shortest path from ``source`` to ``target`` (``None`` if unreachable)."""
+    weight_of = weight or _unit_weight
+    neighbors = as_neighbor_function(provider)
+    distances: Dict[Subnode, float] = {source: 0.0}
+    predecessor: Dict[Subnode, Subnode] = {}
+    settled: set = set()
+    heap: List[Tuple[float, int, Subnode]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        distance, _tie, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        if node == target:
+            break
+        settled.add(node)
+        for neighbor in neighbors(node):
+            candidate = distance + weight_of(node, neighbor)
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessor[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    if target not in distances:
+        return None
+    path: List[Subnode] = [target]
+    while path[-1] != source:
+        path.append(predecessor[path[-1]])
+    path.reverse()
+    return path

@@ -1,0 +1,69 @@
+"""Breadth-first and depth-first traversal over any neighbor provider."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function
+
+Subnode = Hashable
+
+
+def bfs_order(provider: NeighborProvider, source: Subnode) -> List[Subnode]:
+    """Nodes reachable from ``source`` in breadth-first visiting order."""
+    neighbors = as_neighbor_function(provider)
+    order: List[Subnode] = []
+    seen: Set[Subnode] = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for neighbor in sorted(neighbors(node), key=repr):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_distances(provider: NeighborProvider, source: Subnode) -> Dict[Subnode, int]:
+    """Hop distance from ``source`` to every reachable node."""
+    neighbors = as_neighbor_function(provider)
+    distances: Dict[Subnode, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def dfs_order(provider: NeighborProvider, source: Subnode) -> List[Subnode]:
+    """Nodes reachable from ``source`` in (iterative) depth-first pre-order.
+
+    This is Algorithm 5 of the paper, made iterative so deep graphs do not
+    hit Python's recursion limit.
+    """
+    neighbors = as_neighbor_function(provider)
+    order: List[Subnode] = []
+    seen: Set[Subnode] = set()
+    stack: List[Subnode] = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # Reverse-sorted push keeps the visit order equal to the recursive
+        # formulation that explores neighbors in sorted order.
+        for neighbor in sorted(neighbors(node), key=repr, reverse=True):
+            if neighbor not in seen:
+                stack.append(neighbor)
+    return order
+
+
+def connected_component_of(provider: NeighborProvider, source: Subnode) -> Set[Subnode]:
+    """The set of nodes reachable from ``source``."""
+    return set(bfs_order(provider, source))

@@ -1,0 +1,95 @@
+"""Side-by-side comparison of summarization methods on one or more graphs.
+
+This is the programmatic backbone of Fig. 1(a), Fig. 5(a), and Fig. 5(b):
+given a graph (or a dataset key) and a set of methods, run every method,
+validate losslessness, and collect relative sizes and runtimes into
+uniform records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import compression_report
+from repro.baselines import (
+    mosso_summarize,
+    randomized_summarize,
+    sags_summarize,
+    sweg_summarize,
+)
+from repro.core import Slugger, SluggerConfig
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.model.summary import HierarchicalSummary
+
+AnySummary = Union[HierarchicalSummary, FlatSummary]
+MethodFunction = Callable[[Graph, int], AnySummary]
+
+
+@dataclass
+class MethodResult:
+    """Outcome of running one method on one graph."""
+
+    method: str
+    summary: AnySummary
+    runtime_seconds: float
+    report: Dict[str, float]
+
+    @property
+    def relative_size(self) -> float:
+        """Relative output size of the method on this graph."""
+        return self.report["relative_size"]
+
+
+def _run_slugger(graph: Graph, seed: int, iterations: int) -> AnySummary:
+    config = SluggerConfig(iterations=iterations, seed=seed)
+    return Slugger(config).summarize(graph).summary
+
+
+def default_methods(iterations: int = 10) -> Dict[str, MethodFunction]:
+    """The five methods compared throughout the paper's evaluation.
+
+    ``iterations`` applies to the iterative methods (SLUGGER and SWeG);
+    the paper uses 20, the benches default to a smaller value so the full
+    16-dataset sweep stays fast in pure Python.
+    """
+    return {
+        "slugger": lambda graph, seed: _run_slugger(graph, seed, iterations),
+        "sweg": lambda graph, seed: sweg_summarize(graph, iterations=iterations, seed=seed),
+        "mosso": lambda graph, seed: mosso_summarize(graph, seed=seed),
+        "randomized": lambda graph, seed: randomized_summarize(graph, seed=seed),
+        "sags": lambda graph, seed: sags_summarize(graph, seed=seed),
+    }
+
+
+def compare_methods(
+    graph: Graph,
+    methods: Optional[Dict[str, MethodFunction]] = None,
+    seed: int = 0,
+    validate: bool = True,
+) -> List[MethodResult]:
+    """Run every method on ``graph`` and return per-method results.
+
+    Results are ordered by ascending relative size (best compression
+    first), which makes the winner immediately visible in reports.
+    """
+    methods = methods if methods is not None else default_methods()
+    results: List[MethodResult] = []
+    for name, function in methods.items():
+        started = time.perf_counter()
+        summary = function(graph, seed)
+        elapsed = time.perf_counter() - started
+        if validate:
+            summary.validate(graph)
+        results.append(
+            MethodResult(
+                method=name,
+                summary=summary,
+                runtime_seconds=elapsed,
+                report=compression_report(summary, graph),
+            )
+        )
+    results.sort(key=lambda result: result.relative_size)
+    return results

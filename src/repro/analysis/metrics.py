@@ -1,0 +1,94 @@
+"""Compression metrics shared by the experiments and benches.
+
+The central quantity is the *relative size of outputs* (Eq. 10 for the
+hierarchical model, Eq. 11 for the flat model), which is what Fig. 1(a),
+Fig. 5(a), and Tables III-V report.  Edge-type composition (Fig. 6) and
+hierarchy-shape statistics (Tables IV-V) are also computed here so every
+bench goes through the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.exceptions import SummaryInvariantError
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.model.summary import HierarchicalSummary
+
+AnySummary = Union[HierarchicalSummary, FlatSummary]
+
+
+def relative_size(summary: AnySummary, graph: Graph) -> float:
+    """Relative output size: encoding cost divided by |E| (Eq. 10 / Eq. 11)."""
+    if graph.num_edges == 0:
+        raise SummaryInvariantError("relative size is undefined for an edgeless graph")
+    return summary.relative_size(graph)
+
+
+def edge_composition(summary: AnySummary) -> Dict[str, float]:
+    """Fraction of p-, n-, and h-edges in a summary's output (Fig. 6).
+
+    For flat summaries the mapping of Sect. II-B is used: superedges and
+    positive corrections count as p-edges, negative corrections as
+    n-edges, and supernode memberships as h-edges.
+    """
+    if isinstance(summary, HierarchicalSummary):
+        counts = {
+            "p_edges": summary.num_p_edges,
+            "n_edges": summary.num_n_edges,
+            "h_edges": summary.num_h_edges,
+        }
+    elif isinstance(summary, FlatSummary):
+        counts = {
+            "p_edges": summary.num_superedges + len(summary.corrections_plus),
+            "n_edges": len(summary.corrections_minus),
+            "h_edges": summary.membership_edges(),
+        }
+    else:
+        raise TypeError(f"unsupported summary type {type(summary).__name__}")
+    total = sum(counts.values())
+    if total == 0:
+        return {key: 0.0 for key in counts}
+    return {key: value / total for key, value in counts.items()}
+
+
+def hierarchy_statistics(summary: AnySummary) -> Dict[str, float]:
+    """Hierarchy-shape statistics: maximum tree height and average leaf depth.
+
+    Flat summaries are height-1 by construction: non-singleton supernodes
+    contribute depth-1 leaves, singletons depth 0 (Table IV/V metrics).
+    """
+    if isinstance(summary, HierarchicalSummary):
+        return {
+            "max_height": float(summary.hierarchy.max_height()),
+            "average_leaf_depth": float(summary.hierarchy.average_leaf_depth()),
+        }
+    if isinstance(summary, FlatSummary):
+        total_nodes = len(summary.group_of)
+        if total_nodes == 0:
+            return {"max_height": 0.0, "average_leaf_depth": 0.0}
+        grouped = summary.membership_edges()
+        max_height = 1.0 if summary.num_non_singleton_groups() else 0.0
+        return {
+            "max_height": max_height,
+            "average_leaf_depth": grouped / total_nodes,
+        }
+    raise TypeError(f"unsupported summary type {type(summary).__name__}")
+
+
+def compression_report(summary: AnySummary, graph: Graph) -> Dict[str, float]:
+    """One flat record combining cost, relative size, composition, and shape."""
+    if isinstance(summary, HierarchicalSummary):
+        cost = float(summary.cost())
+    else:
+        cost = float(summary.cost_eq11())
+    report: Dict[str, float] = {
+        "num_nodes": float(graph.num_nodes),
+        "num_edges": float(graph.num_edges),
+        "cost": cost,
+        "relative_size": relative_size(summary, graph),
+    }
+    report.update({f"share_{key}": value for key, value in edge_composition(summary).items()})
+    report.update(hierarchy_statistics(summary))
+    return report

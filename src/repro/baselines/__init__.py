@@ -1,0 +1,33 @@
+"""Baseline lossless graph summarization algorithms (Sect. V / Sect. IV).
+
+All baselines operate under the flat (Navlakha) summarization model and
+return :class:`~repro.model.flat.FlatSummary` objects, so their outputs
+can be compared with SLUGGER's via Eq. 11:
+
+* :func:`randomized_summarize` — RANDOMIZED [Navlakha et al., SIGMOD'08]
+* :func:`greedy_summarize` — GREEDY [Navlakha et al., SIGMOD'08]
+* :func:`sweg_summarize` — SWeG [Shin et al., WWW'19]
+* :func:`sags_summarize` — SAGS [Khan et al., Computing'15]
+* :class:`MoSSo` / :func:`mosso_summarize` — MoSSo [Ko et al., KDD'20]
+"""
+
+from repro.baselines.common import FlatGroupingState
+from repro.baselines.randomized import randomized_summarize
+from repro.baselines.greedy import greedy_summarize
+from repro.baselines.sweg import SwegConfig, drop_corrections, sweg_summarize
+from repro.baselines.sags import SagsConfig, sags_summarize
+from repro.baselines.mosso import MoSSo, MossoConfig, mosso_summarize
+
+__all__ = [
+    "FlatGroupingState",
+    "randomized_summarize",
+    "greedy_summarize",
+    "SwegConfig",
+    "sweg_summarize",
+    "drop_corrections",
+    "SagsConfig",
+    "sags_summarize",
+    "MoSSo",
+    "MossoConfig",
+    "mosso_summarize",
+]

@@ -1,0 +1,65 @@
+"""GREEDY summarization [Navlakha, Rastogi, Shrivastava; SIGMOD 2008].
+
+At every step the pair of supernodes with the globally largest positive
+saving is merged.  The method gives the most concise flat summaries of
+the 2008 paper but is quadratic-ish in practice, so it is used here for
+small graphs, tests, and as an optimality reference for the other
+heuristics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.common import FlatGroupingState
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+
+
+def greedy_summarize(graph: Graph, max_merges: int = 10**9) -> FlatSummary:
+    """Summarize ``graph`` by repeatedly merging the best pair of supernodes.
+
+    A lazy max-heap of candidate pairs is kept; entries are re-validated
+    when popped (the standard way to avoid decrease-key).  Only pairs
+    within distance two of each other are considered, since farther pairs
+    can never have positive saving.
+    """
+    state = FlatGroupingState(graph)
+    heap: List[Tuple[float, int, int]] = []
+    alive: Set[int] = set(state.groups())
+
+    def push_candidates(group: int) -> None:
+        for other in state.two_hop_groups(group):
+            if other not in state.members:
+                continue
+            value = state.saving(group, other)
+            if value > 0:
+                heapq.heappush(heap, (-value, min(group, other), max(group, other)))
+
+    for group in state.groups():
+        for other in state.two_hop_groups(group):
+            if other > group:
+                value = state.saving(group, other)
+                if value > 0:
+                    heapq.heappush(heap, (-value, group, other))
+
+    merges = 0
+    while heap and merges < max_merges:
+        negative_saving, group_a, group_b = heapq.heappop(heap)
+        if group_a not in state.members or group_b not in state.members:
+            continue
+        current = state.saving(group_a, group_b)
+        if current <= 0:
+            continue
+        if abs(-negative_saving - current) > 1e-12:
+            # The stored saving is stale; re-insert with the fresh value.
+            heapq.heappush(heap, (-current, group_a, group_b))
+            continue
+        merged = state.merge(group_a, group_b)
+        alive.discard(group_a)
+        alive.discard(group_b)
+        alive.add(merged)
+        merges += 1
+        push_candidates(merged)
+    return state.to_summary()

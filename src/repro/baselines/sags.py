@@ -1,0 +1,94 @@
+"""SAGS: set-based approximate graph summarization [Khan, Nawaz, Lee; Computing 2015].
+
+SAGS avoids computing merge savings altogether: it hashes node
+neighborhoods into locality-sensitive-hashing (LSH) signatures, bands the
+signatures, and directly merges nodes that collide in a band (accepting
+each collision with probability ``p``).  This makes it the fastest — and,
+as in the paper's evaluation, the least concise — baseline.
+
+Parameters follow the paper's setup: signature length ``h = 30``, band
+count ``b = 10``, acceptance probability ``p = 0.3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.baselines.common import FlatGroupingState
+from repro.core.shingles import make_hash_function
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.utils.rng import ensure_rng
+
+Subnode = Hashable
+
+
+@dataclass
+class SagsConfig:
+    """Parameters of SAGS (paper defaults: h=30, b=10, p=0.3)."""
+
+    signature_length: int = 30
+    bands: int = 10
+    acceptance_probability: float = 0.3
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.signature_length < 1:
+            raise ConfigurationError("signature_length must be >= 1")
+        if self.bands < 1 or self.bands > self.signature_length:
+            raise ConfigurationError("bands must be in [1, signature_length]")
+        if not 0.0 < self.acceptance_probability <= 1.0:
+            raise ConfigurationError("acceptance_probability must be in (0, 1]")
+
+
+def sags_summarize(graph: Graph, config: Optional[SagsConfig] = None, **overrides) -> FlatSummary:
+    """Summarize ``graph`` with the SAGS LSH heuristic; returns a flat summary."""
+    if config is None:
+        config = SagsConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config object or keyword overrides, not both")
+    rng = ensure_rng(config.seed)
+    state = FlatGroupingState(graph)
+    if graph.num_edges == 0:
+        return state.to_summary()
+
+    signatures = _minhash_signatures(graph, config, rng)
+    rows_per_band = config.signature_length // config.bands
+
+    for band in range(config.bands):
+        start = band * rows_per_band
+        buckets: Dict[Tuple[int, ...], List[Subnode]] = {}
+        for node, signature in signatures.items():
+            key = tuple(signature[start:start + rows_per_band])
+            buckets.setdefault(key, []).append(node)
+        for colliding in buckets.values():
+            if len(colliding) < 2:
+                continue
+            # Merge colliding nodes into the group of the first one, each
+            # with the configured acceptance probability.
+            anchor = state.group_of[colliding[0]]
+            for node in colliding[1:]:
+                if rng.random() > config.acceptance_probability:
+                    continue
+                group = state.group_of[node]
+                if group == anchor or anchor not in state.members or group not in state.members:
+                    continue
+                anchor = state.merge(anchor, group)
+    return state.to_summary()
+
+
+def _minhash_signatures(graph: Graph, config: SagsConfig, rng) -> Dict[Subnode, List[int]]:
+    """Min-hash signature of every node's closed neighborhood."""
+    hash_functions = [
+        make_hash_function(rng.randrange(2**61)) for _ in range(config.signature_length)
+    ]
+    signatures: Dict[Subnode, List[int]] = {}
+    for node in graph.nodes():
+        closed_neighborhood = [node] + list(graph.neighbor_set(node))
+        signatures[node] = [
+            min(hash_function(member) for member in closed_neighborhood)
+            for hash_function in hash_functions
+        ]
+    return signatures

@@ -1,0 +1,264 @@
+"""Command-line interface: summarize graphs and run paper experiments.
+
+Examples
+--------
+Summarize an edge list with SLUGGER and save the summary::
+
+    repro-slugger summarize --input graph.txt --output summary.json --iterations 10
+
+Compare all methods on a built-in dataset analogue::
+
+    repro-slugger compare --dataset PR --iterations 5
+
+List the built-in dataset analogues::
+
+    repro-slugger datasets
+
+Measure the summarize-then-compress pipeline, replay a dynamic stream,
+sweep the lossy error bound, or export the hierarchy::
+
+    repro-slugger compress --dataset CN --code gamma --ordering bfs
+    repro-slugger stream --dataset FA --mode dynamic --deletion-ratio 0.2
+    repro-slugger lossy --dataset PR --epsilon 0.1 --epsilon 0.3
+    repro-slugger export --dataset PR --format ascii
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.comparison import compare_methods, default_methods
+from repro.compression.pipeline import compression_report
+from repro.core import Slugger, SluggerConfig
+from repro.experiments.reporting import format_table
+from repro.graphs.datasets import available_datasets, dataset_table, load_dataset
+from repro.graphs.io import read_edge_list
+from repro.lossy.bounded import lossy_tradeoff_curve
+from repro.model.export import ascii_hierarchy, summary_to_dot
+from repro.model.serialization import save_hierarchical_summary
+from repro.streaming.online import replay_stream
+from repro.streaming.stream import (
+    fully_dynamic_stream,
+    insertion_stream,
+    sliding_window_stream,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro-slugger`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-slugger",
+        description="Lossless hierarchical graph summarization (SLUGGER reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summarize_parser = subparsers.add_parser("summarize", help="summarize one graph with SLUGGER")
+    source = summarize_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="edge-list file to summarize")
+    source.add_argument("--dataset", help="built-in dataset analogue key (e.g. PR)")
+    summarize_parser.add_argument("--output", help="write the summary as JSON to this path")
+    summarize_parser.add_argument("--iterations", type=int, default=20, help="number of iterations T")
+    summarize_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    summarize_parser.add_argument("--no-prune", action="store_true", help="skip the pruning step")
+    summarize_parser.add_argument(
+        "--height-bound", type=int, default=None, help="optional bound H_b on hierarchy height"
+    )
+
+    compare_parser = subparsers.add_parser("compare", help="compare SLUGGER with the baselines")
+    compare_source = compare_parser.add_mutually_exclusive_group(required=True)
+    compare_source.add_argument("--input", help="edge-list file")
+    compare_source.add_argument("--dataset", help="built-in dataset analogue key")
+    compare_parser.add_argument("--iterations", type=int, default=10)
+    compare_parser.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("datasets", help="list the built-in dataset analogues")
+
+    compress_parser = subparsers.add_parser(
+        "compress", help="measure the summarize-then-compress pipeline"
+    )
+    compress_source = compress_parser.add_mutually_exclusive_group(required=True)
+    compress_source.add_argument("--input", help="edge-list file")
+    compress_source.add_argument("--dataset", help="built-in dataset analogue key")
+    compress_parser.add_argument("--iterations", type=int, default=10)
+    compress_parser.add_argument("--seed", type=int, default=0)
+    compress_parser.add_argument("--code", default="gamma",
+                                 help="gap code (unary, gamma, delta, rice2, rice4)")
+    compress_parser.add_argument("--ordering", default="bfs",
+                                 help="node ordering (natural, degree, bfs, shingle)")
+
+    stream_parser = subparsers.add_parser(
+        "stream", help="replay an edge stream through the online summarizer"
+    )
+    stream_source = stream_parser.add_mutually_exclusive_group(required=True)
+    stream_source.add_argument("--input", help="edge-list file")
+    stream_source.add_argument("--dataset", help="built-in dataset analogue key")
+    stream_parser.add_argument("--mode", choices=("insertion", "dynamic", "window"),
+                               default="insertion", help="stream workload shape")
+    stream_parser.add_argument("--deletion-ratio", type=float, default=0.2,
+                               help="deletion ratio for --mode dynamic")
+    stream_parser.add_argument("--window", type=int, default=1000,
+                               help="window size for --mode window")
+    stream_parser.add_argument("--checkpoints", type=int, default=8)
+    stream_parser.add_argument("--seed", type=int, default=0)
+
+    lossy_parser = subparsers.add_parser(
+        "lossy", help="sweep the error bound of lossy summarization"
+    )
+    lossy_source = lossy_parser.add_mutually_exclusive_group(required=True)
+    lossy_source.add_argument("--input", help="edge-list file")
+    lossy_source.add_argument("--dataset", help="built-in dataset analogue key")
+    lossy_parser.add_argument("--epsilon", type=float, action="append", default=None,
+                              help="error bound to evaluate (repeatable)")
+    lossy_parser.add_argument("--iterations", type=int, default=10)
+    lossy_parser.add_argument("--seed", type=int, default=0)
+
+    export_parser = subparsers.add_parser(
+        "export", help="render the SLUGGER hierarchy as ASCII or Graphviz DOT"
+    )
+    export_source = export_parser.add_mutually_exclusive_group(required=True)
+    export_source.add_argument("--input", help="edge-list file")
+    export_source.add_argument("--dataset", help="built-in dataset analogue key")
+    export_parser.add_argument("--format", choices=("ascii", "dot"), default="ascii")
+    export_parser.add_argument("--output", help="write the rendering to this path")
+    export_parser.add_argument("--iterations", type=int, default=10)
+    export_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_graph(arguments: argparse.Namespace):
+    if arguments.input:
+        return read_edge_list(arguments.input)
+    return load_dataset(arguments.dataset, seed=arguments.seed)
+
+
+def _command_summarize(arguments: argparse.Namespace) -> int:
+    graph = _load_graph(arguments)
+    config = SluggerConfig(
+        iterations=arguments.iterations,
+        seed=arguments.seed,
+        prune=not arguments.no_prune,
+        height_bound=arguments.height_bound,
+    )
+    result = Slugger(config).summarize(graph)
+    print(f"nodes={graph.num_nodes} edges={graph.num_edges}")
+    print(
+        f"cost={result.cost()} relative_size={result.relative_size(graph):.4f} "
+        f"p={result.summary.num_p_edges} n={result.summary.num_n_edges} "
+        f"h={result.summary.num_h_edges} seconds={result.runtime_seconds:.2f}"
+    )
+    if arguments.output:
+        save_hierarchical_summary(result.summary, arguments.output)
+        print(f"summary written to {arguments.output}")
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace) -> int:
+    graph = _load_graph(arguments)
+    results = compare_methods(
+        graph, methods=default_methods(iterations=arguments.iterations), seed=arguments.seed
+    )
+    rows = [
+        {
+            "method": result.method,
+            "relative_size": result.relative_size,
+            "cost": result.report["cost"],
+            "seconds": result.runtime_seconds,
+        }
+        for result in results
+    ]
+    print(format_table(rows, ["method", "relative_size", "cost", "seconds"],
+                       title=f"nodes={graph.num_nodes} edges={graph.num_edges}"))
+    return 0
+
+
+def _command_datasets(_arguments: argparse.Namespace) -> int:
+    rows = dataset_table()
+    print(format_table(
+        rows,
+        ["key", "name", "domain", "paper_nodes", "paper_edges", "analogue_nodes", "analogue_edges"],
+        title=f"{len(available_datasets())} dataset analogues",
+    ))
+    return 0
+
+
+def _command_compress(arguments: argparse.Namespace) -> int:
+    graph = _load_graph(arguments)
+    config = SluggerConfig(iterations=arguments.iterations, seed=arguments.seed)
+    summary = Slugger(config).summarize(graph).summary
+    report = compression_report(
+        graph, summary, code=arguments.code, ordering=arguments.ordering, seed=arguments.seed
+    )
+    rows = [{"metric": key, "value": value} for key, value in report.items()]
+    print(format_table(rows, ["metric", "value"],
+                       title=f"summarize-then-compress pipeline "
+                             f"(code={arguments.code}, ordering={arguments.ordering})",
+                       precision=4))
+    return 0
+
+
+def _command_stream(arguments: argparse.Namespace) -> int:
+    graph = _load_graph(arguments)
+    if arguments.mode == "dynamic":
+        events = fully_dynamic_stream(graph, deletion_ratio=arguments.deletion_ratio,
+                                      seed=arguments.seed)
+    elif arguments.mode == "window":
+        events = sliding_window_stream(graph, window=arguments.window, seed=arguments.seed)
+    else:
+        events = insertion_stream(graph, seed=arguments.seed)
+    result = replay_stream(events, checkpoints=arguments.checkpoints, validate=False)
+    if result.final_graph is not None and result.final_graph.num_edges:
+        result.final_summary.validate(result.final_graph)
+    print(format_table(result.as_rows(), ["time", "num_edges", "cost", "relative_size"],
+                       title=f"online summarization over a {arguments.mode} stream "
+                             f"({len(events)} events)"))
+    return 0
+
+
+def _command_lossy(arguments: argparse.Namespace) -> int:
+    graph = _load_graph(arguments)
+    epsilons = arguments.epsilon if arguments.epsilon else [0.0, 0.1, 0.25, 0.5]
+    rows = lossy_tradeoff_curve(graph, epsilons, iterations=arguments.iterations,
+                                seed=arguments.seed)
+    print(format_table(rows, ["epsilon", "relative_size", "dropped_corrections",
+                              "max_relative_error"],
+                       title="lossy summarization trade-off (SWeG + correction dropping)"))
+    return 0
+
+
+def _command_export(arguments: argparse.Namespace) -> int:
+    graph = _load_graph(arguments)
+    config = SluggerConfig(iterations=arguments.iterations, seed=arguments.seed)
+    summary = Slugger(config).summarize(graph).summary
+    if arguments.format == "dot":
+        rendering = summary_to_dot(summary)
+    else:
+        rendering = ascii_hierarchy(summary)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendering + "\n")
+        print(f"{arguments.format} rendering written to {arguments.output}")
+    else:
+        print(rendering)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-slugger`` console script."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "summarize": _command_summarize,
+        "compare": _command_compare,
+        "datasets": _command_datasets,
+        "compress": _command_compress,
+        "stream": _command_stream,
+        "lossy": _command_lossy,
+        "export": _command_export,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

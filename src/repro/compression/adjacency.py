@@ -1,0 +1,190 @@
+"""Gap-compressed adjacency-list representation of an undirected graph.
+
+:class:`CompressedAdjacency` is a small, faithful stand-in for the
+WebGraph-style encoders the paper assumes as the downstream compression
+stage: nodes are relabeled with one of the orderings of
+:mod:`repro.compression.ordering`, each (symmetric) adjacency list is
+sorted, delta-encoded (first element against the owning node id via
+zig-zag, subsequent elements as positive gaps), and the gaps are written
+with one of the universal codes of :mod:`repro.compression.codes`.
+
+Decoding restores the exact original graph, so the whole pipeline —
+summarize, then bit-compress the summary's three output graphs — remains
+lossless end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.compression.bits import BitReader, BitWriter
+from repro.compression.codes import GapCode, get_code, zigzag_decode, zigzag_encode
+from repro.compression.ordering import Ordering, compute_ordering, invert_ordering
+from repro.exceptions import CompressionError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike
+
+Node = Hashable
+
+
+@dataclass
+class CompressedAdjacency:
+    """A bit-compressed adjacency structure plus the metadata to invert it.
+
+    Attributes
+    ----------
+    payload:
+        The packed gap-coded adjacency bits.
+    bit_length:
+        Number of meaningful bits in ``payload``.
+    code_name:
+        Name of the gap code used (``gamma``, ``delta``, ...).
+    ordering_scheme:
+        Name of the node ordering used for relabeling.
+    node_order:
+        The node at each dense id (``node_order[i]`` has id ``i``).
+    num_edges:
+        Number of undirected edges encoded.
+    """
+
+    payload: bytes
+    bit_length: int
+    code_name: str
+    ordering_scheme: str
+    node_order: List[Node]
+    num_edges: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the encoded graph."""
+        return len(self.node_order)
+
+    def size_bits(self) -> int:
+        """Size of the adjacency payload in bits (excluding the node-order metadata)."""
+        return self.bit_length
+
+    def size_bytes(self) -> int:
+        """Size of the adjacency payload in bytes, rounded up."""
+        return (self.bit_length + 7) // 8
+
+    def bits_per_edge(self) -> float:
+        """Payload bits divided by the number of undirected edges."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.bit_length / self.num_edges
+
+    def decode(self) -> Graph:
+        """Reconstruct the original graph exactly."""
+        return decode_adjacency(self)
+
+
+def _encode_list(writer: BitWriter, code: GapCode, owner: int, neighbors: Sequence[int]) -> None:
+    """Encode one sorted neighbor-id list relative to its owner id."""
+    code.encode(writer, len(neighbors))
+    if not neighbors:
+        return
+    first = neighbors[0]
+    code.encode(writer, zigzag_encode(first - owner))
+    previous = first
+    for neighbor in neighbors[1:]:
+        gap = neighbor - previous
+        if gap <= 0:
+            raise CompressionError("adjacency lists must be strictly increasing")
+        code.encode(writer, gap - 1)
+        previous = neighbor
+
+
+def _decode_list(reader: BitReader, code: GapCode, owner: int) -> List[int]:
+    """Decode one neighbor-id list previously written by :func:`_encode_list`."""
+    count = code.decode(reader)
+    if count == 0:
+        return []
+    neighbors = [owner + zigzag_decode(code.decode(reader))]
+    for _ in range(count - 1):
+        neighbors.append(neighbors[-1] + code.decode(reader) + 1)
+    return neighbors
+
+
+def encode_adjacency(
+    graph: Graph,
+    code: str = "gamma",
+    ordering: str = "natural",
+    seed: SeedLike = 0,
+    precomputed_ordering: Optional[Ordering] = None,
+) -> CompressedAdjacency:
+    """Compress ``graph`` into a :class:`CompressedAdjacency`.
+
+    Parameters
+    ----------
+    graph:
+        The graph to compress.
+    code:
+        Gap-code name (see :func:`repro.compression.codes.available_codes`).
+    ordering:
+        Node-ordering scheme name (see
+        :func:`repro.compression.ordering.available_orderings`).
+    seed:
+        Seed forwarded to randomized orderings (``shingle``).
+    precomputed_ordering:
+        Skip ordering computation and use this ``node -> id`` mapping
+        instead; ``ordering`` is then recorded as ``"custom"`` unless it
+        names the scheme that produced the mapping.
+    """
+    gap_code = get_code(code)
+    if precomputed_ordering is not None:
+        node_to_id = dict(precomputed_ordering)
+        if set(node_to_id) != set(graph.nodes()):
+            raise CompressionError("precomputed ordering does not cover the graph's nodes")
+        scheme = ordering if ordering else "custom"
+    else:
+        node_to_id = compute_ordering(graph, ordering, seed=seed)
+        scheme = ordering
+    node_order = invert_ordering(node_to_id)
+
+    writer = BitWriter()
+    for owner_id, node in enumerate(node_order):
+        neighbor_ids = sorted(node_to_id[neighbor] for neighbor in graph.neighbor_set(node))
+        _encode_list(writer, gap_code, owner_id, neighbor_ids)
+    return CompressedAdjacency(
+        payload=writer.to_bytes(),
+        bit_length=writer.bit_length,
+        code_name=code,
+        ordering_scheme=scheme,
+        node_order=node_order,
+        num_edges=graph.num_edges,
+    )
+
+
+def decode_adjacency(compressed: CompressedAdjacency) -> Graph:
+    """Reconstruct the graph encoded in ``compressed``.
+
+    Every undirected edge appears in both endpoint lists; the decoder
+    checks the two sides agree and raises
+    :class:`~repro.exceptions.CompressionError` on any inconsistency.
+    """
+    code = get_code(compressed.code_name)
+    reader = BitReader(compressed.payload, compressed.bit_length)
+    adjacency: Dict[int, List[int]] = {}
+    for owner_id in range(compressed.num_nodes):
+        adjacency[owner_id] = _decode_list(reader, code, owner_id)
+    if reader.remaining:
+        raise CompressionError(f"{reader.remaining} unread bits after decoding all lists")
+
+    graph = Graph(nodes=compressed.node_order)
+    seen_directed = 0
+    for owner_id, neighbor_ids in adjacency.items():
+        owner = compressed.node_order[owner_id]
+        for neighbor_id in neighbor_ids:
+            if neighbor_id < 0 or neighbor_id >= compressed.num_nodes:
+                raise CompressionError(f"decoded neighbor id {neighbor_id} out of range")
+            if neighbor_id == owner_id:
+                raise CompressionError("decoded a self-loop; payload is corrupt")
+            seen_directed += 1
+            graph.add_edge(owner, compressed.node_order[neighbor_id])
+    if seen_directed != 2 * compressed.num_edges or graph.num_edges != compressed.num_edges:
+        raise CompressionError(
+            "decoded edge count does not match the recorded count "
+            f"(expected {compressed.num_edges}, got {graph.num_edges})"
+        )
+    return graph

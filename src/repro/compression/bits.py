@@ -1,0 +1,160 @@
+"""Bit-level writer and reader used by the integer codes.
+
+The paper motivates lossless summarization as a *pre-process*: its three
+output graphs "can be further compressed using any graph-compression
+technique" (Sect. I).  The :mod:`repro.compression` subpackage provides
+that downstream stage — WebGraph-style gap/code compression — so the
+benchmarks can measure bits-per-edge of raw graphs versus summarized
+graphs.  Everything bottoms out in the two classes here: a
+:class:`BitWriter` that accumulates individual bits into bytes and a
+:class:`BitReader` that consumes them again.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import CompressionError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-bit first and packs them into bytes.
+
+    Examples
+    --------
+    >>> writer = BitWriter()
+    >>> writer.write_bit(1)
+    >>> writer.write_bits(0b0101, 4)
+    >>> writer.bit_length
+    5
+    >>> len(writer.to_bytes())
+    1
+    """
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._current = 0
+        self._filled = 0
+        self._bit_length = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_length
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (``0`` or ``1``)."""
+        if bit not in (0, 1):
+            raise CompressionError(f"bit must be 0 or 1, got {bit!r}")
+        self._current = (self._current << 1) | bit
+        self._filled += 1
+        self._bit_length += 1
+        if self._filled == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append the ``width`` lowest bits of ``value``, most significant first."""
+        if width < 0:
+            raise CompressionError(f"width must be non-negative, got {width}")
+        if value < 0:
+            raise CompressionError(f"value must be non-negative, got {value}")
+        if width and value >> width:
+            raise CompressionError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_run(self, bit: int, count: int) -> None:
+        """Append ``count`` copies of ``bit`` (used by the unary code)."""
+        if count < 0:
+            raise CompressionError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            self.write_bit(bit)
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append every bit of ``bits`` in order."""
+        for bit in bits:
+            self.write_bit(bit)
+
+    def to_bytes(self) -> bytes:
+        """Return the written bits packed into bytes (zero-padded at the end)."""
+        result = bytearray(self._bytes)
+        if self._filled:
+            result.append(self._current << (8 - self._filled))
+        return bytes(result)
+
+
+class BitReader:
+    """Reads bits most-significant-bit first from a byte string.
+
+    The reader tracks its position; attempting to read past
+    ``bit_length`` raises :class:`~repro.exceptions.CompressionError`,
+    which is how the decoders detect truncated payloads.
+    """
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = bytes(data)
+        max_bits = len(self._data) * 8
+        if bit_length is None:
+            bit_length = max_bits
+        if bit_length < 0 or bit_length > max_bits:
+            raise CompressionError(
+                f"bit_length must be in [0, {max_bits}], got {bit_length}"
+            )
+        self._bit_length = bit_length
+        self._position = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of readable bits."""
+        return self._bit_length
+
+    @property
+    def position(self) -> int:
+        """Index of the next bit to be read."""
+        return self._position
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits left to read."""
+        return self._bit_length - self._position
+
+    def read_bit(self) -> int:
+        """Read and return the next bit."""
+        if self._position >= self._bit_length:
+            raise CompressionError("attempted to read past the end of the bit stream")
+        byte = self._data[self._position // 8]
+        bit = (byte >> (7 - self._position % 8)) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise CompressionError(f"width must be non-negative, got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value: the number of 1-bits before the terminating 0."""
+        count = 0
+        while self.read_bit() == 1:
+            count += 1
+        return count
+
+    def peek_bits(self, width: int) -> int:
+        """Read ``width`` bits without consuming them."""
+        saved = self._position
+        try:
+            return self.read_bits(width)
+        finally:
+            self._position = saved
+
+
+def bits_to_list(data: bytes, bit_length: int | None = None) -> List[int]:
+    """Expand a packed byte string into a list of bits (testing helper)."""
+    reader = BitReader(data, bit_length)
+    return [reader.read_bit() for _ in range(reader.bit_length)]

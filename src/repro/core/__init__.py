@@ -1,0 +1,22 @@
+"""SLUGGER: scalable lossless summarization of graphs with hierarchy.
+
+The package implements Algorithm 1 of the paper and its components:
+
+* :mod:`repro.core.config` — tunable parameters (iterations ``T``,
+  candidate-set cap, merging-threshold schedule, height bound ``H_b``).
+* :mod:`repro.core.shingles` — min-hash shingle values over root supernodes.
+* :mod:`repro.core.candidates` — candidate-set generation (Sect. III-B2).
+* :mod:`repro.core.encoder` — memoized local encoding search used when two
+  root supernodes are merged (Sect. III-B3, Cases 1 and 2).
+* :mod:`repro.core.state` — the mutable summarization state with the
+  per-root bookkeeping that makes saving evaluation O(degree).
+* :mod:`repro.core.saving` — the saving objective (Eq. 8).
+* :mod:`repro.core.merging` — the merging step (Algorithm 2).
+* :mod:`repro.core.pruning` — the three pruning substeps (Sect. III-B4).
+* :mod:`repro.core.slugger` — the top-level driver (Algorithm 1).
+"""
+
+from repro.core.config import SluggerConfig
+from repro.core.slugger import Slugger, SluggerResult, summarize
+
+__all__ = ["SluggerConfig", "Slugger", "SluggerResult", "summarize"]

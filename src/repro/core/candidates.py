@@ -1,0 +1,73 @@
+"""Candidate-set generation (Sect. III-B2).
+
+Naively searching all root pairs for the merge with the largest cost
+reduction is quadratic in the number of roots.  SLUGGER instead groups
+roots that share a min-hash shingle (and therefore are likely to lie
+within distance 2 of each other — merging more distant pairs never helps,
+Lemma 1), splits oversized groups with further shingle rounds, and
+finally splits any group still above the cap at random.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import SluggerConfig
+from repro.core.shingles import make_hash_function, root_shingles, subnode_shingles
+from repro.graphs.graph import Graph
+from repro.model.hierarchy import Hierarchy
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def generate_candidate_sets(
+    graph: Graph,
+    hierarchy: Hierarchy,
+    roots: Sequence[int],
+    config: SluggerConfig,
+    seed: SeedLike = None,
+) -> List[List[int]]:
+    """Split ``roots`` into candidate sets of at most ``config.max_candidate_size``.
+
+    Each returned list contains root supernode ids that are promising to
+    merge with one another.  Groups of size one are dropped because they
+    offer nothing to merge.  A different ``seed`` per iteration varies the
+    grouping so more root pairs get considered over time (Sect. III-B2).
+    """
+    rng = ensure_rng(seed)
+    groups: List[List[int]] = [list(roots)]
+    finished: List[List[int]] = []
+
+    for _ in range(config.shingle_rounds):
+        oversized = [group for group in groups if len(group) > config.max_candidate_size]
+        finished.extend(group for group in groups if len(group) <= config.max_candidate_size)
+        if not oversized:
+            groups = []
+            break
+        hash_function = make_hash_function(rng.randrange(2**61))
+        node_shingles = subnode_shingles(graph, hash_function)
+        groups = []
+        for group in oversized:
+            shingles = root_shingles(group, hierarchy, node_shingles)
+            buckets: Dict[int, List[int]] = {}
+            for root in group:
+                buckets.setdefault(shingles[root], []).append(root)
+            if len(buckets) == 1:
+                # The shingle could not separate the group; keep it whole and
+                # let the random splitting below handle it.
+                groups.append(group)
+            else:
+                groups.extend(buckets.values())
+
+    # Any group still above the cap is split uniformly at random.
+    for group in groups:
+        if len(group) <= config.max_candidate_size:
+            finished.append(group)
+        else:
+            shuffled = list(group)
+            rng.shuffle(shuffled)
+            for start in range(0, len(shuffled), config.max_candidate_size):
+                finished.append(shuffled[start:start + config.max_candidate_size])
+
+    candidate_sets = [group for group in finished if len(group) >= 2]
+    rng.shuffle(candidate_sets)
+    return candidate_sets

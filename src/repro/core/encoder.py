@@ -1,0 +1,645 @@
+"""Local encoding search used when two root supernodes are merged.
+
+When SLUGGER merges root supernodes, the p-edges and n-edges between the
+affected trees are re-encoded locally (Sect. III-B3).  Each side of the
+re-encoding is viewed as a two-level *panel*: the root supernode plus its
+direct children (the paper's ``S_X``).  A candidate encoding places
+"blanket" p/n-edges on pairs of panel members such that every
+bottom-level block (pair of child supernodes) ends up with a net coverage
+of 0 or 1 — the restriction the paper also imposes — and the remaining
+discrepancies are fixed with p/n-edges between singleton leaves.
+
+The optimal blanket realisation of a given 0/1 block-coverage pattern
+depends only on the panel *shapes*, not on the graph, so it is memoized
+process-wide exactly like the paper's pre-computed lookup table; the
+per-merge work is then just counting edges per block and picking the
+pattern with the least total cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+from repro.model.hierarchy import Hierarchy
+
+Subnode = Hashable
+
+POSITIVE = 1
+NEGATIVE = -1
+
+# A blanket slot assignment: (endpoint index on side A, endpoint index on
+# side B, sign).  Endpoint index 0 is the panel top when the top is
+# distinct from its parts, otherwise endpoints are the parts themselves.
+SlotAssignment = Tuple[Tuple[int, int, int], ...]
+
+# The exhaustive pattern search enumerates 3**num_slots sign assignments,
+# so it is only used while that stays small (3**12 ≈ 5·10^5, well under a
+# second and computed once per panel shape).  Larger panels — which the
+# SLUGGER driver itself never produces, since merged roots always have two
+# children, but which library users may build directly — fall back to a
+# structured heuristic search over a constant family of coverage patterns.
+_MAX_EXACT_SLOTS = 12
+
+
+class Panel:
+    """A root supernode viewed as ``{top} ∪ children(top)`` (the paper's S_X)."""
+
+    def __init__(self, hierarchy: Hierarchy, top: int) -> None:
+        self.top = top
+        children = hierarchy.children(top)
+        self.parts: List[int] = list(children) if children else [top]
+        self.sizes: List[int] = [hierarchy.size(part) for part in self.parts]
+        self.has_distinct_top = bool(children)
+
+    @property
+    def shape(self) -> Tuple[int, bool]:
+        """(number of parts, whether the top is a separate endpoint)."""
+        return (len(self.parts), self.has_distinct_top)
+
+    def endpoints(self) -> List[int]:
+        """Supernode ids usable as blanket endpoints, top (if distinct) first."""
+        if self.has_distinct_top:
+            return [self.top] + self.parts
+        return list(self.parts)
+
+    def endpoint_coverage(self) -> List[Tuple[int, ...]]:
+        """Which part indices each endpoint covers (aligned with :meth:`endpoints`)."""
+        part_indices = tuple(range(len(self.parts)))
+        if self.has_distinct_top:
+            return [part_indices] + [(index,) for index in range(len(self.parts))]
+        return [(index,) for index in range(len(self.parts))]
+
+
+@dataclass
+class EncodingPlan:
+    """Result of the local search for one panel pair.
+
+    ``cost`` is the total number of superedges the plan will create
+    (blankets plus leaf-level corrections).  ``superedges`` are the
+    blanket edges between panel members; ``positive_blocks`` are blocks
+    whose present subedges must be added as leaf p-edges (net coverage 0);
+    ``negative_blocks`` are blocks whose missing subedges must be added as
+    leaf n-edges (net coverage 1).
+    """
+
+    cost: int
+    superedges: List[Tuple[int, int, int]] = field(default_factory=list)
+    positive_blocks: List[Tuple[int, int]] = field(default_factory=list)
+    negative_blocks: List[Tuple[int, int]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Memoized blanket-pattern solver
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _pattern_table(
+    coverage_a: Tuple[Tuple[int, ...], ...],
+    coverage_b: Tuple[Tuple[int, ...], ...],
+    num_parts_a: int,
+    num_parts_b: int,
+) -> Dict[Tuple[Tuple[int, ...], ...], Tuple[int, SlotAssignment]]:
+    """Optimal blanket assignments for every achievable 0/1 coverage pattern.
+
+    The table maps a target block matrix (rows = parts of side A, columns
+    = parts of side B, entries in {0, 1}) to the minimum number of blanket
+    edges realising it and one optimal assignment.  This is the
+    graph-independent part of the paper's memoization: it is computed once
+    per panel *shape* and reused for every merge and every input graph.
+    """
+    return _solve_pattern_table(coverage_a, coverage_b, num_parts_a, num_parts_b)
+
+
+def _solve_pattern_table(
+    coverage_a: Sequence[Tuple[int, ...]],
+    coverage_b: Sequence[Tuple[int, ...]],
+    num_parts_a: int,
+    num_parts_b: int,
+) -> Dict[Tuple[Tuple[int, ...], ...], Tuple[int, SlotAssignment]]:
+    slots = [
+        (endpoint_a, endpoint_b)
+        for endpoint_a in range(len(coverage_a))
+        for endpoint_b in range(len(coverage_b))
+    ]
+    table: Dict[Tuple[Tuple[int, ...], ...], Tuple[int, SlotAssignment]] = {}
+    for values in itertools.product((NEGATIVE, 0, POSITIVE), repeat=len(slots)):
+        net = [[0] * num_parts_b for _ in range(num_parts_a)]
+        used: List[Tuple[int, int, int]] = []
+        for slot_index, sign in enumerate(values):
+            if sign == 0:
+                continue
+            endpoint_a, endpoint_b = slots[slot_index]
+            used.append((endpoint_a, endpoint_b, sign))
+            for row in coverage_a[endpoint_a]:
+                for col in coverage_b[endpoint_b]:
+                    net[row][col] += sign
+        if any(entry not in (0, 1) for row in net for entry in row):
+            continue
+        targets = tuple(tuple(row) for row in net)
+        cost = len(used)
+        existing = table.get(targets)
+        if existing is None or cost < existing[0]:
+            table[targets] = (cost, tuple(used))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Heuristic pattern family for large panels
+# ----------------------------------------------------------------------
+def _realize_cross_pattern(
+    targets: Sequence[Sequence[int]],
+    panel_a: "Panel",
+    panel_b: "Panel",
+) -> Tuple[int, SlotAssignment]:
+    """A valid (not necessarily optimal) blanket realization of one 0/1 pattern.
+
+    Allowed blanket endpoints are the panel tops (covering every part) and
+    the individual parts, so the candidate realizations are cell-wise
+    edges, a full blanket with cell-wise negations, and row/column-wise
+    blankets with cell-wise fixes; the cheapest of those is returned.
+    """
+    num_a, num_b = len(panel_a.parts), len(panel_b.parts)
+
+    def row_endpoint(index: int) -> int:
+        return index + 1 if panel_a.has_distinct_top else index
+
+    def col_endpoint(index: int) -> int:
+        return index + 1 if panel_b.has_distinct_top else index
+
+    all_a = 0  # Endpoint 0 always covers every part of its panel.
+    all_b = 0
+    ones = [(i, j) for i in range(num_a) for j in range(num_b) if targets[i][j] == 1]
+    zeros = [(i, j) for i in range(num_a) for j in range(num_b) if targets[i][j] == 0]
+
+    candidates: List[List[Tuple[int, int, int]]] = []
+    # Cell-wise positive blankets on every 1-block.
+    candidates.append([(row_endpoint(i), col_endpoint(j), POSITIVE) for i, j in ones])
+    # One full blanket plus cell-wise negations of every 0-block.
+    candidates.append(
+        [(all_a, all_b, POSITIVE)] + [(row_endpoint(i), col_endpoint(j), NEGATIVE) for i, j in zeros]
+    )
+    # Row-wise: blanket dense rows, list sparse rows cell by cell.
+    row_plan: List[Tuple[int, int, int]] = []
+    for i in range(num_a):
+        row_ones = [j for j in range(num_b) if targets[i][j] == 1]
+        row_zeros = [j for j in range(num_b) if targets[i][j] == 0]
+        if len(row_ones) > 1 + len(row_zeros):
+            row_plan.append((row_endpoint(i), all_b, POSITIVE))
+            row_plan.extend((row_endpoint(i), col_endpoint(j), NEGATIVE) for j in row_zeros)
+        else:
+            row_plan.extend((row_endpoint(i), col_endpoint(j), POSITIVE) for j in row_ones)
+    candidates.append(row_plan)
+    # Column-wise, symmetric to the row-wise plan.
+    col_plan: List[Tuple[int, int, int]] = []
+    for j in range(num_b):
+        col_ones = [i for i in range(num_a) if targets[i][j] == 1]
+        col_zeros = [i for i in range(num_a) if targets[i][j] == 0]
+        if len(col_ones) > 1 + len(col_zeros):
+            col_plan.append((all_a, col_endpoint(j), POSITIVE))
+            col_plan.extend((row_endpoint(i), col_endpoint(j), NEGATIVE) for i in col_zeros)
+        else:
+            col_plan.extend((row_endpoint(i), col_endpoint(j), POSITIVE) for i in col_ones)
+    candidates.append(col_plan)
+
+    best = min(candidates, key=len)
+    return len(best), tuple(best)
+
+
+def _heuristic_cross_table(
+    panel_a: "Panel",
+    panel_b: "Panel",
+    present: Sequence[Sequence[int]],
+    totals: Sequence[Sequence[int]],
+) -> Dict[Tuple[Tuple[int, ...], ...], Tuple[int, SlotAssignment]]:
+    """Candidate coverage patterns (with realizations) for oversized panels.
+
+    Instead of every achievable 0/1 pattern, only a structured family is
+    considered: all-zero, all-one, and the per-block majority pattern.
+    Every candidate is valid (corrections repair any block exactly), so
+    losslessness is unaffected — only local optimality is relaxed, in the
+    same spirit as the paper's own locality restriction.
+    """
+    num_a, num_b = len(panel_a.parts), len(panel_b.parts)
+    zero = tuple(tuple(0 for _ in range(num_b)) for _ in range(num_a))
+    ones = tuple(tuple(1 for _ in range(num_b)) for _ in range(num_a))
+    majority = tuple(
+        tuple(
+            1 if totals[i][j] - present[i][j] < present[i][j] else 0
+            for j in range(num_b)
+        )
+        for i in range(num_a)
+    )
+    table: Dict[Tuple[Tuple[int, ...], ...], Tuple[int, SlotAssignment]] = {}
+    for pattern in (zero, ones, majority):
+        if pattern in table:
+            continue
+        table[pattern] = _realize_cross_pattern(pattern, panel_a, panel_b)
+    return table
+
+
+def _realize_intra_pattern(
+    targets: Sequence[int], num_blocks: int
+) -> Tuple[int, SlotAssignment]:
+    """A valid realization of one intra-panel 0/1 pattern (full blanket or per-block edges)."""
+    ones = [index for index in range(num_blocks) if targets[index] == 1]
+    zeros = [index for index in range(num_blocks) if targets[index] == 0]
+    cellwise = [(index + 1, 0, POSITIVE) for index in ones]
+    full = [(0, 0, POSITIVE)] + [(index + 1, 0, NEGATIVE) for index in zeros]
+    best = cellwise if len(cellwise) <= len(full) else full
+    return len(best), tuple(best)
+
+
+def _heuristic_intra_table(
+    blocks: Sequence[Tuple[int, int]],
+    present: Dict[Tuple[int, int], int],
+    totals: Dict[Tuple[int, int], int],
+) -> Dict[Tuple[int, ...], Tuple[int, SlotAssignment]]:
+    """Candidate intra-panel patterns for merged supernodes with many parts."""
+    num_blocks = len(blocks)
+    zero = tuple(0 for _ in range(num_blocks))
+    ones = tuple(1 for _ in range(num_blocks))
+    majority = tuple(
+        1 if totals[block] - present[block] < present[block] else 0 for block in blocks
+    )
+    table: Dict[Tuple[int, ...], Tuple[int, SlotAssignment]] = {}
+    for pattern in (zero, ones, majority):
+        if pattern in table:
+            continue
+        table[pattern] = _realize_intra_pattern(pattern, num_blocks)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Block statistics
+# ----------------------------------------------------------------------
+def count_edges_between(graph: Graph, hierarchy: Hierarchy, first: int, second: int) -> int:
+    """Number of subedges between the leaf sets of two disjoint supernodes."""
+    if hierarchy.size(first) > hierarchy.size(second):
+        first, second = second, first
+    count = 0
+    for subnode in hierarchy.leaf_subnodes(first):
+        for neighbor in graph.neighbor_set(subnode):
+            if hierarchy.contains_subnode(second, neighbor):
+                count += 1
+    return count
+
+
+def present_pairs_between(
+    graph: Graph, hierarchy: Hierarchy, first: int, second: int
+) -> List[Tuple[Subnode, Subnode]]:
+    """Actual subedges between the leaf sets of two disjoint supernodes."""
+    swapped = hierarchy.size(first) > hierarchy.size(second)
+    if swapped:
+        first, second = second, first
+    pairs: List[Tuple[Subnode, Subnode]] = []
+    for subnode in hierarchy.leaf_subnodes(first):
+        for neighbor in graph.neighbor_set(subnode):
+            if hierarchy.contains_subnode(second, neighbor):
+                pairs.append((neighbor, subnode) if swapped else (subnode, neighbor))
+    return pairs
+
+
+def missing_pairs_between(
+    graph: Graph, hierarchy: Hierarchy, first: int, second: int
+) -> List[Tuple[Subnode, Subnode]]:
+    """Non-adjacent subnode pairs between the leaf sets of two disjoint supernodes."""
+    pairs: List[Tuple[Subnode, Subnode]] = []
+    second_leaves = hierarchy.leaf_subnodes(second)
+    for u in hierarchy.leaf_subnodes(first):
+        neighbor_set = graph.neighbor_set(u)
+        for v in second_leaves:
+            if v not in neighbor_set:
+                pairs.append((u, v))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+def plan_cross_encoding(
+    graph: Graph,
+    hierarchy: Hierarchy,
+    panel_a: Panel,
+    panel_b: Panel,
+    *,
+    use_memo: bool = True,
+) -> EncodingPlan:
+    """Best local encoding of the subedges between two disjoint panels.
+
+    The returned plan exactly reproduces the adjacency between the leaf
+    sets of ``panel_a.top`` and ``panel_b.top`` when applied to a summary
+    from which all existing superedges between the two trees have been
+    removed.
+    """
+    present = [
+        [count_edges_between(graph, hierarchy, part_a, part_b) for part_b in panel_b.parts]
+        for part_a in panel_a.parts
+    ]
+    totals = [
+        [size_a * size_b for size_b in panel_b.sizes]
+        for size_a in panel_a.sizes
+    ]
+    coverage_a = tuple(panel_a.endpoint_coverage())
+    coverage_b = tuple(panel_b.endpoint_coverage())
+    num_slots = len(coverage_a) * len(coverage_b)
+    if num_slots > _MAX_EXACT_SLOTS:
+        # Too many blanket slots for the exhaustive search; fall back to the
+        # structured candidate family (valid but possibly sub-optimal).
+        table = _heuristic_cross_table(panel_a, panel_b, present, totals)
+    elif use_memo:
+        table = _pattern_table(coverage_a, coverage_b, len(panel_a.parts), len(panel_b.parts))
+    else:
+        table = _solve_pattern_table(coverage_a, coverage_b, len(panel_a.parts), len(panel_b.parts))
+
+    endpoints_a = panel_a.endpoints()
+    endpoints_b = panel_b.endpoints()
+    best_plan: Optional[EncodingPlan] = None
+    for targets, (slot_cost, assignment) in table.items():
+        cost = slot_cost
+        for row in range(len(panel_a.parts)):
+            for col in range(len(panel_b.parts)):
+                if targets[row][col] == 1:
+                    cost += totals[row][col] - present[row][col]
+                else:
+                    cost += present[row][col]
+        if best_plan is not None and cost >= best_plan.cost:
+            continue
+        positive_blocks = [
+            (row, col)
+            for row in range(len(panel_a.parts))
+            for col in range(len(panel_b.parts))
+            if targets[row][col] == 0 and present[row][col] > 0
+        ]
+        negative_blocks = [
+            (row, col)
+            for row in range(len(panel_a.parts))
+            for col in range(len(panel_b.parts))
+            if targets[row][col] == 1 and totals[row][col] > present[row][col]
+        ]
+        best_plan = EncodingPlan(
+            cost=cost,
+            superedges=[
+                (endpoints_a[endpoint_a], endpoints_b[endpoint_b], sign)
+                for endpoint_a, endpoint_b, sign in assignment
+            ],
+            positive_blocks=positive_blocks,
+            negative_blocks=negative_blocks,
+        )
+    if best_plan is None:
+        # The all-zero pattern is always in the table, so this cannot happen;
+        # kept as a defensive fallback for exotic panel shapes.
+        total_present = sum(sum(row) for row in present)
+        best_plan = EncodingPlan(
+            cost=total_present,
+            positive_blocks=[
+                (row, col)
+                for row in range(len(panel_a.parts))
+                for col in range(len(panel_b.parts))
+                if present[row][col] > 0
+            ],
+        )
+    return best_plan
+
+
+def apply_cross_plan(
+    plan: EncodingPlan,
+    graph: Graph,
+    hierarchy: Hierarchy,
+    panel_a: Panel,
+    panel_b: Panel,
+    add_superedge,
+) -> None:
+    """Materialize ``plan`` by calling ``add_superedge(x, y, sign)``.
+
+    Blanket edges come first, then the per-block leaf corrections.  The
+    caller is responsible for having removed every pre-existing superedge
+    between the two trees.
+    """
+    for x, y, sign in plan.superedges:
+        add_superedge(x, y, sign)
+    for row, col in plan.positive_blocks:
+        for u, v in present_pairs_between(graph, hierarchy, panel_a.parts[row], panel_b.parts[col]):
+            add_superedge(hierarchy.leaf_of(u), hierarchy.leaf_of(v), POSITIVE)
+    for row, col in plan.negative_blocks:
+        for u, v in missing_pairs_between(graph, hierarchy, panel_a.parts[row], panel_b.parts[col]):
+            add_superedge(hierarchy.leaf_of(u), hierarchy.leaf_of(v), NEGATIVE)
+
+
+# ----------------------------------------------------------------------
+# Intra-tree (within one merged supernode) encoding
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _intra_pattern_table(
+    num_parts: int,
+) -> Dict[Tuple[int, ...], Tuple[int, SlotAssignment]]:
+    """Optimal blanket assignments for intra-supernode coverage patterns.
+
+    The merged supernode ``M`` with parts ``p_0 .. p_{k-1}`` has blocks
+    for every unordered part pair (including the diagonal).  Endpoint 0
+    is the self-loop on ``M`` (covering every block); the remaining
+    endpoints are the part pairs themselves.  Targets are flattened in
+    the order produced by :func:`_intra_blocks`.
+    """
+    blocks = _intra_blocks(num_parts)
+    endpoints: List[Tuple[Tuple[int, int], ...]] = [tuple(blocks)]
+    endpoints.extend((block,) for block in blocks)
+    table: Dict[Tuple[int, ...], Tuple[int, SlotAssignment]] = {}
+    for values in itertools.product((NEGATIVE, 0, POSITIVE), repeat=len(endpoints)):
+        net = {block: 0 for block in blocks}
+        used: List[Tuple[int, int, int]] = []
+        for endpoint_index, sign in enumerate(values):
+            if sign == 0:
+                continue
+            used.append((endpoint_index, 0, sign))
+            for block in endpoints[endpoint_index]:
+                net[block] += sign
+        if any(value not in (0, 1) for value in net.values()):
+            continue
+        targets = tuple(net[block] for block in blocks)
+        cost = len(used)
+        existing = table.get(targets)
+        if existing is None or cost < existing[0]:
+            table[targets] = (cost, tuple(used))
+    return table
+
+
+def _intra_blocks(num_parts: int) -> List[Tuple[int, int]]:
+    """Unordered part pairs (diagonal included) in a fixed order."""
+    return [(i, j) for i in range(num_parts) for j in range(i, num_parts)]
+
+
+def count_edges_within(graph: Graph, hierarchy: Hierarchy, supernode: int) -> int:
+    """Number of subedges with both endpoints inside one supernode."""
+    members = hierarchy.leaf_subnodes(supernode)
+    member_set = set(members)
+    count = 0
+    for u in members:
+        for neighbor in graph.neighbor_set(u):
+            if neighbor in member_set:
+                count += 1
+    return count // 2
+
+
+def present_pairs_within(
+    graph: Graph, hierarchy: Hierarchy, supernode: int
+) -> List[Tuple[Subnode, Subnode]]:
+    """Subedges with both endpoints inside one supernode (each listed once)."""
+    members = hierarchy.leaf_subnodes(supernode)
+    member_set = set(members)
+    pairs: List[Tuple[Subnode, Subnode]] = []
+    seen: set = set()
+    for u in members:
+        for neighbor in graph.neighbor_set(u):
+            if neighbor in member_set:
+                key = (u, neighbor) if repr(u) <= repr(neighbor) else (neighbor, u)
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append(key)
+    return pairs
+
+
+def missing_pairs_within(
+    graph: Graph, hierarchy: Hierarchy, supernode: int
+) -> List[Tuple[Subnode, Subnode]]:
+    """Non-adjacent subnode pairs inside one supernode."""
+    members = hierarchy.leaf_subnodes(supernode)
+    pairs: List[Tuple[Subnode, Subnode]] = []
+    for i in range(len(members)):
+        neighbor_set = graph.neighbor_set(members[i])
+        for j in range(i + 1, len(members)):
+            if members[j] not in neighbor_set:
+                pairs.append((members[i], members[j]))
+    return pairs
+
+
+@dataclass
+class IntraEncodingPlan:
+    """Plan for re-encoding every subedge inside one merged supernode.
+
+    ``superedges`` reference the merged supernode (self-loop) and/or its
+    parts; ``positive_blocks``/``negative_blocks`` are part pairs
+    (diagonal included) whose present/missing subedges must be added as
+    leaf p/n-edges.
+    """
+
+    cost: int
+    superedges: List[Tuple[int, int, int]] = field(default_factory=list)
+    positive_blocks: List[Tuple[int, int]] = field(default_factory=list)
+    negative_blocks: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def plan_intra_encoding(
+    graph: Graph,
+    hierarchy: Hierarchy,
+    merged: int,
+    panel: Panel,
+    *,
+    use_memo: bool = True,
+) -> IntraEncodingPlan:
+    """Best wholesale re-encoding of the subedges inside ``merged``.
+
+    Unlike :func:`plan_cross_encoding`, this plan replaces the intra-tree
+    encodings of the parts as well — it is what turns a merged clique or
+    dense community into a single self-loop p-edge plus a few negative
+    corrections.
+    """
+    parts = panel.parts
+    blocks = _intra_blocks(len(parts))
+    present: Dict[Tuple[int, int], int] = {}
+    totals: Dict[Tuple[int, int], int] = {}
+    for i, j in blocks:
+        if i == j:
+            size = panel.sizes[i]
+            present[(i, j)] = count_edges_within(graph, hierarchy, parts[i])
+            totals[(i, j)] = size * (size - 1) // 2
+        else:
+            present[(i, j)] = count_edges_between(graph, hierarchy, parts[i], parts[j])
+            totals[(i, j)] = panel.sizes[i] * panel.sizes[j]
+
+    if 1 + len(blocks) > _MAX_EXACT_SLOTS:
+        # Merged supernodes with many direct children have too many block
+        # endpoints for the exhaustive table; use the candidate family.
+        table = _heuristic_intra_table(blocks, present, totals)
+    elif use_memo:
+        table = _intra_pattern_table(len(parts))
+    else:
+        table = _intra_pattern_table.__wrapped__(len(parts))
+
+    endpoints: List[Tuple[int, int]] = [(merged, merged)]
+    for i, j in blocks:
+        endpoints.append((parts[i], parts[j]))
+
+    best: Optional[IntraEncodingPlan] = None
+    for targets, (slot_cost, assignment) in table.items():
+        cost = slot_cost
+        for index, block in enumerate(blocks):
+            if targets[index] == 1:
+                cost += totals[block] - present[block]
+            else:
+                cost += present[block]
+        if best is not None and cost >= best.cost:
+            continue
+        positive_blocks = [
+            block for index, block in enumerate(blocks)
+            if targets[index] == 0 and present[block] > 0
+        ]
+        negative_blocks = [
+            block for index, block in enumerate(blocks)
+            if targets[index] == 1 and totals[block] > present[block]
+        ]
+        best = IntraEncodingPlan(
+            cost=cost,
+            superedges=[
+                (endpoints[endpoint_index][0], endpoints[endpoint_index][1], sign)
+                for endpoint_index, _unused, sign in assignment
+            ],
+            positive_blocks=positive_blocks,
+            negative_blocks=negative_blocks,
+        )
+    if best is None:
+        best = IntraEncodingPlan(cost=sum(present.values()),
+                                 positive_blocks=[b for b in blocks if present[b] > 0])
+    return best
+
+
+def apply_intra_plan(
+    plan: IntraEncodingPlan,
+    graph: Graph,
+    hierarchy: Hierarchy,
+    panel: Panel,
+    add_superedge,
+) -> None:
+    """Materialize an intra-supernode plan via ``add_superedge(x, y, sign)``."""
+    for x, y, sign in plan.superedges:
+        add_superedge(x, y, sign)
+    for i, j in plan.positive_blocks:
+        if i == j:
+            pairs = present_pairs_within(graph, hierarchy, panel.parts[i])
+        else:
+            pairs = present_pairs_between(graph, hierarchy, panel.parts[i], panel.parts[j])
+        for u, v in pairs:
+            add_superedge(hierarchy.leaf_of(u), hierarchy.leaf_of(v), POSITIVE)
+    for i, j in plan.negative_blocks:
+        if i == j:
+            pairs = missing_pairs_within(graph, hierarchy, panel.parts[i])
+        else:
+            pairs = missing_pairs_between(graph, hierarchy, panel.parts[i], panel.parts[j])
+        for u, v in pairs:
+            add_superedge(hierarchy.leaf_of(u), hierarchy.leaf_of(v), NEGATIVE)
+
+
+def memo_table_sizes() -> Dict[str, int]:
+    """Statistics of the memoized pattern tables (diagnostics/tests)."""
+    cross_info = _pattern_table.cache_info()
+    intra_info = _intra_pattern_table.cache_info()
+    return {
+        "cross_entries": cross_info.currsize,
+        "cross_hits": cross_info.hits,
+        "cross_misses": cross_info.misses,
+        "intra_entries": intra_info.currsize,
+        "intra_hits": intra_info.hits,
+        "intra_misses": intra_info.misses,
+    }

@@ -1,0 +1,127 @@
+"""The merging step of SLUGGER (Algorithm 2).
+
+Within each candidate root set, SLUGGER repeatedly picks a random root
+``A``, finds the partner ``B`` with the largest saving, and — if the
+saving clears the iteration's threshold θ(t) — merges the two trees and
+re-encodes the superedges they are involved in:
+
+* *Case 1*: the subedges between the two merged trees are re-encoded over
+  the panel ``{A, children(A)} × {B, children(B)}``.
+* *Case 2*: for every adjacent root tree ``C``, the subedges between the
+  merged tree and ``C`` are re-encoded over ``{A∪B, A, B} × {C,
+  children(C)}`` whenever that lowers the cost.
+
+Both cases use the memoized local encoder and therefore cost O(1) pattern
+search plus the work of counting/listing the affected subedges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.config import SluggerConfig
+from repro.core.encoder import (
+    Panel,
+    apply_cross_plan,
+    apply_intra_plan,
+    plan_cross_encoding,
+    plan_intra_encoding,
+)
+from repro.core.saving import best_partner
+from repro.core.state import SluggerState
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def merge_and_update(
+    state: SluggerState, root_a: int, root_b: int, config: SluggerConfig
+) -> int:
+    """Merge two root supernodes and locally re-encode the affected superedges.
+
+    Returns the id of the new root supernode.  Exactness is preserved:
+    every re-encoding removes all superedges between the affected trees
+    and replaces them with a plan that reproduces the same subedges.
+    """
+    graph = state.graph
+    hierarchy = state.summary.hierarchy
+    use_memo = config.use_memoized_encoder
+
+    # Case 1: re-encode the subedges between the two trees being merged,
+    # while they are still separate roots (the panel endpoints are the two
+    # roots and their direct children; the new root is not needed because
+    # a blanket on it would also disturb the intra-tree encodings).
+    cross_current = state.pn_cost_between(root_a, root_b)
+    if cross_current > 0:
+        panel_a = Panel(hierarchy, root_a)
+        panel_b = Panel(hierarchy, root_b)
+        plan = plan_cross_encoding(graph, hierarchy, panel_a, panel_b, use_memo=use_memo)
+        if plan.cost < cross_current:
+            state.remove_all_between(root_a, root_b)
+            apply_cross_plan(
+                plan, graph, hierarchy, panel_a, panel_b,
+                lambda x, y, sign: state.add_superedge(root_a, root_b, x, y, sign),
+            )
+
+    merged = state.merge_roots(root_a, root_b)
+
+    # Case 1 (continued): consider re-encoding the whole inside of the
+    # merged tree at once — a self-loop p-edge on the new root plus a few
+    # corrections is what collapses cliques and dense communities.
+    intra_current = state.pn_cost_between(merged, merged)
+    if intra_current > 1:
+        panel_merged = Panel(hierarchy, merged)
+        intra_plan = plan_intra_encoding(
+            graph, hierarchy, merged, panel_merged, use_memo=use_memo
+        )
+        if intra_plan.cost < intra_current:
+            state.remove_all_between(merged, merged)
+            apply_intra_plan(
+                intra_plan, graph, hierarchy, panel_merged,
+                lambda x, y, sign: state.add_superedge(merged, merged, x, y, sign),
+            )
+
+    # Case 2: the new root can now act as a blanket endpoint towards every
+    # adjacent root tree; re-encode those pairs when it helps.
+    panel_merged = Panel(hierarchy, merged)
+    for other in list(state.pn_count[merged]):
+        if other == merged:
+            continue
+        current = state.pn_count[merged][other]
+        if current < 2:
+            # A pair already encoded with a single superedge cannot improve.
+            continue
+        panel_other = Panel(hierarchy, other)
+        plan = plan_cross_encoding(graph, hierarchy, panel_merged, panel_other, use_memo=use_memo)
+        if plan.cost < current:
+            state.remove_all_between(merged, other)
+            apply_cross_plan(
+                plan, graph, hierarchy, panel_merged, panel_other,
+                lambda x, y, sign: state.add_superedge(merged, other, x, y, sign),
+            )
+    return merged
+
+
+def process_candidate_set(
+    state: SluggerState,
+    candidate_set: Iterable[int],
+    threshold: float,
+    config: SluggerConfig,
+    seed: SeedLike = None,
+) -> int:
+    """Run Algorithm 2 on one candidate root set; returns the number of merges."""
+    rng = ensure_rng(seed)
+    queue: List[int] = [root for root in candidate_set if root in state.roots]
+    merges = 0
+    while len(queue) > 1:
+        index = rng.randrange(len(queue))
+        root_a = queue[index]
+        queue[index] = queue[-1]
+        queue.pop()
+        value, root_b = best_partner(
+            state, root_a, queue, height_bound=config.height_bound
+        )
+        if root_b < 0 or value < threshold:
+            continue
+        merged = merge_and_update(state, root_a, root_b, config)
+        queue[queue.index(root_b)] = merged
+        merges += 1
+    return merges

@@ -1,0 +1,134 @@
+"""The saving objective used to rank candidate merges (Eq. 8).
+
+``Saving(A, B)`` compares the encoding cost attributable to the root
+supernodes ``A`` and ``B`` before their merger with the cost of the
+merged supernode afterwards.  Computing the post-merge cost exactly would
+require running the local re-encoding for every candidate pair, so —
+in the same spirit as the paper's approximations — the estimate below
+prices every affected root pair with the best *single-superedge* encoding
+(keep the current encoding, list subedges individually, or use one
+blanket p-edge plus corrections), which can be read off the per-root
+counters in O(degree) time.  The exact local search is then run only for
+pairs that are actually merged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.state import SluggerState
+
+
+def pair_cost_estimate(subedges: int, possible: int, current: int) -> int:
+    """Cheapest single-superedge encoding of one root-tree pair.
+
+    ``subedges`` is the number of input-graph edges between the trees,
+    ``possible`` the number of potential edges, and ``current`` the number
+    of p/n-edges spent on the pair right now (0 means "no encoding needed
+    yet", which only happens when there are no subedges either).
+    """
+    if subedges <= 0:
+        return 0
+    best = min(subedges, 1 + (possible - subedges))
+    if current > 0:
+        best = min(best, current)
+    return best
+
+
+def estimate_merged_cost(state: SluggerState, root_a: int, root_b: int) -> int:
+    """Estimated Cost_{A∪B} after merging two root supernodes (numerator of Eq. 8)."""
+    hierarchy = state.summary.hierarchy
+    size_a = hierarchy.size(root_a)
+    size_b = hierarchy.size(root_b)
+
+    # Hierarchy edges: both old trees plus two new h-edges to the new root.
+    cost = state.tree_h[root_a] + state.tree_h[root_b] + 2
+
+    # Everything inside the merged tree: either keep the existing intra
+    # encodings and (re-)encode only the cross part, or re-encode the whole
+    # inside with a self-loop p-edge plus corrections (the clique case).
+    cross_subedges = state.subedges_between(root_a, root_b)
+    cross_current = state.pn_cost_between(root_a, root_b)
+    keep_intra = (
+        state.pn_cost_between(root_a, root_a)
+        + state.pn_cost_between(root_b, root_b)
+        + pair_cost_estimate(cross_subedges, size_a * size_b, cross_current)
+    )
+    intra_subedges = (
+        state.subedges_between(root_a, root_a)
+        + state.subedges_between(root_b, root_b)
+        + cross_subedges
+    )
+    merged_pairs = (size_a + size_b) * (size_a + size_b - 1) // 2
+    if intra_subedges > 0:
+        self_loop = 1 + (merged_pairs - intra_subedges)
+        cost += min(keep_intra, self_loop)
+    else:
+        cost += keep_intra
+
+    # Edges towards every other adjacent root tree C.
+    neighbors = state.neighbor_roots(root_a) | state.neighbor_roots(root_b)
+    neighbors.discard(root_a)
+    neighbors.discard(root_b)
+    merged_size = size_a + size_b
+    for other in neighbors:
+        subedges = (
+            state.root_adj[root_a].get(other, 0) + state.root_adj[root_b].get(other, 0)
+        )
+        current = (
+            state.pn_count[root_a].get(other, 0) + state.pn_count[root_b].get(other, 0)
+        )
+        possible = merged_size * hierarchy.size(other)
+        cost += pair_cost_estimate(subedges, possible, current)
+    return cost
+
+
+def saving(state: SluggerState, root_a: int, root_b: int) -> float:
+    """Saving(A, B, G) of Eq. 8; larger is better, values ≤ 0 mean "do not merge"."""
+    denominator = (
+        state.cost_of(root_a) + state.cost_of(root_b) - state.pn_cost_between(root_a, root_b)
+    )
+    if denominator <= 0:
+        return float("-inf")
+    return 1.0 - estimate_merged_cost(state, root_a, root_b) / denominator
+
+
+def two_hop_roots(state: SluggerState, root: int) -> set:
+    """Root trees within distance 2 of ``root``'s tree in the input graph.
+
+    Lemma 1 shows that merging root trees at distance 3 or more always
+    increases the encoding cost, so partner search can be restricted to
+    this set without affecting the result.
+    """
+    direct = set(state.root_adj[root])
+    reachable = set(direct)
+    for neighbor in direct:
+        reachable.update(state.root_adj[neighbor])
+    reachable.discard(root)
+    return reachable
+
+
+def best_partner(
+    state: SluggerState, root: int, candidates, height_bound=None
+) -> Tuple[float, int]:
+    """The candidate with the largest saving when merged with ``root``.
+
+    Returns ``(saving, partner)``; ``partner`` is ``-1`` when no candidate
+    is admissible (e.g. all would exceed the height bound).  Candidates at
+    distance 3 or more are skipped (Lemma 1).
+    """
+    admissible = two_hop_roots(state, root)
+    best_value = float("-inf")
+    best_root = -1
+    for other in candidates:
+        if other == root or other not in admissible:
+            continue
+        if height_bound is not None:
+            new_height = 1 + max(state.tree_height[root], state.tree_height[other])
+            if new_height > height_bound:
+                continue
+        value = saving(state, root, other)
+        if value > best_value:
+            best_value = value
+            best_root = other
+    return best_value, best_root

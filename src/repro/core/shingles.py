@@ -1,0 +1,73 @@
+"""Min-hash shingle values over subnodes and root supernodes.
+
+Candidate generation (Sect. III-B2) groups root supernodes whose subnodes
+have overlapping neighborhoods, which is exactly what a min-hash shingle
+detects: two nodes with similar neighbor sets have a high probability of
+sharing the minimum hash value over their (closed) neighborhoods.  The
+scheme follows SWeG: the shingle of a subnode is the minimum hash over
+the node and its neighbors, and the shingle of a root supernode is the
+minimum shingle over its subnodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable
+
+from repro.graphs.graph import Graph
+from repro.model.hierarchy import Hierarchy
+from repro.utils.rng import SeedLike, ensure_rng
+
+Subnode = Hashable
+
+# A large Mersenne prime keeps the 2-universal hash family well spread
+# while staying inside native integer arithmetic.
+_PRIME = (1 << 61) - 1
+
+
+def make_hash_function(seed: SeedLike = None) -> Callable[[Subnode], int]:
+    """A 2-universal hash function ``h(x) = (a * x + b) mod p`` over subnodes.
+
+    Non-integer subnodes are first mapped through Python's ``hash``;
+    the affine map is what provides the per-round independence needed by
+    min-hashing.
+    """
+    rng = ensure_rng(seed)
+    a = rng.randrange(1, _PRIME)
+    b = rng.randrange(_PRIME)
+
+    def hash_function(value: Subnode) -> int:
+        base = value if isinstance(value, int) else hash(value)
+        return (a * (base & ((1 << 61) - 1)) + b) % _PRIME
+
+    return hash_function
+
+
+def subnode_shingles(graph: Graph, hash_function: Callable[[Subnode], int]) -> Dict[Subnode, int]:
+    """Shingle value of every subnode: min hash over its closed neighborhood."""
+    shingles: Dict[Subnode, int] = {}
+    for node in graph.nodes():
+        best = hash_function(node)
+        for neighbor in graph.neighbor_set(node):
+            value = hash_function(neighbor)
+            if value < best:
+                best = value
+        shingles[node] = best
+    return shingles
+
+
+def root_shingles(
+    roots: Iterable[int],
+    hierarchy: Hierarchy,
+    node_shingles: Dict[Subnode, int],
+) -> Dict[int, int]:
+    """Shingle value of each root supernode: min over its subnodes' shingles."""
+    result: Dict[int, int] = {}
+    for root in roots:
+        best = None
+        for subnode in hierarchy.leaf_subnodes(root):
+            value = node_shingles[subnode]
+            if best is None or value < best:
+                best = value
+        # A root always contains at least one subnode, so ``best`` is set.
+        result[root] = best if best is not None else 0
+    return result

@@ -1,0 +1,244 @@
+"""Mutable summarization state maintained while SLUGGER runs.
+
+Besides the summary under construction, the state keeps per-root
+bookkeeping that the merging step relies on:
+
+* ``root_adj``  — for every pair of root trees, the number of subedges of
+  the input graph between their leaf sets (the superneighbor counts that
+  make saving evaluation O(degree) instead of O(|E|));
+* ``pn_count`` — for every pair of root trees, the number of p/n-edges of
+  the current encoding between them (``Cost^P_{A,B}`` of Eq. 4);
+* ``pn_edges`` — the actual superedges between every pair of root trees,
+  so a local re-encoding can remove them without scanning the summary;
+* ``tree_h`` / ``tree_height`` — per-root hierarchy-edge counts
+  (``Cost^H_A`` of Eq. 3) and tree heights (for the ``H_b`` variant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.exceptions import SummaryInvariantError
+from repro.graphs.graph import Graph
+from repro.model.summary import HierarchicalSummary
+
+Subnode = Hashable
+RootPair = Tuple[int, int]
+
+
+def _pair(a: int, b: int) -> RootPair:
+    return (a, b) if a <= b else (b, a)
+
+
+class SluggerState:
+    """All mutable data SLUGGER needs while merging root supernodes."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.summary = HierarchicalSummary.from_graph(graph)
+        hierarchy = self.summary.hierarchy
+
+        self.roots: Set[int] = set(hierarchy.roots())
+        self.root_adj: Dict[int, Dict[int, int]] = {root: {} for root in self.roots}
+        self.pn_count: Dict[int, Dict[int, int]] = {root: {} for root in self.roots}
+        self.pn_edges: Dict[RootPair, Set[Tuple[int, int, int]]] = {}
+        self.tree_h: Dict[int, int] = {root: 0 for root in self.roots}
+        self.tree_height: Dict[int, int] = {root: 0 for root in self.roots}
+
+        for u, v in graph.edges():
+            leaf_u = hierarchy.leaf_of(u)
+            leaf_v = hierarchy.leaf_of(v)
+            self._bump_adj(leaf_u, leaf_v, 1)
+            self._register_superedge(leaf_u, leaf_v, leaf_u, leaf_v, 1, delta=1)
+
+    # ------------------------------------------------------------------
+    # Internal index maintenance
+    # ------------------------------------------------------------------
+    def _bump_adj(self, root_a: int, root_b: int, delta: int) -> None:
+        self.root_adj[root_a][root_b] = self.root_adj[root_a].get(root_b, 0) + delta
+        if root_a != root_b:
+            self.root_adj[root_b][root_a] = self.root_adj[root_b].get(root_a, 0) + delta
+
+    def _bump_pn(self, root_a: int, root_b: int, delta: int) -> None:
+        counts_a = self.pn_count[root_a]
+        counts_a[root_b] = counts_a.get(root_b, 0) + delta
+        if counts_a[root_b] == 0:
+            del counts_a[root_b]
+        if root_a != root_b:
+            counts_b = self.pn_count[root_b]
+            counts_b[root_a] = counts_b.get(root_a, 0) + delta
+            if counts_b[root_a] == 0:
+                del counts_b[root_a]
+
+    def _register_superedge(
+        self, root_a: int, root_b: int, x: int, y: int, sign: int, delta: int
+    ) -> None:
+        pair = _pair(root_a, root_b)
+        record = (x, y, sign) if x <= y else (y, x, sign)
+        bucket = self.pn_edges.setdefault(pair, set())
+        if delta > 0:
+            bucket.add(record)
+        else:
+            bucket.discard(record)
+            if not bucket:
+                del self.pn_edges[pair]
+        self._bump_pn(root_a, root_b, delta)
+
+    # ------------------------------------------------------------------
+    # Superedge mutation (roots supplied by the caller to avoid tree walks)
+    # ------------------------------------------------------------------
+    def add_superedge(self, root_a: int, root_b: int, x: int, y: int, sign: int) -> None:
+        """Add the superedge ``{x, y}`` (with ``sign``) between the given root trees."""
+        self.summary.add_edge(x, y, sign)
+        self._register_superedge(root_a, root_b, x, y, sign, delta=1)
+
+    def remove_superedge(self, root_a: int, root_b: int, x: int, y: int, sign: int) -> None:
+        """Remove the superedge ``{x, y}`` (with ``sign``) between the given root trees."""
+        if not self.summary.remove_edge(x, y, sign):
+            raise SummaryInvariantError(f"superedge ({x}, {y}, {sign}) is not in the summary")
+        self._register_superedge(root_a, root_b, x, y, sign, delta=-1)
+
+    def remove_all_between(self, root_a: int, root_b: int) -> int:
+        """Remove every superedge between two root trees; returns how many were removed."""
+        pair = _pair(root_a, root_b)
+        records = list(self.pn_edges.get(pair, ()))
+        for x, y, sign in records:
+            self.remove_superedge(root_a, root_b, x, y, sign)
+        return len(records)
+
+    # ------------------------------------------------------------------
+    # Cost accessors (Eqs. 3-6)
+    # ------------------------------------------------------------------
+    def subedges_between(self, root_a: int, root_b: int) -> int:
+        """Number of input-graph subedges between two root trees (or within one)."""
+        return self.root_adj[root_a].get(root_b, 0)
+
+    def pn_cost_between(self, root_a: int, root_b: int) -> int:
+        """Cost^P_{A,B}: p/n-edges currently encoding the pair of root trees."""
+        return self.pn_count[root_a].get(root_b, 0)
+
+    def pn_cost_of(self, root: int) -> int:
+        """Cost^P_A: p/n-edges incident to any supernode of the root's tree."""
+        return sum(self.pn_count[root].values())
+
+    def cost_of(self, root: int) -> int:
+        """Cost_A = Cost^H_A + Cost^P_A (Eq. 6)."""
+        return self.tree_h[root] + self.pn_cost_of(root)
+
+    def neighbor_roots(self, root: int) -> Set[int]:
+        """Roots whose trees share a subedge or a superedge with ``root``'s tree."""
+        neighbors = set(self.root_adj[root]) | set(self.pn_count[root])
+        neighbors.discard(root)
+        return neighbors
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge_roots(self, root_a: int, root_b: int) -> int:
+        """Create a new root supernode containing ``root_a`` and ``root_b``.
+
+        All per-root indices are re-keyed onto the new root.  The
+        superedges themselves are not touched — re-encoding them is the
+        merging step's job.
+        """
+        if root_a == root_b:
+            raise SummaryInvariantError("cannot merge a root with itself")
+        if root_a not in self.roots or root_b not in self.roots:
+            raise SummaryInvariantError("both supernodes must be current roots to merge")
+        hierarchy = self.summary.hierarchy
+        merged = hierarchy.create_parent([root_a, root_b])
+
+        self.roots.discard(root_a)
+        self.roots.discard(root_b)
+        self.roots.add(merged)
+
+        self.tree_h[merged] = self.tree_h.pop(root_a) + self.tree_h.pop(root_b) + 2
+        self.tree_height[merged] = 1 + max(
+            self.tree_height.pop(root_a), self.tree_height.pop(root_b)
+        )
+
+        self.root_adj[merged] = self._merge_counter_maps(self.root_adj, root_a, root_b, merged)
+        self.pn_count[merged] = self._merge_counter_maps(self.pn_count, root_a, root_b, merged)
+        self._rekey_pn_edges(root_a, root_b, merged)
+        return merged
+
+    def _merge_counter_maps(
+        self, table: Dict[int, Dict[int, int]], root_a: int, root_b: int, merged: int
+    ) -> Dict[int, int]:
+        """Combine the per-root counter maps of two roots into the merged root."""
+        map_a = table.pop(root_a)
+        map_b = table.pop(root_b)
+        combined: Dict[int, int] = {}
+        intra = map_a.pop(root_a, 0) + map_b.pop(root_b, 0)
+        intra += map_a.pop(root_b, 0)
+        map_b.pop(root_a, 0)
+        if intra:
+            combined[merged] = intra
+        for source in (map_a, map_b):
+            for other, value in source.items():
+                combined[other] = combined.get(other, 0) + value
+        for other in combined:
+            if other == merged:
+                continue
+            other_map = table[other]
+            other_map.pop(root_a, None)
+            other_map.pop(root_b, None)
+            other_map[merged] = combined[other]
+        return combined
+
+    def _rekey_pn_edges(self, root_a: int, root_b: int, merged: int) -> None:
+        """Move superedge buckets keyed by the old roots onto the merged root."""
+        affected: List[RootPair] = [
+            pair for pair in self.pn_edges if root_a in pair or root_b in pair
+        ]
+        for pair in affected:
+            records = self.pn_edges.pop(pair)
+            first, second = pair
+            new_first = merged if first in (root_a, root_b) else first
+            new_second = merged if second in (root_a, root_b) else second
+            new_pair = _pair(new_first, new_second)
+            self.pn_edges.setdefault(new_pair, set()).update(records)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def total_cost(self) -> int:
+        """Encoding cost of the current summary (Eq. 1)."""
+        return self.summary.cost()
+
+    def check_consistency(self) -> None:
+        """Verify the internal indices against the summary (used by tests).
+
+        Raises :class:`SummaryInvariantError` when a counter drifts from
+        the ground truth; this is O(|summary|) and meant for small graphs.
+        """
+        hierarchy = self.summary.hierarchy
+        expected_pn: Dict[RootPair, int] = {}
+        for edges, sign in ((self.summary.p_edges(), 1), (self.summary.n_edges(), -1)):
+            for x, y in edges:
+                pair = _pair(hierarchy.root_of(x), hierarchy.root_of(y))
+                expected_pn[pair] = expected_pn.get(pair, 0) + 1
+        for pair, count in expected_pn.items():
+            stored = self.pn_count[pair[0]].get(pair[1], 0)
+            if stored != count:
+                raise SummaryInvariantError(
+                    f"pn_count for root pair {pair} is {stored}, expected {count}"
+                )
+        for root_a, counters in self.pn_count.items():
+            for root_b, stored in counters.items():
+                if expected_pn.get(_pair(root_a, root_b), 0) != stored:
+                    raise SummaryInvariantError(
+                        f"stale pn_count entry for root pair ({root_a}, {root_b})"
+                    )
+        expected_adj: Dict[RootPair, int] = {}
+        for u, v in self.graph.edges():
+            pair = _pair(
+                hierarchy.root_of(hierarchy.leaf_of(u)), hierarchy.root_of(hierarchy.leaf_of(v))
+            )
+            expected_adj[pair] = expected_adj.get(pair, 0) + 1
+        for pair, count in expected_adj.items():
+            stored = self.root_adj[pair[0]].get(pair[1], 0)
+            if stored != count:
+                raise SummaryInvariantError(
+                    f"root_adj for root pair {pair} is {stored}, expected {count}"
+                )

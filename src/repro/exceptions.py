@@ -1,0 +1,57 @@
+"""Exception types shared across the :mod:`repro` package.
+
+Keeping a small, explicit exception hierarchy lets callers distinguish
+user errors (bad arguments, malformed files) from internal invariant
+violations (a summary that no longer represents its input graph).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an edge-list file or graph description cannot be parsed."""
+
+
+class InvalidGraphError(ReproError):
+    """Raised when a graph violates the simple-undirected-graph contract."""
+
+
+class SummaryInvariantError(ReproError):
+    """Raised when a summary fails to represent its input graph exactly.
+
+    Lossless summarization is the core contract of this library; any
+    operation that would silently break it raises this error instead.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm is configured with invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset is unknown or cannot be generated."""
+
+
+class CompressionError(ReproError):
+    """Raised when a bit stream or compressed payload is malformed.
+
+    The :mod:`repro.compression` codecs raise this instead of silently
+    producing a wrong graph, keeping the lossless contract end to end.
+    """
+
+
+class StreamError(ReproError):
+    """Raised when a dynamic-graph event stream is inconsistent.
+
+    Examples include deleting an edge that is not present or inserting a
+    self-loop, both of which would leave the maintained graph and the
+    maintained summary out of sync.
+    """
+
+
+class LossyBoundError(ReproError):
+    """Raised when a lossy summarization request violates its error bound."""

@@ -1,0 +1,57 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment function returns plain records (lists of dictionaries)
+that the benchmark modules print in the same layout as the paper's
+artifact.  The mapping between experiments and paper artifacts is listed
+in DESIGN.md (per-experiment index) and the measured-vs-paper comparison
+lives in EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import ExperimentRecord, run_repeated, sweep
+from repro.experiments.figures import (
+    compactness_experiment,
+    composition_experiment,
+    decompression_experiment,
+    headline_experiment,
+    runtime_experiment,
+    scalability_experiment,
+    summary_algorithm_experiment,
+    theorem1_experiment,
+)
+from repro.experiments.tables import (
+    height_sweep,
+    iteration_sweep,
+    pruning_ablation,
+)
+from repro.experiments.extensions import (
+    compression_pipeline_experiment,
+    cost_breakdown_experiment,
+    lossy_tradeoff_experiment,
+    ordering_ablation_experiment,
+    streaming_experiment,
+)
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = [
+    "compression_pipeline_experiment",
+    "cost_breakdown_experiment",
+    "lossy_tradeoff_experiment",
+    "ordering_ablation_experiment",
+    "streaming_experiment",
+    "ExperimentRecord",
+    "run_repeated",
+    "sweep",
+    "compactness_experiment",
+    "composition_experiment",
+    "decompression_experiment",
+    "headline_experiment",
+    "runtime_experiment",
+    "scalability_experiment",
+    "summary_algorithm_experiment",
+    "theorem1_experiment",
+    "height_sweep",
+    "iteration_sweep",
+    "pruning_ablation",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,156 @@
+"""Extension experiments beyond the paper's tables and figures.
+
+These experiments exercise the parts of the system the paper motivates
+but does not evaluate directly:
+
+* :func:`compression_pipeline_experiment` — the Sect. I claim that
+  summarization composes with downstream graph compression: bits per
+  edge of raw-graph gap compression versus summarize-then-compress.
+* :func:`ordering_ablation_experiment` — effect of the node-relabeling
+  scheme (references [9]-[11]) on the downstream compressor.
+* :func:`lossy_tradeoff_experiment` — the size/error trade-off of the
+  lossy summarization variant discussed in Sect. V.
+* :func:`streaming_experiment` — online summary quality over a fully
+  dynamic edge stream (the MoSSo setting) on the same dataset analogues.
+* :func:`cost_breakdown_experiment` — the per-root decomposition of
+  Eq. 2, complementing the edge-type composition of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.cost_breakdown import cost_decomposition
+from repro.compression.adjacency import encode_adjacency
+from repro.compression.ordering import compute_ordering, ordering_locality
+from repro.compression.pipeline import compression_report as pipeline_report
+from repro.core import Slugger, SluggerConfig
+from repro.experiments.runner import ExperimentRecord
+from repro.graphs.datasets import load_dataset
+from repro.lossy.bounded import lossy_sweg_summarize
+from repro.streaming.online import replay_stream
+from repro.streaming.stream import fully_dynamic_stream, insertion_stream
+
+
+def compression_pipeline_experiment(
+    datasets: Sequence[str],
+    iterations: int = 10,
+    seed: int = 0,
+    code: str = "gamma",
+    ordering: str = "bfs",
+) -> List[ExperimentRecord]:
+    """Bits per edge: gap-compressed raw graph versus summarize-then-compress."""
+    records: List[ExperimentRecord] = []
+    for key in datasets:
+        graph = load_dataset(key, seed=seed)
+        summary = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph).summary
+        report = pipeline_report(graph, summary, code=code, ordering=ordering, seed=seed)
+        records.append(ExperimentRecord(
+            label=f"{key}/{code}/{ordering}",
+            parameters={"dataset": key, "code": code, "ordering": ordering},
+            values={
+                "raw_bits_per_edge": report["raw_bits_per_edge"],
+                "summary_bits_per_edge": report["summary_bits_per_edge"],
+                "pipeline_ratio": report["pipeline_ratio"],
+                "relative_size": summary.relative_size(graph),
+            },
+        ))
+    return records
+
+
+def ordering_ablation_experiment(
+    dataset: str = "CN",
+    orderings: Sequence[str] = ("natural", "degree", "bfs", "shingle"),
+    code: str = "gamma",
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Effect of the node-relabeling scheme on the raw-graph gap compressor."""
+    graph = load_dataset(dataset, seed=seed)
+    records: List[ExperimentRecord] = []
+    for scheme in orderings:
+        node_order = compute_ordering(graph, scheme, seed=seed)
+        compressed = encode_adjacency(
+            graph, code=code, ordering=scheme, seed=seed, precomputed_ordering=node_order
+        )
+        records.append(ExperimentRecord(
+            label=f"{dataset}/{scheme}",
+            parameters={"dataset": dataset, "ordering": scheme, "code": code},
+            values={
+                "bits_per_edge": compressed.bits_per_edge(),
+                "locality": ordering_locality(graph, node_order),
+            },
+        ))
+    return records
+
+
+def lossy_tradeoff_experiment(
+    datasets: Sequence[str],
+    epsilons: Sequence[float] = (0.0, 0.1, 0.25, 0.5),
+    iterations: int = 10,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Relative size and measured error of lossy SWeG as the error bound ε grows."""
+    records: List[ExperimentRecord] = []
+    for key in datasets:
+        graph = load_dataset(key, seed=seed)
+        for epsilon in epsilons:
+            result = lossy_sweg_summarize(
+                graph, epsilon=epsilon, iterations=iterations, seed=seed
+            )
+            records.append(ExperimentRecord(
+                label=f"{key}/eps={epsilon}",
+                parameters={"dataset": key, "epsilon": epsilon},
+                values={
+                    "relative_size": result.relative_size,
+                    "max_relative_error": result.measured_error,
+                    "dropped_corrections": float(result.dropped_corrections),
+                },
+            ))
+    return records
+
+
+def streaming_experiment(
+    dataset: str = "FA",
+    deletion_ratio: float = 0.2,
+    checkpoints: int = 8,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Online (MoSSo) summary quality over insertion-only and fully dynamic streams."""
+    graph = load_dataset(dataset, seed=seed)
+    streams = {
+        "insertion_only": insertion_stream(graph, seed=seed),
+        "fully_dynamic": fully_dynamic_stream(graph, deletion_ratio=deletion_ratio, seed=seed),
+    }
+    records: List[ExperimentRecord] = []
+    for name, events in streams.items():
+        result = replay_stream(events, checkpoints=checkpoints, validate=False)
+        result.final_summary.validate(result.final_graph)
+        for point in result.checkpoints:
+            records.append(ExperimentRecord(
+                label=f"{dataset}/{name}/t={point.time}",
+                parameters={"dataset": dataset, "stream": name, "time": point.time},
+                values={
+                    "num_edges": float(point.num_edges),
+                    "relative_size": point.relative_size,
+                },
+            ))
+    return records
+
+
+def cost_breakdown_experiment(
+    datasets: Sequence[str],
+    iterations: int = 10,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Per-root decomposition of the encoding cost (Eq. 2) of SLUGGER outputs."""
+    records: List[ExperimentRecord] = []
+    for key in datasets:
+        graph = load_dataset(key, seed=seed)
+        summary = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph).summary
+        decomposition = cost_decomposition(summary)
+        records.append(ExperimentRecord(
+            label=key,
+            parameters={"dataset": key},
+            values=decomposition,
+        ))
+    return records

@@ -1,0 +1,299 @@
+"""Experiments behind the paper's figures (Fig. 1, Fig. 5, Fig. 6, appendix).
+
+Every function is pure computation returning :class:`ExperimentRecord`
+lists; the benchmark modules choose the dataset subsets and parameter
+scales (small by default so the whole suite runs in minutes in pure
+Python) and print the results next to the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms import bfs_order, count_triangles, dijkstra_distances, pagerank
+from repro.analysis.comparison import compare_methods, default_methods
+from repro.analysis.metrics import compression_report, edge_composition
+from repro.baselines import sweg_summarize
+from repro.core import Slugger, SluggerConfig
+from repro.experiments.runner import ExperimentRecord
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import theorem1_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import scalability_series
+from repro.model.flat import FlatSummary
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import linear_fit, pearson_correlation
+
+
+# ----------------------------------------------------------------------
+# Fig. 1(a) and Fig. 5(a)/(b): method comparison
+# ----------------------------------------------------------------------
+def headline_experiment(
+    dataset: str = "PR", iterations: int = 10, seed: int = 0
+) -> List[ExperimentRecord]:
+    """Fig. 1(a): relative output size of the five methods on the PR dataset."""
+    return compactness_experiment([dataset], iterations=iterations, seed=seed)
+
+
+def compactness_experiment(
+    datasets: Sequence[str],
+    iterations: int = 10,
+    seed: int = 0,
+    validate: bool = True,
+) -> List[ExperimentRecord]:
+    """Fig. 5(a): relative output size of every method on every dataset."""
+    records: List[ExperimentRecord] = []
+    methods = default_methods(iterations=iterations)
+    for key in datasets:
+        graph = load_dataset(key, seed=seed)
+        results = compare_methods(graph, methods=methods, seed=seed, validate=validate)
+        for result in results:
+            records.append(ExperimentRecord(
+                label=f"{key}/{result.method}",
+                parameters={"dataset": key, "method": result.method},
+                values={
+                    "relative_size": result.relative_size,
+                    "runtime_seconds": result.runtime_seconds,
+                    "cost": result.report["cost"],
+                    "num_edges": result.report["num_edges"],
+                },
+            ))
+    return records
+
+
+def runtime_experiment(
+    datasets: Sequence[str],
+    iterations: int = 10,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Fig. 5(b): running time of every method, with speed-ups relative to SLUGGER."""
+    records = compactness_experiment(datasets, iterations=iterations, seed=seed, validate=False)
+    slugger_times: Dict[str, float] = {
+        record.parameters["dataset"]: record.values["runtime_seconds"]
+        for record in records
+        if record.parameters["method"] == "slugger"
+    }
+    for record in records:
+        dataset = record.parameters["dataset"]
+        baseline = record.values["runtime_seconds"]
+        if baseline > 0:
+            record.values["speedup_vs_slugger"] = slugger_times[dataset] / baseline
+    return records
+
+
+# ----------------------------------------------------------------------
+# Fig. 1(b): scalability
+# ----------------------------------------------------------------------
+def scalability_experiment(
+    dataset: str = "U5",
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    iterations: int = 5,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Fig. 1(b): SLUGGER runtime versus |E| on node-sampled subgraphs.
+
+    The last record carries the least-squares slope and R² of runtime as a
+    function of |E|; a high R² is the textual counterpart of the "linear
+    scalability" claim.
+    """
+    graph = load_dataset(dataset, seed=seed)
+    subgraphs = scalability_series(graph, fractions, seed=seed)
+    records: List[ExperimentRecord] = []
+    edge_counts: List[float] = []
+    runtimes: List[float] = []
+    for fraction, subgraph in zip(fractions, subgraphs):
+        if subgraph.num_edges == 0:
+            continue
+        config = SluggerConfig(iterations=iterations, seed=seed)
+        result = Slugger(config).summarize(subgraph)
+        edge_counts.append(float(subgraph.num_edges))
+        runtimes.append(result.runtime_seconds)
+        records.append(ExperimentRecord(
+            label=f"fraction={fraction}",
+            parameters={"dataset": dataset, "fraction": fraction},
+            values={
+                "num_edges": float(subgraph.num_edges),
+                "runtime_seconds": result.runtime_seconds,
+                "relative_size": result.relative_size(subgraph),
+            },
+        ))
+    if len(edge_counts) >= 2:
+        slope, intercept, r_squared = linear_fit(edge_counts, runtimes)
+        records.append(ExperimentRecord(
+            label="linear-fit",
+            parameters={"dataset": dataset},
+            values={"slope": slope, "intercept": intercept, "r_squared": r_squared},
+        ))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: composition of outputs
+# ----------------------------------------------------------------------
+def composition_experiment(
+    datasets: Sequence[str],
+    iterations: int = 10,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Fig. 6: share of p-, n-, and h-edges in SLUGGER's outputs per dataset."""
+    records: List[ExperimentRecord] = []
+    for key in datasets:
+        graph = load_dataset(key, seed=seed)
+        result = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph)
+        shares = edge_composition(result.summary)
+        records.append(ExperimentRecord(
+            label=key,
+            parameters={"dataset": key},
+            values={
+                "share_p_edges": shares["p_edges"],
+                "share_n_edges": shares["n_edges"],
+                "share_h_edges": shares["h_edges"],
+                "relative_size": result.relative_size(graph),
+            },
+        ))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Appendix VIII-B: partial decompression latency
+# ----------------------------------------------------------------------
+def decompression_experiment(
+    datasets: Sequence[str],
+    iterations: int = 10,
+    seed: int = 0,
+    queries: int = 200,
+) -> List[ExperimentRecord]:
+    """Neighbor-query latency on SLUGGER and SWeG summaries (Sect. VIII-B).
+
+    Also reports the correlation between SLUGGER's per-dataset query time
+    and the average leaf depth of its hierarchy trees, which the paper
+    measures at about 0.82.
+    """
+    rng = ensure_rng(seed)
+    records: List[ExperimentRecord] = []
+    depths: List[float] = []
+    latencies: List[float] = []
+    for key in datasets:
+        graph = load_dataset(key, seed=seed)
+        slugger_summary = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph).summary
+        sweg_summary = sweg_summarize(graph, iterations=iterations, seed=seed)
+        nodes = graph.nodes()
+        sample = [nodes[rng.randrange(len(nodes))] for _ in range(min(queries, len(nodes)))]
+        slugger_latency = _mean_query_seconds(slugger_summary, sample)
+        sweg_latency = _mean_query_seconds(sweg_summary, sample)
+        average_depth = slugger_summary.hierarchy.average_leaf_depth()
+        depths.append(average_depth)
+        latencies.append(slugger_latency)
+        records.append(ExperimentRecord(
+            label=key,
+            parameters={"dataset": key, "queries": len(sample)},
+            values={
+                "slugger_microseconds": slugger_latency * 1e6,
+                "sweg_microseconds": sweg_latency * 1e6,
+                "average_leaf_depth": average_depth,
+            },
+        ))
+    if len(depths) >= 2 and len(set(depths)) > 1 and len(set(latencies)) > 1:
+        records.append(ExperimentRecord(
+            label="correlation",
+            parameters={},
+            values={"pearson_depth_vs_latency": pearson_correlation(depths, latencies)},
+        ))
+    return records
+
+
+def _mean_query_seconds(summary, nodes) -> float:
+    started = time.perf_counter()
+    for node in nodes:
+        summary.neighbors(node)
+    elapsed = time.perf_counter() - started
+    return elapsed / max(len(nodes), 1)
+
+
+# ----------------------------------------------------------------------
+# Appendix VIII-C: graph algorithms on summaries
+# ----------------------------------------------------------------------
+def summary_algorithm_experiment(
+    dataset: str = "PR",
+    iterations: int = 10,
+    seed: int = 0,
+    pagerank_iterations: int = 5,
+) -> List[ExperimentRecord]:
+    """Run BFS, PageRank, Dijkstra, and triangle counting on the raw graph
+    and on the SLUGGER summary, reporting runtimes and agreement."""
+    graph = load_dataset(dataset, seed=seed)
+    summary = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph).summary
+    source = min(graph.nodes(), key=repr)
+
+    workloads = {
+        "bfs": lambda provider: bfs_order(provider, source),
+        "pagerank": lambda provider: pagerank(provider, iterations=pagerank_iterations),
+        "dijkstra": lambda provider: dijkstra_distances(provider, source),
+        "triangles": lambda provider: count_triangles(provider),
+    }
+    records: List[ExperimentRecord] = []
+    for name, workload in workloads.items():
+        started = time.perf_counter()
+        on_graph = workload(graph)
+        graph_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        on_summary = workload(summary)
+        summary_seconds = time.perf_counter() - started
+        records.append(ExperimentRecord(
+            label=name,
+            parameters={"dataset": dataset, "algorithm": name},
+            values={
+                "graph_seconds": graph_seconds,
+                "summary_seconds": summary_seconds,
+                "slowdown": summary_seconds / graph_seconds if graph_seconds > 0 else 0.0,
+                "results_agree": float(_results_agree(on_graph, on_summary)),
+            },
+        ))
+    return records
+
+
+def _results_agree(result_a, result_b) -> bool:
+    if isinstance(result_a, dict) and isinstance(result_b, dict):
+        if set(result_a) != set(result_b):
+            return False
+        return all(abs(result_a[key] - result_b[key]) < 1e-9 for key in result_a)
+    if isinstance(result_a, list) and isinstance(result_b, list):
+        return set(map(repr, result_a)) == set(map(repr, result_b))
+    return result_a == result_b
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: expressiveness gap between the two models
+# ----------------------------------------------------------------------
+def theorem1_experiment(
+    sizes: Sequence[int] = (4, 6, 8),
+    k: int = 2,
+    iterations: int = 10,
+    seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Hierarchical vs flat encoding cost on the Theorem 1 graph family.
+
+    SLUGGER (hierarchical model) is compared against SWeG (flat model) on
+    the Fig. 3 construction for growing ``n``; the widening gap is the
+    empirical counterpart of Theorem 1.
+    """
+    records: List[ExperimentRecord] = []
+    for n in sizes:
+        graph = theorem1_graph(n, k)
+        slugger_result = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph)
+        sweg_result: FlatSummary = sweg_summarize(graph, iterations=iterations, seed=seed)
+        records.append(ExperimentRecord(
+            label=f"n={n}",
+            parameters={"n": n, "k": k},
+            values={
+                "num_edges": float(graph.num_edges),
+                "hierarchical_cost": float(slugger_result.cost()),
+                "flat_cost": float(sweg_result.cost_eq11()),
+                "flat_over_hierarchical": (
+                    sweg_result.cost_eq11() / slugger_result.cost()
+                    if slugger_result.cost() > 0 else 0.0
+                ),
+            },
+        ))
+    return records

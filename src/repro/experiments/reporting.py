@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark modules print the regenerated tables and figure series with
+these helpers so their output can be compared side by side with the
+paper's artifacts (and with EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str],
+                 title: str = "", precision: int = 3) -> str:
+    """Render ``rows`` (dictionaries) as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    header = [str(column) for column in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(f"{value:.{precision}f}")
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    widths = [
+        max(len(header[index]), *(len(row[index]) for row in body))
+        for index in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[index].ljust(widths[index]) for index in range(len(header))))
+    lines.append("  ".join("-" * widths[index] for index in range(len(header))))
+    for row in body:
+        lines.append("  ".join(row[index].ljust(widths[index]) for index in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence[Any], ys: Sequence[float], x_label: str, y_label: str,
+                  title: str = "", precision: int = 3) -> str:
+    """Render an (x, y) series — the textual stand-in for a figure's curve."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, [x_label, y_label], title=title, precision=precision)

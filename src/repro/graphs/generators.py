@@ -1,0 +1,361 @@
+"""Random and deterministic graph generators.
+
+The reproduction cannot download the 16 real-world graphs of Table II,
+so the dataset registry (:mod:`repro.graphs.datasets`) composes the
+generators in this module into synthetic analogues.  Graph summarization
+compressibility is driven by (a) nested community structure and (b)
+degree skew; the generators below cover both, plus the deterministic
+families used in the paper's theory section (Fig. 3 / Theorem 1) and the
+small structured graphs used throughout the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_non_negative, require_positive, require_probability
+
+
+# ----------------------------------------------------------------------
+# Deterministic structured graphs
+# ----------------------------------------------------------------------
+def complete_graph(num_nodes: int) -> Graph:
+    """The clique K_n on nodes ``0..n-1``."""
+    require_non_negative(num_nodes, "num_nodes")
+    graph = Graph(nodes=range(num_nodes))
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def complete_bipartite_graph(left: int, right: int) -> Graph:
+    """The complete bipartite graph K_{left,right}.
+
+    Left part is ``0..left-1``, right part is ``left..left+right-1``.
+    """
+    require_non_negative(left, "left")
+    require_non_negative(right, "right")
+    graph = Graph(nodes=range(left + right))
+    for u in range(left):
+        for v in range(left, left + right):
+            graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """A star with center ``0`` and ``num_leaves`` leaves."""
+    require_non_negative(num_leaves, "num_leaves")
+    graph = Graph(nodes=range(num_leaves + 1))
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """A simple path on ``num_nodes`` nodes."""
+    require_non_negative(num_nodes, "num_nodes")
+    graph = Graph(nodes=range(num_nodes))
+    for u in range(num_nodes - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """A simple cycle on ``num_nodes`` nodes (requires at least 3 nodes)."""
+    if num_nodes < 3:
+        raise InvalidGraphError("a cycle needs at least 3 nodes")
+    graph = path_graph(num_nodes)
+    graph.add_edge(num_nodes - 1, 0)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols 2-D grid graph."""
+    require_positive(rows, "rows")
+    require_positive(cols, "cols")
+    graph = Graph(nodes=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def theorem1_graph(n: int, k: int) -> Graph:
+    """The deterministic family of Fig. 3 / Theorem 1.
+
+    ``n`` internal groups of ``k`` subnodes each are connected to ``n``
+    hub nodes such that hub ``i`` is connected to every subnode *except*
+    those in two "excluded" groups.  Under the hierarchical model this
+    graph admits an encoding with Θ(n·k) edges, while the flat
+    (Navlakha) model needs Ω(n^1.5) edges — the expressiveness gap the
+    paper formalizes.  The construction used here follows the spirit of
+    the figure: every subnode misses exactly ``2k`` potential neighbors.
+
+    Nodes ``0..n-1`` are the hub (internal) nodes; nodes
+    ``n..n + n*k - 1`` are the grouped subnodes, group ``g`` holding
+    nodes ``n + g*k .. n + (g+1)*k - 1``.
+    """
+    require_positive(n, "n")
+    require_positive(k, "k")
+    graph = Graph(nodes=range(n + n * k))
+    for hub in range(n):
+        excluded = {hub, (hub + 1) % n}
+        for group in range(n):
+            if group in excluded:
+                continue
+            base = n + group * k
+            for member in range(base, base + k):
+                graph.add_edge(hub, member)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Random graph models
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(num_nodes: int, edge_probability: float, seed: SeedLike = None) -> Graph:
+    """G(n, p) random graph."""
+    require_non_negative(num_nodes, "num_nodes")
+    require_probability(edge_probability, "edge_probability")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(num_nodes))
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert_graph(num_nodes: int, edges_per_node: int, seed: SeedLike = None) -> Graph:
+    """Preferential-attachment graph (Barabási–Albert).
+
+    Produces the heavy-tailed degree distributions typical of the social
+    and hyperlink networks in Table II.
+    """
+    require_positive(num_nodes, "num_nodes")
+    require_positive(edges_per_node, "edges_per_node")
+    if edges_per_node >= num_nodes:
+        raise InvalidGraphError("edges_per_node must be smaller than num_nodes")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(num_nodes))
+    # Start from a small clique so the first attachments have targets.
+    targets: List[int] = list(range(edges_per_node))
+    for u, v in itertools.combinations(targets, 2):
+        graph.add_edge(u, v)
+    repeated: List[int] = list(targets) * max(1, edges_per_node - 1)
+    for new_node in range(edges_per_node, num_nodes):
+        chosen: set = set()
+        while len(chosen) < edges_per_node:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(new_node))
+        for target in chosen:
+            if target != new_node and graph.add_edge(new_node, target):
+                repeated.append(target)
+                repeated.append(new_node)
+    return graph
+
+
+def caveman_graph(num_cliques: int, clique_size: int, rewire_probability: float = 0.0,
+                  seed: SeedLike = None) -> Graph:
+    """A (relaxed) caveman graph: disjoint cliques, optionally rewired.
+
+    Clique structure is the best case for summarization: each clique can
+    be represented by one supernode with a self-loop p-edge.
+    """
+    require_positive(num_cliques, "num_cliques")
+    require_positive(clique_size, "clique_size")
+    require_probability(rewire_probability, "rewire_probability")
+    rng = ensure_rng(seed)
+    num_nodes = num_cliques * clique_size
+    graph = Graph(nodes=range(num_nodes))
+    for clique in range(num_cliques):
+        members = range(clique * clique_size, (clique + 1) * clique_size)
+        for u, v in itertools.combinations(members, 2):
+            graph.add_edge(u, v)
+    if rewire_probability > 0 and num_nodes > 1:
+        for u, v in list(graph.edges()):
+            if rng.random() < rewire_probability:
+                new_target = rng.randrange(num_nodes)
+                if new_target != u and not graph.has_edge(u, new_target):
+                    graph.remove_edge(u, v)
+                    graph.add_edge(u, new_target)
+    return graph
+
+
+def nested_partition_graph(
+    branching: Sequence[int],
+    level_probabilities: Sequence[float],
+    seed: SeedLike = None,
+) -> Graph:
+    """Hierarchically nested planted-partition (nested SBM) graph.
+
+    This is the key workload generator of the reproduction: it produces
+    the "groups within groups" connectivity (students of a university →
+    department → research lab, Sect. II-A) that the hierarchical model is
+    designed to exploit.
+
+    Parameters
+    ----------
+    branching:
+        ``branching[d]`` is the number of children each block at depth
+        ``d`` splits into; the last level gives leaf nodes.  For example
+        ``(4, 5, 6)`` creates 4 top blocks, each with 5 sub-blocks, each
+        with 6 leaf nodes: 120 nodes total.
+    level_probabilities:
+        ``level_probabilities[d]`` is the edge probability between two
+        nodes whose lowest common block is at depth ``d`` (depth 0 = the
+        whole graph).  Must have ``len(branching)`` entries, ordered from
+        coarsest to finest; realism requires them to increase.
+    seed:
+        RNG seed.
+    """
+    if len(branching) != len(level_probabilities):
+        raise InvalidGraphError(
+            "branching and level_probabilities must have the same length "
+            f"(got {len(branching)} and {len(level_probabilities)})"
+        )
+    if not branching:
+        return Graph()
+    for factor in branching:
+        require_positive(factor, "branching factor")
+    for probability in level_probabilities:
+        require_probability(probability, "level probability")
+
+    rng = ensure_rng(seed)
+    num_nodes = 1
+    for factor in branching:
+        num_nodes *= factor
+    graph = Graph(nodes=range(num_nodes))
+
+    # The block path of a node at depth d is its index divided by the
+    # product of deeper branching factors; two nodes' lowest common block
+    # depth is the longest shared prefix of their block paths.
+    suffix_products = [1] * (len(branching) + 1)
+    for depth in range(len(branching) - 1, -1, -1):
+        suffix_products[depth] = suffix_products[depth + 1] * branching[depth]
+
+    def common_depth(u: int, v: int) -> int:
+        depth = 0
+        for level in range(1, len(branching)):
+            block_size = suffix_products[level]
+            if u // block_size == v // block_size:
+                depth = level
+            else:
+                break
+        return depth
+
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            probability = level_probabilities[common_depth(u, v)]
+            if probability > 0 and rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def copying_model_graph(num_nodes: int, out_degree: int, copy_probability: float = 0.7,
+                        seed: SeedLike = None) -> Graph:
+    """Web-graph style copying model (Kumar et al.).
+
+    Each new node picks a prototype and copies a fraction of its links,
+    which creates the many near-duplicate neighborhoods that make web
+    graphs (CNR, EU, IC, UK in Table II) highly summarizable.
+    """
+    require_positive(num_nodes, "num_nodes")
+    require_positive(out_degree, "out_degree")
+    require_probability(copy_probability, "copy_probability")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(num_nodes))
+    seed_size = min(num_nodes, out_degree + 1)
+    for u, v in itertools.combinations(range(seed_size), 2):
+        graph.add_edge(u, v)
+    for new_node in range(seed_size, num_nodes):
+        prototype = rng.randrange(new_node)
+        prototype_neighbors = sorted(graph.neighbor_set(prototype))
+        # With probability ``copy_probability`` the new page is a template
+        # copy: it links to (a prefix of) exactly the pages its prototype
+        # links to.  Otherwise it links to random pages.  The resulting
+        # abundance of (near-)identical neighborhoods is what makes real
+        # web graphs so compressible.
+        if prototype_neighbors and rng.random() < copy_probability:
+            targets = prototype_neighbors[:out_degree]
+            if len(targets) < out_degree:
+                targets = targets + [prototype]
+        else:
+            targets = [rng.randrange(new_node) for _ in range(out_degree)]
+        for target in targets:
+            if target != new_node:
+                graph.add_edge(new_node, target)
+    return graph
+
+
+def kronecker_like_graph(initiator: Optional[Sequence[Sequence[float]]] = None,
+                         power: int = 8, seed: SeedLike = None) -> Graph:
+    """Stochastic-Kronecker-style graph.
+
+    Kronecker graphs (cited in the paper as evidence of hierarchical
+    structure) exhibit self-similar, recursively nested communities.
+    The generator samples each potential edge with probability equal to
+    the product of initiator entries along the digit decomposition of the
+    node pair, which is the standard stochastic Kronecker construction.
+    """
+    if initiator is None:
+        initiator = ((0.9, 0.5), (0.5, 0.2))
+    size = len(initiator)
+    for row in initiator:
+        if len(row) != size:
+            raise InvalidGraphError("initiator matrix must be square")
+        for value in row:
+            require_probability(value, "initiator entry")
+    require_positive(power, "power")
+    rng = ensure_rng(seed)
+    num_nodes = size**power
+    graph = Graph(nodes=range(num_nodes))
+
+    def edge_probability(u: int, v: int) -> float:
+        probability = 1.0
+        uu, vv = u, v
+        for _ in range(power):
+            probability *= initiator[uu % size][vv % size]
+            uu //= size
+            vv //= size
+        return probability
+
+    # Sampling every pair is quadratic; for the modest sizes used in the
+    # reproduction we accept it for exactness of the model.
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def planted_clique_graph(num_nodes: int, clique_size: int, background_probability: float,
+                         seed: SeedLike = None) -> Graph:
+    """An Erdős–Rényi background with one planted clique on nodes ``0..clique_size-1``."""
+    require_positive(num_nodes, "num_nodes")
+    require_non_negative(clique_size, "clique_size")
+    require_probability(background_probability, "background_probability")
+    if clique_size > num_nodes:
+        raise InvalidGraphError("clique_size cannot exceed num_nodes")
+    graph = erdos_renyi_graph(num_nodes, background_probability, seed=seed)
+    for u, v in itertools.combinations(range(clique_size), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def degree_sequence_summary(graph: Graph) -> Dict[str, float]:
+    """Convenience stats (min/mean/max degree) used by dataset docs and tests."""
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    if not degrees:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(min(degrees)),
+        "mean": sum(degrees) / len(degrees),
+        "max": float(max(degrees)),
+    }

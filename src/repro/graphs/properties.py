@@ -1,0 +1,65 @@
+"""Structural graph properties used by tests, examples, and dataset docs."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.graphs.graph import Graph, Node
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Connected components as a list of node sets (largest first)."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: Set[Node] = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbor_set(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def graph_density(graph: Graph) -> float:
+    """Edge density |E| / (|V| choose 2); zero for graphs with <2 nodes."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2)
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map from degree value to the number of nodes with that degree."""
+    histogram: Dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / connected triples (0 when no triples exist)."""
+    triangles = 0
+    triples = 0
+    for node in graph.nodes():
+        neighbors = list(graph.neighbor_set(node))
+        degree = len(neighbors)
+        triples += degree * (degree - 1) // 2
+        for i in range(degree):
+            for j in range(i + 1, degree):
+                if graph.has_edge(neighbors[i], neighbors[j]):
+                    triangles += 1
+    if triples == 0:
+        return 0.0
+    # Each triangle is counted once per corner node, i.e. three times.
+    return triangles / triples

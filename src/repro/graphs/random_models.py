@@ -1,0 +1,199 @@
+"""Additional random-graph models used by the extended experiments.
+
+The core generators live in :mod:`repro.graphs.generators`; this module
+adds the models referenced by the paper's related work that are useful
+as *extra* workloads for ablations and stress tests:
+
+* :func:`rmat_graph` — the recursive-matrix (R-MAT) model behind the
+  Graph500 generator; self-similar like Kronecker graphs but generated
+  edge-by-edge, so it scales to sparse graphs cheaply.
+* :func:`watts_strogatz_graph` — small-world rewiring; high clustering
+  with low diameter, a regime where summarization gains are modest.
+* :func:`configuration_model_graph` — random graph with a prescribed
+  degree sequence (simple-graph version: multi-edges and self-loops are
+  skipped), used to isolate the effect of degree skew from community
+  structure.
+* :func:`hierarchical_random_graph` — the dendrogram-based model of
+  Clauset, Moore & Newman (reference [40] of the paper), the canonical
+  generative model for the "hierarchy is pervasive" claim the paper
+  builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive, require_probability
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    probabilities: Sequence[float] = (0.57, 0.19, 0.19, 0.05),
+    seed: SeedLike = None,
+) -> Graph:
+    """R-MAT random graph with ``2**scale`` nodes and about ``edge_factor * 2**scale`` edges.
+
+    Each edge is placed by recursively descending into one of the four
+    quadrants of the adjacency matrix with the given probabilities
+    (a, b, c, d).  Duplicate edges and self-loops are skipped, so the
+    realized edge count can be somewhat below the target — the standard
+    behaviour of simple-graph R-MAT samplers.
+    """
+    require_positive(scale, "scale")
+    require_positive(edge_factor, "edge_factor")
+    if len(probabilities) != 4:
+        raise InvalidGraphError("probabilities must have exactly four entries (a, b, c, d)")
+    for probability in probabilities:
+        require_probability(probability, "probability")
+    total = sum(probabilities)
+    if abs(total - 1.0) > 1e-9:
+        raise InvalidGraphError(f"probabilities must sum to 1, got {total}")
+    rng = ensure_rng(seed)
+    num_nodes = 2**scale
+    graph = Graph(nodes=range(num_nodes))
+    a, b, c, _ = probabilities
+    target_edges = edge_factor * num_nodes
+    for _ in range(target_edges):
+        u = v = 0
+        for _ in range(scale):
+            u <<= 1
+            v <<= 1
+            roll = rng.random()
+            if roll < a:
+                pass  # Top-left quadrant: both bits stay 0.
+            elif roll < a + b:
+                v |= 1
+            elif roll < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def watts_strogatz_graph(
+    num_nodes: int,
+    nearest_neighbors: int,
+    rewire_probability: float,
+    seed: SeedLike = None,
+) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where every node connects to its
+    ``nearest_neighbors`` closest nodes (must be even), then rewires each
+    edge with the given probability.
+    """
+    require_positive(num_nodes, "num_nodes")
+    require_positive(nearest_neighbors, "nearest_neighbors")
+    require_probability(rewire_probability, "rewire_probability")
+    if nearest_neighbors % 2 != 0:
+        raise InvalidGraphError("nearest_neighbors must be even")
+    if nearest_neighbors >= num_nodes:
+        raise InvalidGraphError("nearest_neighbors must be smaller than num_nodes")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(num_nodes))
+    half = nearest_neighbors // 2
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            graph.add_edge(node, (node + offset) % num_nodes)
+    if rewire_probability > 0:
+        for u, v in list(graph.edges()):
+            if rng.random() < rewire_probability:
+                candidates = [node for node in range(num_nodes) if node != u]
+                new_target = rng.choice(candidates)
+                if not graph.has_edge(u, new_target):
+                    graph.remove_edge(u, v)
+                    graph.add_edge(u, new_target)
+    return graph
+
+
+def configuration_model_graph(degree_sequence: Sequence[int], seed: SeedLike = None) -> Graph:
+    """Simple-graph configuration model for a prescribed degree sequence.
+
+    Stubs are paired uniformly at random; pairs that would create a
+    self-loop or a duplicate edge are discarded, so realized degrees can
+    fall slightly below the prescription (the usual simple-graph
+    projection).  The degree sum must be even.
+    """
+    if not degree_sequence:
+        return Graph()
+    for degree in degree_sequence:
+        if degree < 0:
+            raise InvalidGraphError(f"degrees must be non-negative, got {degree}")
+    if sum(degree_sequence) % 2 != 0:
+        raise InvalidGraphError("the degree sequence must have an even sum")
+    rng = ensure_rng(seed)
+    graph = Graph(nodes=range(len(degree_sequence)))
+    stubs: List[int] = []
+    for node, degree in enumerate(degree_sequence):
+        stubs.extend([node] * degree)
+    rng.shuffle(stubs)
+    for index in range(0, len(stubs) - 1, 2):
+        u, v = stubs[index], stubs[index + 1]
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def hierarchical_random_graph(
+    depth: int,
+    branching: int = 2,
+    leaves_per_block: int = 4,
+    top_probability: float = 0.02,
+    bottom_probability: float = 0.8,
+    seed: SeedLike = None,
+) -> Graph:
+    """Dendrogram-based hierarchical random graph (Clauset–Moore–Newman style).
+
+    Nodes are the leaves of a complete ``branching``-ary tree of the given
+    ``depth`` with ``leaves_per_block`` nodes per lowest block.  The edge
+    probability of a node pair is determined by the depth of their lowest
+    common ancestor and interpolates geometrically between
+    ``top_probability`` (ancestor at the root) and ``bottom_probability``
+    (same lowest block) — deeper common ancestry means denser connectivity,
+    the defining property of hierarchical organisation.
+    """
+    require_positive(depth, "depth")
+    require_positive(branching, "branching")
+    require_positive(leaves_per_block, "leaves_per_block")
+    require_probability(top_probability, "top_probability")
+    require_probability(bottom_probability, "bottom_probability")
+    rng = ensure_rng(seed)
+    num_blocks = branching**depth
+    num_nodes = num_blocks * leaves_per_block
+    graph = Graph(nodes=range(num_nodes))
+
+    def block_path(node: int) -> List[int]:
+        block = node // leaves_per_block
+        path = []
+        for _ in range(depth):
+            path.append(block % branching)
+            block //= branching
+        return list(reversed(path))
+
+    paths = [block_path(node) for node in range(num_nodes)]
+    # Probability at common-ancestor depth d interpolates geometrically
+    # between the top and bottom probabilities over depth+1 levels
+    # (d = depth means the two nodes share their lowest block).
+    probabilities = []
+    for level in range(depth + 1):
+        fraction = level / depth
+        probabilities.append(top_probability * (bottom_probability / top_probability) ** fraction
+                             if top_probability > 0 else bottom_probability * fraction)
+
+    for u in range(num_nodes):
+        path_u = paths[u]
+        for v in range(u + 1, num_nodes):
+            path_v = paths[v]
+            common = 0
+            while common < depth and path_u[common] == path_v[common]:
+                common += 1
+            if rng.random() < probabilities[common]:
+                graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,52 @@
+"""Node sampling and induced subgraphs.
+
+Fig. 1(b) of the paper measures SLUGGER's runtime on graphs obtained by
+sampling different numbers of nodes from the largest dataset (UK-05).
+The same protocol is reproduced here against the synthetic analogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs.graph import Graph, Node
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_probability
+
+
+def sample_nodes(graph: Graph, fraction: float, seed: SeedLike = None) -> List[Node]:
+    """Uniformly sample ``fraction`` of the nodes of ``graph`` (without replacement)."""
+    require_probability(fraction, "fraction")
+    nodes = graph.nodes()
+    count = int(round(fraction * len(nodes)))
+    rng = ensure_rng(seed)
+    return rng.sample(nodes, count) if count <= len(nodes) else nodes
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[Node]) -> Graph:
+    """The subgraph induced by ``nodes`` (keeps isolated sampled nodes)."""
+    node_set: Set[Node] = set(nodes)
+    missing = [node for node in node_set if not graph.has_node(node)]
+    if missing:
+        raise InvalidGraphError(f"nodes not in graph: {missing[:5]!r}")
+    subgraph = Graph(nodes=node_set)
+    for u in node_set:
+        for v in graph.neighbor_set(u):
+            if v in node_set and repr(u) <= repr(v):
+                subgraph.add_edge(u, v)
+    return subgraph
+
+
+def scalability_series(graph: Graph, fractions: Sequence[float], seed: SeedLike = None) -> List[Graph]:
+    """Induced subgraphs for a sweep of node-sampling fractions.
+
+    Returns one graph per fraction, produced by independent uniform node
+    samples — the protocol behind the scalability plot (Fig. 1(b)).
+    """
+    rng = ensure_rng(seed)
+    series: List[Graph] = []
+    for fraction in fractions:
+        sampled = sample_nodes(graph, fraction, seed=rng)
+        series.append(induced_subgraph(graph, sampled))
+    return series

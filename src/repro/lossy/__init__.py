@@ -1,0 +1,36 @@
+"""Lossy (bounded-error) summarization and reconstruction-error metrics.
+
+The paper's evaluation is lossless, but its related-work section relies
+on the lossy variant of graph summarization (SWeG's ε mode, APXMDL,
+utility-driven methods).  This subpackage provides the error metrics and
+an ε-bounded driver so the size/error trade-off can be reproduced and
+contrasted with the lossless results.
+"""
+
+from repro.lossy.error import (
+    edge_error_counts,
+    error_report,
+    l1_reconstruction_error,
+    max_relative_error,
+    neighborhood_errors,
+)
+from repro.lossy.bounded import (
+    LossySummaryResult,
+    lossy_slugger_sparsify,
+    lossy_sweg_summarize,
+    lossy_tradeoff_curve,
+    sparsify_hierarchical_summary,
+)
+
+__all__ = [
+    "neighborhood_errors",
+    "max_relative_error",
+    "edge_error_counts",
+    "l1_reconstruction_error",
+    "error_report",
+    "LossySummaryResult",
+    "lossy_sweg_summarize",
+    "sparsify_hierarchical_summary",
+    "lossy_slugger_sparsify",
+    "lossy_tradeoff_curve",
+]

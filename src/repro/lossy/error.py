@@ -1,0 +1,95 @@
+"""Reconstruction-error metrics for lossy summarization.
+
+The lossy variant of graph summarization (Sect. V of the paper; SWeG's
+lossy mode and APXMDL) bounds, for every node, how much its reconstructed
+neighborhood may deviate from the original one.  These metrics quantify
+that deviation for any summary type:
+
+* :func:`neighborhood_errors` — per-node count of lost plus spurious
+  neighbors;
+* :func:`max_relative_error` — the quantity the ε bound constrains:
+  ``max_v error(v) / max(1, degree(v))``;
+* :func:`edge_error_counts` — graph-level lost/spurious edge totals;
+* :func:`l1_reconstruction_error` — the entry-wise L1 distance between
+  adjacency matrices used by the utility-driven lossy methods (k-GS,
+  SSumm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple, Union
+
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.model.summary import HierarchicalSummary
+
+Node = Hashable
+AnySummary = Union[HierarchicalSummary, FlatSummary]
+
+
+def _reconstruct(summary: Union[AnySummary, Graph]) -> Graph:
+    if isinstance(summary, Graph):
+        return summary
+    return summary.decompress()
+
+
+def neighborhood_errors(summary: Union[AnySummary, Graph], graph: Graph) -> Dict[Node, int]:
+    """Per-node neighborhood error: lost neighbors plus spurious neighbors."""
+    reconstructed = _reconstruct(summary)
+    errors: Dict[Node, int] = {node: 0 for node in graph.nodes()}
+    original_edges = graph.edge_set()
+    rebuilt_edges = reconstructed.edge_set()
+    for u, v in original_edges ^ rebuilt_edges:
+        if u in errors:
+            errors[u] += 1
+        else:
+            errors[u] = 1
+        if v in errors:
+            errors[v] += 1
+        else:
+            errors[v] = 1
+    return errors
+
+
+def max_relative_error(summary: Union[AnySummary, Graph], graph: Graph) -> float:
+    """Largest per-node error relative to the node's degree (the ε of lossy SWeG)."""
+    errors = neighborhood_errors(summary, graph)
+    worst = 0.0
+    for node, error in errors.items():
+        degree = graph.degree(node) if graph.has_node(node) else 0
+        worst = max(worst, error / max(1, degree))
+    return worst
+
+
+def edge_error_counts(summary: Union[AnySummary, Graph], graph: Graph) -> Tuple[int, int]:
+    """Graph-level error: ``(lost_edges, spurious_edges)`` of the reconstruction."""
+    reconstructed = _reconstruct(summary)
+    original_edges = graph.edge_set()
+    rebuilt_edges = reconstructed.edge_set()
+    return len(original_edges - rebuilt_edges), len(rebuilt_edges - original_edges)
+
+
+def l1_reconstruction_error(summary: Union[AnySummary, Graph], graph: Graph) -> int:
+    """Entry-wise L1 distance between the original and reconstructed adjacency matrices.
+
+    Each lost or spurious undirected edge contributes 2 (both symmetric
+    entries differ), matching the error measure of the utility-driven
+    lossy summarization literature.
+    """
+    lost, spurious = edge_error_counts(summary, graph)
+    return 2 * (lost + spurious)
+
+
+def error_report(summary: Union[AnySummary, Graph], graph: Graph) -> Dict[str, float]:
+    """One record combining every error metric (used by the lossy bench)."""
+    errors = neighborhood_errors(summary, graph)
+    lost, spurious = edge_error_counts(summary, graph)
+    num_nodes = max(1, graph.num_nodes)
+    return {
+        "lost_edges": float(lost),
+        "spurious_edges": float(spurious),
+        "l1_error": float(l1_reconstruction_error(summary, graph)),
+        "max_relative_error": max_relative_error(summary, graph),
+        "mean_node_error": sum(errors.values()) / num_nodes,
+        "exact": float(lost == 0 and spurious == 0),
+    }

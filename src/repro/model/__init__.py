@@ -1,0 +1,53 @@
+"""Graph summarization models.
+
+Two representation models are implemented:
+
+* :class:`~repro.model.summary.HierarchicalSummary` — the hierarchical
+  graph summarization model of the paper (Sect. II-B): supernodes may
+  nest, and the graph is described by positive edges (p-edges), negative
+  edges (n-edges), and hierarchy edges (h-edges).
+* :class:`~repro.model.flat.FlatSummary` — the previous graph
+  summarization model of Navlakha et al. (Sect. II-A): disjoint
+  supernodes, superedges, and per-subedge corrections.
+
+Both expose the same losslessness contract: ``decompress()`` returns a
+graph equal to the input, ``neighbors(v)`` answers adjacency queries by
+partial decompression, and ``validate(graph)`` raises if the contract is
+broken.
+"""
+
+from repro.model.hierarchy import Hierarchy
+from repro.model.summary import HierarchicalSummary
+from repro.model.flat import FlatSummary
+from repro.model.conversion import flat_to_hierarchical, hierarchical_report, singleton_summary
+from repro.model.serialization import (
+    load_flat_summary,
+    load_hierarchical_summary,
+    save_flat_summary,
+    save_hierarchical_summary,
+)
+from repro.model.export import (
+    ascii_hierarchy,
+    flat_summary_to_dot,
+    hierarchy_to_dot,
+    summary_to_dot,
+    supernode_size_distribution,
+)
+
+__all__ = [
+    "Hierarchy",
+    "HierarchicalSummary",
+    "FlatSummary",
+    "flat_to_hierarchical",
+    "hierarchical_report",
+    "singleton_summary",
+    "load_flat_summary",
+    "load_hierarchical_summary",
+    "save_flat_summary",
+    "save_hierarchical_summary",
+    "ascii_hierarchy",
+    "hierarchy_to_dot",
+    "summary_to_dot",
+    "flat_summary_to_dot",
+    "supernode_size_distribution",
+]

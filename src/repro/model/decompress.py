@@ -1,0 +1,44 @@
+"""Decompression helpers shared by both summary models.
+
+The functions here provide a model-agnostic interface used by the
+summary-aware graph algorithms (Sect. VIII-C) and by the partial
+decompression benchmark (Sect. VIII-B): given either a
+:class:`~repro.model.summary.HierarchicalSummary` or a
+:class:`~repro.model.flat.FlatSummary`, retrieve neighbors of one node
+without materializing the whole graph, or reconstruct the whole graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Union
+
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.model.summary import HierarchicalSummary
+
+Subnode = Hashable
+AnySummary = Union[HierarchicalSummary, FlatSummary]
+
+
+def reconstruct(summary: AnySummary) -> Graph:
+    """Fully decompress ``summary`` back into a :class:`Graph`."""
+    return summary.decompress()
+
+
+def partial_neighbors(summary: AnySummary, subnode: Subnode) -> Set[Subnode]:
+    """Neighbors of ``subnode`` obtained by partial decompression (Alg. 4).
+
+    Works uniformly for the hierarchical and the flat model, which is
+    what lets BFS/PageRank/Dijkstra run unchanged on either
+    representation.
+    """
+    return summary.neighbors(subnode)
+
+
+def reconstruction_matches(summary: AnySummary, graph: Graph) -> bool:
+    """Whether ``summary`` losslessly represents ``graph`` (bool form of ``validate``)."""
+    try:
+        summary.validate(graph)
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,127 @@
+"""Export helpers: render summaries as DOT graphs or ASCII hierarchy trees.
+
+Hierarchical summaries are hard to inspect as raw edge sets; the helpers
+here turn them into human-readable artifacts — Graphviz DOT sources for
+figures resembling Fig. 2 of the paper and indented ASCII trees for
+terminal inspection — without adding any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.model.flat import FlatSummary
+from repro.model.hierarchy import Hierarchy
+from repro.model.summary import HierarchicalSummary
+
+AnySummary = Union[HierarchicalSummary, FlatSummary]
+
+
+def _quote(value: object) -> str:
+    return '"' + str(value).replace('"', '\\"') + '"'
+
+
+def _supernode_label(hierarchy: Hierarchy, supernode: int, max_members: int = 6) -> str:
+    members = sorted(map(str, hierarchy.leaf_subnodes(supernode)))
+    if len(members) > max_members:
+        members = members[:max_members] + ["..."]
+    return f"S{supernode}\\n{{{', '.join(members)}}}"
+
+
+def hierarchy_to_dot(hierarchy: Hierarchy, name: str = "hierarchy") -> str:
+    """Graphviz DOT source of the hierarchy forest (h-edges only)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for supernode in sorted(hierarchy.supernodes()):
+        lines.append(f"  {supernode} [label={_quote(_supernode_label(hierarchy, supernode))}];")
+    for supernode in sorted(hierarchy.supernodes()):
+        for child in sorted(hierarchy.children(supernode)):
+            lines.append(f"  {supernode} -> {child};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summary_to_dot(summary: HierarchicalSummary, name: str = "summary") -> str:
+    """Graphviz DOT source showing h-edges (grey), p-edges (solid), n-edges (dashed).
+
+    The styling mirrors Fig. 2/3 of the paper: red solid superedges are
+    positive, blue dashed superedges are negative, grey arrows are the
+    hierarchy.
+    """
+    hierarchy = summary.hierarchy
+    lines = [f"graph {name} {{", "  node [shape=box];"]
+    for supernode in sorted(hierarchy.supernodes()):
+        lines.append(f"  {supernode} [label={_quote(_supernode_label(hierarchy, supernode))}];")
+    for supernode in sorted(hierarchy.supernodes()):
+        for child in sorted(hierarchy.children(supernode)):
+            lines.append(f"  {supernode} -- {child} [color=grey, style=bold, dir=forward];")
+    for a, b in sorted(summary.p_edges()):
+        lines.append(f"  {a} -- {b} [color=red];")
+    for a, b in sorted(summary.n_edges()):
+        lines.append(f"  {a} -- {b} [color=blue, style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def flat_summary_to_dot(summary: FlatSummary, name: str = "flat_summary") -> str:
+    """Graphviz DOT source of a flat summary (supernodes, P, C+ and C- edges)."""
+    lines = [f"graph {name} {{", "  node [shape=box];"]
+    for group, members in sorted(summary.groups.items()):
+        label = f"G{group}\\n{{{', '.join(sorted(map(str, members)))}}}"
+        lines.append(f"  g{group} [label={_quote(label)}];")
+    for a, b in sorted(summary.superedges):
+        lines.append(f"  g{a} -- g{b} [color=red];")
+    for u, v in sorted(summary.corrections_plus, key=repr):
+        lines.append(f"  {_quote(u)} -- {_quote(v)} [color=darkgreen, style=dotted];")
+    for u, v in sorted(summary.corrections_minus, key=repr):
+        lines.append(f"  {_quote(u)} -- {_quote(v)} [color=blue, style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_hierarchy(summary_or_hierarchy: Union[HierarchicalSummary, Hierarchy],
+                    max_members: int = 8) -> str:
+    """Indented ASCII rendering of the hierarchy forest.
+
+    Each line shows a supernode id, how many subnodes it contains, and —
+    for small supernodes — the subnodes themselves, for example::
+
+        S12 (4 subnodes): 0, 1, 2, 3
+          S8 (2 subnodes): 2, 3
+    """
+    hierarchy = (
+        summary_or_hierarchy.hierarchy
+        if isinstance(summary_or_hierarchy, HierarchicalSummary)
+        else summary_or_hierarchy
+    )
+    lines: List[str] = []
+
+    def render(supernode: int, depth: int) -> None:
+        members = sorted(map(str, hierarchy.leaf_subnodes(supernode)))
+        shown = ", ".join(members[:max_members]) + (", ..." if len(members) > max_members else "")
+        lines.append(f"{'  ' * depth}S{supernode} ({len(members)} subnodes): {shown}")
+        for child in sorted(hierarchy.children(supernode)):
+            render(child, depth + 1)
+
+    for root in sorted(hierarchy.roots()):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def supernode_size_distribution(summary: AnySummary) -> Dict[int, int]:
+    """Histogram ``size -> count`` of supernode sizes.
+
+    For hierarchical summaries only root supernodes are counted (they are
+    the disjoint cover of the subnodes); for flat summaries every group is
+    counted.
+    """
+    if isinstance(summary, HierarchicalSummary):
+        hierarchy = summary.hierarchy
+        sizes = [hierarchy.size(root) for root in hierarchy.roots()]
+    elif isinstance(summary, FlatSummary):
+        sizes = [len(members) for members in summary.groups.values()]
+    else:
+        raise TypeError(f"unsupported summary type {type(summary).__name__}")
+    histogram: Dict[int, int] = {}
+    for size in sizes:
+        histogram[size] = histogram.get(size, 0) + 1
+    return histogram

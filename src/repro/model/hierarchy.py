@@ -1,0 +1,293 @@
+"""Forest of hierarchical supernodes.
+
+A supernode is identified by an integer id.  Leaf supernodes are
+singletons wrapping exactly one subnode of the input graph; internal
+supernodes own one or more child supernodes and implicitly contain every
+subnode in their subtree.  The forest corresponds to the set ``H`` of
+hierarchy edges in the model ``G = (S, P+, P-, H)``: each non-root
+supernode contributes exactly one h-edge (from its parent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+
+from repro.exceptions import SummaryInvariantError
+
+Subnode = Hashable
+
+
+class Hierarchy:
+    """A mutable forest of supernodes over a fixed set of subnodes.
+
+    Examples
+    --------
+    >>> h = Hierarchy()
+    >>> a, b = h.add_leaf("u"), h.add_leaf("v")
+    >>> top = h.create_parent([a, b])
+    >>> h.num_hierarchy_edges
+    2
+    >>> sorted(h.leaf_subnodes(top))
+    ['u', 'v']
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, Optional[int]] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._leaf_subnode: Dict[int, Subnode] = {}
+        self._leaf_of_subnode: Dict[Subnode, int] = {}
+        self._size: Dict[int, int] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_leaf(self, subnode: Subnode) -> int:
+        """Register ``subnode`` and return the id of its singleton supernode."""
+        if subnode in self._leaf_of_subnode:
+            return self._leaf_of_subnode[subnode]
+        node_id = self._next_id
+        self._next_id += 1
+        self._parent[node_id] = None
+        self._children[node_id] = []
+        self._leaf_subnode[node_id] = subnode
+        self._leaf_of_subnode[subnode] = node_id
+        self._size[node_id] = 1
+        return node_id
+
+    def create_parent(self, children: Iterable[int]) -> int:
+        """Create a new supernode whose children are the given root supernodes.
+
+        Every child must currently be a root (the forest stays a forest).
+        Returns the id of the new supernode.
+        """
+        child_list = list(children)
+        if not child_list:
+            raise SummaryInvariantError("a new internal supernode needs at least one child")
+        for child in child_list:
+            if child not in self._parent:
+                raise KeyError(f"unknown supernode id {child}")
+            if self._parent[child] is not None:
+                raise SummaryInvariantError(
+                    f"supernode {child} already has a parent; only roots can be merged"
+                )
+        node_id = self._next_id
+        self._next_id += 1
+        self._parent[node_id] = None
+        self._children[node_id] = list(child_list)
+        self._size[node_id] = sum(self._size[child] for child in child_list)
+        for child in child_list:
+            self._parent[child] = node_id
+        return node_id
+
+    def splice_out(self, supernode: int) -> None:
+        """Remove an internal supernode, reattaching its children to its parent.
+
+        Used by pruning substep 1: the supernode disappears from ``S`` and
+        its children become children of its parent (or roots, if the
+        removed supernode was a root).  Leaves cannot be spliced out.
+        """
+        if supernode not in self._parent:
+            raise KeyError(f"unknown supernode id {supernode}")
+        if self.is_leaf(supernode):
+            raise SummaryInvariantError("leaf supernodes cannot be removed from the hierarchy")
+        parent = self._parent[supernode]
+        children = self._children[supernode]
+        for child in children:
+            self._parent[child] = parent
+            if parent is not None:
+                self._children[parent].append(child)
+        if parent is not None:
+            self._children[parent].remove(supernode)
+        del self._parent[supernode]
+        del self._children[supernode]
+        del self._size[supernode]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_supernodes(self) -> int:
+        """Total number of supernodes currently in the forest."""
+        return len(self._parent)
+
+    @property
+    def num_hierarchy_edges(self) -> int:
+        """|H|: one hierarchy edge per non-root supernode."""
+        return sum(1 for parent in self._parent.values() if parent is not None)
+
+    @property
+    def num_subnodes(self) -> int:
+        """Number of registered subnodes (= number of leaf supernodes)."""
+        return len(self._leaf_subnode)
+
+    def supernodes(self) -> List[int]:
+        """Ids of all supernodes."""
+        return list(self._parent)
+
+    def contains(self, supernode: int) -> bool:
+        """Whether the id refers to a live supernode."""
+        return supernode in self._parent
+
+    def is_leaf(self, supernode: int) -> bool:
+        """Whether ``supernode`` is a singleton leaf."""
+        return supernode in self._leaf_subnode
+
+    def is_root(self, supernode: int) -> bool:
+        """Whether ``supernode`` has no parent."""
+        return self._parent[supernode] is None
+
+    def roots(self) -> List[int]:
+        """All root supernodes."""
+        return [node for node, parent in self._parent.items() if parent is None]
+
+    def parent(self, supernode: int) -> Optional[int]:
+        """Parent id, or ``None`` for roots."""
+        return self._parent[supernode]
+
+    def children(self, supernode: int) -> List[int]:
+        """Direct children of ``supernode`` (empty for leaves)."""
+        return list(self._children.get(supernode, ()))
+
+    def size(self, supernode: int) -> int:
+        """Number of subnodes contained in ``supernode``'s subtree."""
+        return self._size[supernode]
+
+    def subnode_of_leaf(self, leaf: int) -> Subnode:
+        """The subnode wrapped by a leaf supernode."""
+        return self._leaf_subnode[leaf]
+
+    def leaf_of(self, subnode: Subnode) -> int:
+        """The leaf supernode id for ``subnode``."""
+        return self._leaf_of_subnode[subnode]
+
+    def subnodes(self) -> List[Subnode]:
+        """All registered subnodes."""
+        return list(self._leaf_of_subnode)
+
+    def root_of(self, supernode: int) -> int:
+        """The root of the tree containing ``supernode``."""
+        node = supernode
+        while self._parent[node] is not None:
+            node = self._parent[node]
+        return node
+
+    def ancestors(self, supernode: int, include_self: bool = True) -> List[int]:
+        """Ancestors of ``supernode`` from itself (optional) up to its root."""
+        chain: List[int] = []
+        node: Optional[int] = supernode if include_self else self._parent[supernode]
+        while node is not None:
+            chain.append(node)
+            node = self._parent[node]
+        return chain
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Whether ``ancestor`` lies on ``descendant``'s path to its root (inclusive)."""
+        node: Optional[int] = descendant
+        while node is not None:
+            if node == ancestor:
+                return True
+            node = self._parent[node]
+        return False
+
+    def descendants(self, supernode: int, include_self: bool = True) -> Iterator[int]:
+        """Iterate over the subtree rooted at ``supernode`` (pre-order)."""
+        stack = [supernode]
+        while stack:
+            node = stack.pop()
+            if node != supernode or include_self:
+                yield node
+            stack.extend(self._children.get(node, ()))
+
+    def leaf_ids(self, supernode: int) -> List[int]:
+        """Leaf supernode ids contained in ``supernode``'s subtree."""
+        leaves: List[int] = []
+        stack = [supernode]
+        while stack:
+            node = stack.pop()
+            if node in self._leaf_subnode:
+                leaves.append(node)
+            else:
+                stack.extend(self._children[node])
+        return leaves
+
+    def leaf_subnodes(self, supernode: int) -> List[Subnode]:
+        """Subnodes contained in ``supernode``'s subtree."""
+        return [self._leaf_subnode[leaf] for leaf in self.leaf_ids(supernode)]
+
+    def contains_subnode(self, supernode: int, subnode: Subnode) -> bool:
+        """Whether ``subnode`` belongs to ``supernode`` (walks up from the leaf)."""
+        leaf = self._leaf_of_subnode.get(subnode)
+        if leaf is None:
+            return False
+        return self.is_ancestor(supernode, leaf)
+
+    # ------------------------------------------------------------------
+    # Tree-shape statistics (Tables IV and V)
+    # ------------------------------------------------------------------
+    def height(self, supernode: int) -> int:
+        """Height of the subtree rooted at ``supernode`` (a leaf has height 0)."""
+        children = self._children.get(supernode, ())
+        if not children:
+            return 0
+        # Iterative post-order to avoid recursion limits on deep trees.
+        heights: Dict[int, int] = {}
+        stack = [(supernode, False)]
+        while stack:
+            node, expanded = stack.pop()
+            kids = self._children.get(node, ())
+            if not kids:
+                heights[node] = 0
+                continue
+            if expanded:
+                heights[node] = 1 + max(heights[kid] for kid in kids)
+            else:
+                stack.append((node, True))
+                stack.extend((kid, False) for kid in kids)
+        return heights[supernode]
+
+    def max_height(self) -> int:
+        """Maximum tree height over all roots (0 for a forest of singletons)."""
+        roots = self.roots()
+        if not roots:
+            return 0
+        return max(self.height(root) for root in roots)
+
+    def leaf_depths(self) -> Dict[Subnode, int]:
+        """Depth of every subnode's leaf below its root (roots that are leaves → 0)."""
+        depths: Dict[Subnode, int] = {}
+        for leaf, subnode in self._leaf_subnode.items():
+            depth = 0
+            node = self._parent[leaf]
+            while node is not None:
+                depth += 1
+                node = self._parent[node]
+            depths[subnode] = depth
+        return depths
+
+    def average_leaf_depth(self) -> float:
+        """Average depth of leaf supernodes (Table IV / Table V metric)."""
+        depths = self.leaf_depths()
+        if not depths:
+            return 0.0
+        return sum(depths.values()) / len(depths)
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "Hierarchy":
+        """A deep copy of the forest."""
+        clone = Hierarchy()
+        clone._parent = dict(self._parent)
+        clone._children = {node: list(kids) for node, kids in self._children.items()}
+        clone._leaf_subnode = dict(self._leaf_subnode)
+        clone._leaf_of_subnode = dict(self._leaf_of_subnode)
+        clone._size = dict(self._size)
+        clone._next_id = self._next_id
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Hierarchy(supernodes={self.num_supernodes}, subnodes={self.num_subnodes}, "
+            f"h_edges={self.num_hierarchy_edges})"
+        )

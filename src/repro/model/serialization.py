@@ -1,0 +1,136 @@
+"""Saving and loading summaries as JSON documents.
+
+Summaries are graphs themselves (the paper stresses this as one of the
+merits of graph summarization), so the on-disk format is a plain JSON
+description of the supernode forest and the signed superedges.  The
+format is intentionally explicit and versioned so other tooling can
+consume SLUGGER outputs without importing this package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import GraphFormatError
+from repro.model.flat import FlatSummary
+from repro.model.hierarchy import Hierarchy
+from repro.model.summary import HierarchicalSummary
+
+PathLike = Union[str, Path]
+
+_HIERARCHICAL_FORMAT = "repro/hierarchical-summary/v1"
+_FLAT_FORMAT = "repro/flat-summary/v1"
+
+
+def save_hierarchical_summary(summary: HierarchicalSummary, path: PathLike) -> None:
+    """Write a hierarchical summary to ``path`` as JSON."""
+    hierarchy = summary.hierarchy
+    document = {
+        "format": _HIERARCHICAL_FORMAT,
+        "leaves": [
+            {"id": leaf, "subnode": hierarchy.subnode_of_leaf(leaf)}
+            for leaf in hierarchy.supernodes()
+            if hierarchy.is_leaf(leaf)
+        ],
+        "internal": [
+            {"id": node, "children": hierarchy.children(node)}
+            for node in hierarchy.supernodes()
+            if not hierarchy.is_leaf(node)
+        ],
+        "p_edges": sorted(summary.p_edges()),
+        "n_edges": sorted(summary.n_edges()),
+    }
+    _write_json(document, path)
+
+
+def load_hierarchical_summary(path: PathLike) -> HierarchicalSummary:
+    """Load a hierarchical summary written by :func:`save_hierarchical_summary`."""
+    document = _read_json(path, expected_format=_HIERARCHICAL_FORMAT)
+    hierarchy = Hierarchy()
+    id_map: Dict[int, int] = {}
+    for leaf in document["leaves"]:
+        id_map[leaf["id"]] = hierarchy.add_leaf(_restore_subnode(leaf["subnode"]))
+    # Internal nodes must be created children-first; iterate until all are placed.
+    pending: List[Dict] = list(document["internal"])
+    while pending:
+        progressed = False
+        remaining: List[Dict] = []
+        for record in pending:
+            if all(child in id_map for child in record["children"]):
+                id_map[record["id"]] = hierarchy.create_parent(
+                    id_map[child] for child in record["children"]
+                )
+                progressed = True
+            else:
+                remaining.append(record)
+        if not progressed:
+            raise GraphFormatError(f"{path}: cyclic or dangling hierarchy records")
+        pending = remaining
+    summary = HierarchicalSummary(hierarchy)
+    for a, b in document["p_edges"]:
+        summary.add_p_edge(id_map[a], id_map[b])
+    for a, b in document["n_edges"]:
+        summary.add_n_edge(id_map[a], id_map[b])
+    return summary
+
+
+def save_flat_summary(summary: FlatSummary, path: PathLike) -> None:
+    """Write a flat (Navlakha-model) summary to ``path`` as JSON."""
+    document = {
+        "format": _FLAT_FORMAT,
+        "groups": [
+            {"id": group_id, "members": sorted(members, key=repr)}
+            for group_id, members in summary.groups.items()
+        ],
+        "superedges": sorted(summary.superedges),
+        "corrections_plus": sorted(summary.corrections_plus, key=repr),
+        "corrections_minus": sorted(summary.corrections_minus, key=repr),
+    }
+    _write_json(document, path)
+
+
+def load_flat_summary(path: PathLike) -> FlatSummary:
+    """Load a flat summary written by :func:`save_flat_summary`."""
+    document = _read_json(path, expected_format=_FLAT_FORMAT)
+    summary = FlatSummary()
+    for record in document["groups"]:
+        members = frozenset(_restore_subnode(member) for member in record["members"])
+        summary.groups[record["id"]] = members
+        for member in members:
+            summary.group_of[member] = record["id"]
+    summary.superedges = {tuple(edge) for edge in document["superedges"]}
+    summary.corrections_plus = {
+        tuple(_restore_subnode(node) for node in pair) for pair in document["corrections_plus"]
+    }
+    summary.corrections_minus = {
+        tuple(_restore_subnode(node) for node in pair) for pair in document["corrections_minus"]
+    }
+    return summary
+
+
+def _restore_subnode(value):
+    """JSON round-trips integers and strings; anything else was stringified."""
+    return value
+
+
+def _write_json(document: Dict, path: PathLike) -> None:
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    with file_path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+
+
+def _read_json(path: PathLike, expected_format: str) -> Dict:
+    file_path = Path(path)
+    try:
+        with file_path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise GraphFormatError(f"{file_path}: not valid JSON ({error})") from error
+    if document.get("format") != expected_format:
+        raise GraphFormatError(
+            f"{file_path}: expected format {expected_format!r}, got {document.get('format')!r}"
+        )
+    return document

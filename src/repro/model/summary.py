@@ -1,0 +1,358 @@
+"""The hierarchical graph summarization model ``G = (S, P+, P-, H)``.
+
+A :class:`HierarchicalSummary` couples a :class:`~repro.model.hierarchy.Hierarchy`
+(the supernodes ``S`` and hierarchy edges ``H``) with two sets of
+undirected superedges: positive edges ``P+`` and negative edges ``P-``.
+Self-loops are allowed on both.  The represented graph contains a
+subedge ``(u, v)`` if and only if strictly more p-edges than n-edges
+cover the pair, where an edge ``{X, Y}`` covers ``(u, v)`` when one
+endpoint supernode contains ``u`` and the other contains ``v``
+(Sect. II-B of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import SummaryInvariantError
+from repro.graphs.graph import Graph
+from repro.model.hierarchy import Hierarchy
+
+Subnode = Hashable
+SuperEdge = Tuple[int, int]
+
+POSITIVE = 1
+NEGATIVE = -1
+
+
+def _canonical(a: int, b: int) -> SuperEdge:
+    """Canonical (sorted) form of an undirected superedge, self-loops allowed."""
+    return (a, b) if a <= b else (b, a)
+
+
+class HierarchicalSummary:
+    """Mutable hierarchical summary of an undirected graph.
+
+    The summary does not keep a reference to the input graph; exactness
+    is checked on demand with :meth:`validate`.
+
+    Examples
+    --------
+    >>> from repro.graphs import complete_graph
+    >>> graph = complete_graph(3)
+    >>> summary = HierarchicalSummary.from_graph(graph)
+    >>> summary.validate(graph)
+    >>> summary.cost() == graph.num_edges
+    True
+    """
+
+    def __init__(self, hierarchy: Optional[Hierarchy] = None) -> None:
+        self.hierarchy = hierarchy if hierarchy is not None else Hierarchy()
+        self._p_edges: Set[SuperEdge] = set()
+        self._n_edges: Set[SuperEdge] = set()
+        self._incident: Dict[int, Set[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "HierarchicalSummary":
+        """The trivial summary: every subnode is a singleton root supernode
+        and every subedge becomes a p-edge between two singletons.
+
+        This is the initial state of SLUGGER (Algorithm 1, lines 1-4).
+        """
+        summary = cls()
+        for node in graph.nodes():
+            summary.hierarchy.add_leaf(node)
+        for u, v in graph.edges():
+            summary.add_p_edge(summary.hierarchy.leaf_of(u), summary.hierarchy.leaf_of(v))
+        return summary
+
+    # ------------------------------------------------------------------
+    # Superedge mutation
+    # ------------------------------------------------------------------
+    def _check_supernode(self, supernode: int) -> None:
+        if not self.hierarchy.contains(supernode):
+            raise KeyError(f"unknown supernode id {supernode}")
+
+    def add_p_edge(self, a: int, b: int) -> bool:
+        """Add the positive superedge ``{a, b}``; returns whether it was new.
+
+        Adding a p-edge where the same pair already carries an n-edge is
+        rejected: the pair would cancel out and only waste encoding cost.
+        """
+        self._check_supernode(a)
+        self._check_supernode(b)
+        edge = _canonical(a, b)
+        if edge in self._n_edges:
+            raise SummaryInvariantError(f"superedge {edge} already present with negative sign")
+        if edge in self._p_edges:
+            return False
+        self._p_edges.add(edge)
+        self._incident.setdefault(edge[0], set()).add((edge[1], POSITIVE))
+        self._incident.setdefault(edge[1], set()).add((edge[0], POSITIVE))
+        return True
+
+    def add_n_edge(self, a: int, b: int) -> bool:
+        """Add the negative superedge ``{a, b}``; returns whether it was new."""
+        self._check_supernode(a)
+        self._check_supernode(b)
+        edge = _canonical(a, b)
+        if edge in self._p_edges:
+            raise SummaryInvariantError(f"superedge {edge} already present with positive sign")
+        if edge in self._n_edges:
+            return False
+        self._n_edges.add(edge)
+        self._incident.setdefault(edge[0], set()).add((edge[1], NEGATIVE))
+        self._incident.setdefault(edge[1], set()).add((edge[0], NEGATIVE))
+        return True
+
+    def add_edge(self, a: int, b: int, sign: int) -> bool:
+        """Add a superedge with an explicit sign (+1 or -1)."""
+        if sign == POSITIVE:
+            return self.add_p_edge(a, b)
+        if sign == NEGATIVE:
+            return self.add_n_edge(a, b)
+        raise ValueError(f"sign must be +1 or -1, got {sign}")
+
+    def remove_p_edge(self, a: int, b: int) -> bool:
+        """Remove the positive superedge ``{a, b}`` if present."""
+        edge = _canonical(a, b)
+        if edge not in self._p_edges:
+            return False
+        self._p_edges.discard(edge)
+        self._discard_incident(edge, POSITIVE)
+        return True
+
+    def remove_n_edge(self, a: int, b: int) -> bool:
+        """Remove the negative superedge ``{a, b}`` if present."""
+        edge = _canonical(a, b)
+        if edge not in self._n_edges:
+            return False
+        self._n_edges.discard(edge)
+        self._discard_incident(edge, NEGATIVE)
+        return True
+
+    def remove_edge(self, a: int, b: int, sign: int) -> bool:
+        """Remove a superedge with an explicit sign (+1 or -1)."""
+        if sign == POSITIVE:
+            return self.remove_p_edge(a, b)
+        if sign == NEGATIVE:
+            return self.remove_n_edge(a, b)
+        raise ValueError(f"sign must be +1 or -1, got {sign}")
+
+    def _discard_incident(self, edge: SuperEdge, sign: int) -> None:
+        a, b = edge
+        incident_a = self._incident.get(a)
+        if incident_a is not None:
+            incident_a.discard((b, sign))
+            if not incident_a:
+                del self._incident[a]
+        if a != b:
+            incident_b = self._incident.get(b)
+            if incident_b is not None:
+                incident_b.discard((a, sign))
+                if not incident_b:
+                    del self._incident[b]
+
+    # ------------------------------------------------------------------
+    # Superedge queries
+    # ------------------------------------------------------------------
+    def has_p_edge(self, a: int, b: int) -> bool:
+        """Whether the positive superedge ``{a, b}`` is present."""
+        return _canonical(a, b) in self._p_edges
+
+    def has_n_edge(self, a: int, b: int) -> bool:
+        """Whether the negative superedge ``{a, b}`` is present."""
+        return _canonical(a, b) in self._n_edges
+
+    def p_edges(self) -> Iterator[SuperEdge]:
+        """Iterate over positive superedges (canonical pairs)."""
+        return iter(self._p_edges)
+
+    def n_edges(self) -> Iterator[SuperEdge]:
+        """Iterate over negative superedges (canonical pairs)."""
+        return iter(self._n_edges)
+
+    def incident_edges(self, supernode: int) -> List[Tuple[int, int]]:
+        """Signed superedges incident to ``supernode`` as ``(other, sign)`` pairs."""
+        return list(self._incident.get(supernode, ()))
+
+    def degree(self, supernode: int) -> int:
+        """Number of p/n superedges incident to ``supernode``."""
+        return len(self._incident.get(supernode, ()))
+
+    # ------------------------------------------------------------------
+    # Cost (Eq. 1) and composition (Fig. 6)
+    # ------------------------------------------------------------------
+    @property
+    def num_p_edges(self) -> int:
+        """|P+|."""
+        return len(self._p_edges)
+
+    @property
+    def num_n_edges(self) -> int:
+        """|P-|."""
+        return len(self._n_edges)
+
+    @property
+    def num_h_edges(self) -> int:
+        """|H|."""
+        return self.hierarchy.num_hierarchy_edges
+
+    def cost(self) -> int:
+        """Encoding cost Cost(G) = |P+| + |P-| + |H| (Eq. 1)."""
+        return self.num_p_edges + self.num_n_edges + self.num_h_edges
+
+    def relative_size(self, graph: Graph) -> float:
+        """Relative output size Cost(G) / |E| (Eq. 10)."""
+        if graph.num_edges == 0:
+            raise SummaryInvariantError("relative size is undefined for an edgeless graph")
+        return self.cost() / graph.num_edges
+
+    def composition(self) -> Dict[str, int]:
+        """Edge counts by type, as plotted in Fig. 6."""
+        return {
+            "p_edges": self.num_p_edges,
+            "n_edges": self.num_n_edges,
+            "h_edges": self.num_h_edges,
+        }
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def _covered_leaf_pairs(self, edge: SuperEdge) -> Iterator[Tuple[Subnode, Subnode]]:
+        """Subnode pairs covered by one superedge, each yielded exactly once."""
+        x, y = edge
+        hierarchy = self.hierarchy
+        if x == y:
+            members = hierarchy.leaf_subnodes(x)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    u, v = members[i], members[j]
+                    yield (u, v) if repr(u) <= repr(v) else (v, u)
+            return
+        leaves_x = hierarchy.leaf_subnodes(x)
+        leaves_y = hierarchy.leaf_subnodes(y)
+        seen: Set[Tuple[Subnode, Subnode]] = set()
+        for u in leaves_x:
+            for v in leaves_y:
+                if u == v:
+                    continue
+                pair = (u, v) if repr(u) <= repr(v) else (v, u)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+    def decompress(self) -> Graph:
+        """Reconstruct the represented graph exactly.
+
+        A subedge exists when the net coverage (p minus n) of the pair is
+        strictly positive.
+        """
+        weights: Dict[Tuple[Subnode, Subnode], int] = {}
+        for edge in self._p_edges:
+            for pair in self._covered_leaf_pairs(edge):
+                weights[pair] = weights.get(pair, 0) + 1
+        for edge in self._n_edges:
+            for pair in self._covered_leaf_pairs(edge):
+                weights[pair] = weights.get(pair, 0) - 1
+        graph = Graph(nodes=self.hierarchy.subnodes())
+        for (u, v), weight in weights.items():
+            if weight > 0:
+                graph.add_edge(u, v)
+        return graph
+
+    def pair_weight(self, u: Subnode, v: Subnode) -> int:
+        """Net coverage (p minus n) of the subnode pair ``(u, v)``.
+
+        This is the quantity the model interpretation compares against
+        zero; it is mostly used by tests and by the pruning invariants.
+        """
+        if u == v:
+            raise ValueError("pair_weight() requires two distinct subnodes")
+        ancestors_u = set(self.hierarchy.ancestors(self.hierarchy.leaf_of(u)))
+        ancestors_v = set(self.hierarchy.ancestors(self.hierarchy.leaf_of(v)))
+        weight = 0
+        for edges, sign in ((self._p_edges, POSITIVE), (self._n_edges, NEGATIVE)):
+            for x, y in edges:
+                covers = (x in ancestors_u and y in ancestors_v) or (
+                    x in ancestors_v and y in ancestors_u
+                )
+                if covers:
+                    weight += sign
+        return weight
+
+    def neighbors(self, subnode: Subnode) -> Set[Subnode]:
+        """One-hop neighbors of ``subnode`` by partial decompression (Alg. 4).
+
+        Only the superedges incident to the ancestors of ``subnode`` are
+        touched, so the query cost is proportional to the encoding local
+        to the queried node rather than to the whole summary.
+        """
+        leaf = self.hierarchy.leaf_of(subnode)
+        ancestors = self.hierarchy.ancestors(leaf)
+        ancestor_set = set(ancestors)
+        counts: Dict[Subnode, int] = {}
+        processed: Set[Tuple[int, int, int]] = set()
+        for ancestor in ancestors:
+            for other, sign in self._incident.get(ancestor, ()):
+                edge = _canonical(ancestor, other)
+                key = (edge[0], edge[1], sign)
+                if key in processed:
+                    continue
+                processed.add(key)
+                x, y = edge
+                targets: Set[Subnode] = set()
+                if x in ancestor_set:
+                    targets.update(self.hierarchy.leaf_subnodes(y))
+                if y in ancestor_set:
+                    targets.update(self.hierarchy.leaf_subnodes(x))
+                targets.discard(subnode)
+                for target in targets:
+                    counts[target] = counts.get(target, 0) + sign
+        return {node for node, weight in counts.items() if weight > 0}
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`SummaryInvariantError` unless the summary represents ``graph`` exactly."""
+        summary_nodes = set(self.hierarchy.subnodes())
+        graph_nodes = set(graph.nodes())
+        if summary_nodes != graph_nodes:
+            missing = graph_nodes - summary_nodes
+            extra = summary_nodes - graph_nodes
+            raise SummaryInvariantError(
+                f"subnode mismatch: missing={sorted(map(repr, missing))[:5]} "
+                f"extra={sorted(map(repr, extra))[:5]}"
+            )
+        reconstructed = self.decompress()
+        original_edges = graph.edge_set()
+        rebuilt_edges = reconstructed.edge_set()
+        if original_edges != rebuilt_edges:
+            lost = original_edges - rebuilt_edges
+            spurious = rebuilt_edges - original_edges
+            raise SummaryInvariantError(
+                f"summary is not lossless: {len(lost)} edges lost "
+                f"(e.g. {sorted(map(repr, lost))[:3]}), {len(spurious)} spurious "
+                f"(e.g. {sorted(map(repr, spurious))[:3]})"
+            )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "HierarchicalSummary":
+        """A deep copy of the summary."""
+        clone = HierarchicalSummary(self.hierarchy.copy())
+        clone._p_edges = set(self._p_edges)
+        clone._n_edges = set(self._n_edges)
+        clone._incident = {node: set(edges) for node, edges in self._incident.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalSummary(p_edges={self.num_p_edges}, n_edges={self.num_n_edges}, "
+            f"h_edges={self.num_h_edges}, cost={self.cost()})"
+        )

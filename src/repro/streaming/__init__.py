@@ -1,0 +1,41 @@
+"""Dynamic-graph streams and online summarization.
+
+The substrate behind the MoSSo baseline and the streaming experiments:
+edge events, stream workload generators (insertion-only, fully dynamic,
+sliding window), a ground-truth :class:`DynamicGraph`, and the
+:class:`OnlineSummarizer` harness that maintains a MoSSo summary while a
+stream is replayed.
+"""
+
+from repro.streaming.events import EdgeEvent, EventKind, deletion, insertion
+from repro.streaming.dynamic import DynamicGraph
+from repro.streaming.stream import (
+    fully_dynamic_stream,
+    insertion_stream,
+    replay,
+    sliding_window_stream,
+    stream_statistics,
+)
+from repro.streaming.online import (
+    OnlineSummarizer,
+    StreamCheckpoint,
+    StreamReplayResult,
+    replay_stream,
+)
+
+__all__ = [
+    "EdgeEvent",
+    "EventKind",
+    "insertion",
+    "deletion",
+    "DynamicGraph",
+    "insertion_stream",
+    "fully_dynamic_stream",
+    "sliding_window_stream",
+    "replay",
+    "stream_statistics",
+    "OnlineSummarizer",
+    "StreamCheckpoint",
+    "StreamReplayResult",
+    "replay_stream",
+]

@@ -1,0 +1,78 @@
+"""A dynamic graph that applies stream events and keeps an event log.
+
+:class:`DynamicGraph` is the reference consumer of an edge stream: it
+applies every event to an ordinary :class:`~repro.graphs.graph.Graph`
+while enforcing stream consistency (no duplicate insertions, no
+deletions of absent edges).  The online-summarization experiments
+compare the summary maintained by MoSSo against this ground truth after
+every batch of events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.exceptions import StreamError
+from repro.graphs.graph import Graph
+from repro.streaming.events import EdgeEvent, EventKind
+
+
+class DynamicGraph:
+    """A graph maintained incrementally from a stream of edge events."""
+
+    def __init__(self, initial: Optional[Graph] = None) -> None:
+        self._graph = initial.copy() if initial is not None else Graph()
+        self._log: List[EdgeEvent] = []
+        self._time = 0
+
+    @property
+    def graph(self) -> Graph:
+        """The current graph (a live reference; copy before mutating elsewhere)."""
+        return self._graph
+
+    @property
+    def time(self) -> int:
+        """Number of events applied so far."""
+        return self._time
+
+    @property
+    def log(self) -> List[EdgeEvent]:
+        """Events applied so far, in order."""
+        return list(self._log)
+
+    def apply(self, event: EdgeEvent, strict: bool = True) -> bool:
+        """Apply one event; return whether the graph changed.
+
+        With ``strict=True`` (the default) inserting an existing edge or
+        deleting a missing one raises :class:`~repro.exceptions.StreamError`;
+        with ``strict=False`` such events are ignored, which matches how
+        MoSSo tolerates redundant updates.
+        """
+        changed = False
+        if event.kind is EventKind.INSERT:
+            if self._graph.has_edge(event.u, event.v):
+                if strict:
+                    raise StreamError(f"edge {event.edge!r} inserted twice")
+            else:
+                self._graph.add_edge(event.u, event.v)
+                changed = True
+        elif event.kind is EventKind.DELETE:
+            if not self._graph.has_edge(event.u, event.v):
+                if strict:
+                    raise StreamError(f"edge {event.edge!r} deleted while absent")
+            else:
+                self._graph.remove_edge(event.u, event.v)
+                changed = True
+        else:  # pragma: no cover - EventKind is closed
+            raise StreamError(f"unknown event kind {event.kind!r}")
+        self._log.append(event)
+        self._time += 1
+        return changed
+
+    def apply_all(self, events: Iterable[EdgeEvent], strict: bool = True) -> int:
+        """Apply every event in order; return how many changed the graph."""
+        return sum(1 for event in events if self.apply(event, strict=strict))
+
+    def snapshot(self) -> Graph:
+        """An independent copy of the current graph."""
+        return self._graph.copy()

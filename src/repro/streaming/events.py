@@ -1,0 +1,80 @@
+"""Edge events of a fully dynamic graph stream.
+
+MoSSo — one of the baselines the paper compares against — is defined on
+*fully dynamic graph streams*: sequences of edge insertions and
+deletions.  The streaming substrate models such a stream explicitly so
+the online-summarization experiments can replay realistic workloads
+(insertion-only, sliding-window, mixed churn) instead of only static
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, Tuple
+
+from repro.exceptions import StreamError
+from repro.graphs.graph import canonical_edge
+
+Node = Hashable
+
+
+class EventKind(str, Enum):
+    """Type of a stream event: an edge insertion or an edge deletion."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped event of a dynamic graph stream.
+
+    Attributes
+    ----------
+    kind:
+        Whether the edge is inserted or deleted.
+    u, v:
+        Endpoints of the undirected edge (distinct nodes).
+    time:
+        Monotonically non-decreasing position of the event in the stream.
+    """
+
+    kind: EventKind
+    u: Node
+    v: Node
+    time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise StreamError(f"stream events must not be self-loops (node {self.u!r})")
+        if not isinstance(self.kind, EventKind):
+            raise StreamError(f"kind must be an EventKind, got {self.kind!r}")
+        if self.time < 0:
+            raise StreamError(f"event time must be non-negative, got {self.time}")
+
+    @property
+    def edge(self) -> Tuple[Node, Node]:
+        """The canonical undirected edge the event refers to."""
+        return canonical_edge(self.u, self.v)
+
+    @property
+    def is_insertion(self) -> bool:
+        """Whether the event inserts the edge."""
+        return self.kind is EventKind.INSERT
+
+    @property
+    def is_deletion(self) -> bool:
+        """Whether the event deletes the edge."""
+        return self.kind is EventKind.DELETE
+
+
+def insertion(u: Node, v: Node, time: int = 0) -> EdgeEvent:
+    """Shorthand for an insertion event."""
+    return EdgeEvent(EventKind.INSERT, u, v, time)
+
+
+def deletion(u: Node, v: Node, time: int = 0) -> EdgeEvent:
+    """Shorthand for a deletion event."""
+    return EdgeEvent(EventKind.DELETE, u, v, time)

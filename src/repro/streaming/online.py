@@ -1,0 +1,145 @@
+"""Online summarization harness: maintain a summary while a stream is replayed.
+
+:class:`OnlineSummarizer` wires a :class:`~repro.streaming.dynamic.DynamicGraph`
+to a MoSSo instance: every event updates both, and at configurable
+checkpoints the harness records the relative output size of the
+maintained summary against the *current* graph (validating losslessness
+on the way).  This reproduces the measurement protocol of the MoSSo
+paper — compression quality tracked over a fully dynamic stream — on the
+same substrate as the offline comparisons, and it backs the streaming
+bench and the ``streaming_summarization`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.mosso import MoSSo, MossoConfig
+from repro.exceptions import StreamError
+from repro.graphs.graph import Graph
+from repro.model.flat import FlatSummary
+from repro.streaming.dynamic import DynamicGraph
+from repro.streaming.events import EdgeEvent
+
+
+@dataclass
+class StreamCheckpoint:
+    """Quality snapshot taken while replaying a stream."""
+
+    time: int
+    num_edges: int
+    cost: int
+    relative_size: float
+
+
+@dataclass
+class StreamReplayResult:
+    """Outcome of replaying one stream through the online summarizer."""
+
+    checkpoints: List[StreamCheckpoint] = field(default_factory=list)
+    final_summary: Optional[FlatSummary] = None
+    final_graph: Optional[Graph] = None
+    events_applied: int = 0
+
+    def final_relative_size(self) -> float:
+        """Relative output size at the end of the stream."""
+        if not self.checkpoints:
+            raise StreamError("no checkpoints were recorded")
+        return self.checkpoints[-1].relative_size
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Checkpoint records as plain dictionaries (for reporting helpers)."""
+        return [
+            {
+                "time": float(point.time),
+                "num_edges": float(point.num_edges),
+                "cost": float(point.cost),
+                "relative_size": point.relative_size,
+            }
+            for point in self.checkpoints
+        ]
+
+
+class OnlineSummarizer:
+    """Maintains a MoSSo summary and a ground-truth graph over an event stream."""
+
+    def __init__(self, config: Optional[MossoConfig] = None, **overrides) -> None:
+        self._mosso = MoSSo(config, **overrides)
+        self._dynamic = DynamicGraph()
+
+    @property
+    def graph(self) -> Graph:
+        """The ground-truth graph accumulated from the stream."""
+        return self._dynamic.graph
+
+    @property
+    def time(self) -> int:
+        """Number of events applied so far."""
+        return self._dynamic.time
+
+    def apply(self, event: EdgeEvent, strict: bool = False) -> None:
+        """Apply one event to both the ground truth and the maintained summary."""
+        self._dynamic.apply(event, strict=strict)
+        if event.is_insertion:
+            self._mosso.add_edge(event.u, event.v)
+        else:
+            self._mosso.remove_edge(event.u, event.v)
+
+    def summary(self) -> FlatSummary:
+        """The currently maintained flat summary."""
+        return self._mosso.summary()
+
+    def checkpoint(self, validate: bool = True) -> StreamCheckpoint:
+        """Record (and optionally validate) the summary quality right now."""
+        graph = self._dynamic.graph
+        summary = self.summary()
+        if validate:
+            summary.validate(graph)
+        cost = summary.cost_eq11()
+        relative = cost / graph.num_edges if graph.num_edges else 0.0
+        return StreamCheckpoint(
+            time=self._dynamic.time,
+            num_edges=graph.num_edges,
+            cost=cost,
+            relative_size=relative,
+        )
+
+    def replay(
+        self,
+        events: List[EdgeEvent],
+        checkpoints: int = 10,
+        validate: bool = True,
+    ) -> StreamReplayResult:
+        """Replay a whole stream, recording ``checkpoints`` evenly spaced snapshots.
+
+        The final event always triggers a checkpoint so the result ends
+        with the quality of the completed stream.
+        """
+        if checkpoints < 1:
+            raise StreamError(f"checkpoints must be >= 1, got {checkpoints}")
+        result = StreamReplayResult()
+        if not events:
+            return result
+        interval = max(1, len(events) // checkpoints)
+        for index, event in enumerate(events):
+            self.apply(event)
+            result.events_applied += 1
+            is_last = index == len(events) - 1
+            if is_last or (index + 1) % interval == 0:
+                if self._dynamic.graph.num_edges > 0:
+                    result.checkpoints.append(self.checkpoint(validate=validate))
+        result.final_summary = self.summary()
+        result.final_graph = self._dynamic.snapshot()
+        return result
+
+
+def replay_stream(
+    events: List[EdgeEvent],
+    config: Optional[MossoConfig] = None,
+    checkpoints: int = 10,
+    validate: bool = True,
+) -> StreamReplayResult:
+    """Convenience wrapper: replay ``events`` through a fresh :class:`OnlineSummarizer`."""
+    summarizer = OnlineSummarizer(config)
+    return summarizer.replay(events, checkpoints=checkpoints, validate=validate)

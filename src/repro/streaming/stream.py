@@ -1,0 +1,140 @@
+"""Edge-stream workload generators.
+
+The MoSSo paper (and Sect. V of SLUGGER's related work) evaluates online
+summarization on three stream shapes, all of which are generated here
+from any static graph:
+
+* :func:`insertion_stream` — the edges of a graph replayed in random
+  order (how the paper compares MoSSo against offline methods);
+* :func:`fully_dynamic_stream` — insertions interleaved with deletions
+  of previously inserted edges (churn), ending with a prescribed
+  fraction of the graph present;
+* :func:`sliding_window_stream` — every edge is inserted and later
+  deleted once it falls out of a fixed-size window, modelling
+  time-decaying interaction graphs.
+
+Each generator returns a plain list of :class:`EdgeEvent` so streams can
+be inspected, truncated, and replayed deterministically in tests and
+benches.  :func:`replay` folds a stream back into a static graph, which
+is the ground truth the online summarizer is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.exceptions import StreamError
+from repro.graphs.graph import Graph, canonical_edge
+from repro.streaming.events import EdgeEvent, deletion, insertion
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_probability, require_type
+
+
+def _shuffled_edges(graph: Graph, seed: SeedLike) -> List[Tuple]:
+    edges = sorted(graph.edges(), key=repr)
+    ensure_rng(seed).shuffle(edges)
+    return edges
+
+
+def insertion_stream(graph: Graph, seed: SeedLike = 0) -> List[EdgeEvent]:
+    """Replay all edges of ``graph`` as insertions in random order."""
+    require_type(graph, Graph, "graph")
+    return [
+        insertion(u, v, time=index)
+        for index, (u, v) in enumerate(_shuffled_edges(graph, seed))
+    ]
+
+
+def fully_dynamic_stream(
+    graph: Graph,
+    deletion_ratio: float = 0.2,
+    seed: SeedLike = 0,
+) -> List[EdgeEvent]:
+    """Insert every edge of ``graph``, interleaving deletions of a fraction of them.
+
+    ``deletion_ratio`` is the fraction of inserted edges that are deleted
+    again later in the stream (and then re-inserted at the end so that
+    the stream's final state equals ``graph`` — keeping the final-state
+    comparison against offline methods meaningful).
+    """
+    require_type(graph, Graph, "graph")
+    require_probability(deletion_ratio, "deletion_ratio")
+    rng = ensure_rng(seed)
+    events: List[EdgeEvent] = []
+    inserted: List[Tuple] = []
+    deleted: Set[Tuple] = set()
+    time = 0
+    for u, v in _shuffled_edges(graph, rng):
+        events.append(insertion(u, v, time=time))
+        inserted.append(canonical_edge(u, v))
+        time += 1
+        # Occasionally delete one of the edges inserted so far.
+        if inserted and rng.random() < deletion_ratio:
+            victim = inserted[rng.randrange(len(inserted))]
+            if victim not in deleted:
+                events.append(deletion(victim[0], victim[1], time=time))
+                deleted.add(victim)
+                time += 1
+    # Re-insert deleted edges so the stream converges to the input graph.
+    for u, v in sorted(deleted, key=repr):
+        events.append(insertion(u, v, time=time))
+        time += 1
+    return events
+
+
+def sliding_window_stream(
+    graph: Graph,
+    window: int,
+    seed: SeedLike = 0,
+) -> List[EdgeEvent]:
+    """Insert edges in random order, deleting each edge ``window`` insertions later.
+
+    The final state contains only the last ``window`` inserted edges,
+    which models interaction graphs where old events expire.
+    """
+    require_type(graph, Graph, "graph")
+    if window < 1:
+        raise StreamError(f"window must be >= 1, got {window}")
+    edges = _shuffled_edges(graph, seed)
+    events: List[EdgeEvent] = []
+    time = 0
+    for index, (u, v) in enumerate(edges):
+        events.append(insertion(u, v, time=time))
+        time += 1
+        expired = index - window + 1
+        if expired >= 0 and index + 1 < len(edges):
+            old_u, old_v = edges[expired]
+            events.append(deletion(old_u, old_v, time=time))
+            time += 1
+    return events
+
+
+def replay(events: List[EdgeEvent], initial: Optional[Graph] = None, strict: bool = True) -> Graph:
+    """Fold a stream of events into the static graph it produces."""
+    graph = initial.copy() if initial is not None else Graph()
+    for event in events:
+        if event.is_insertion:
+            if graph.has_edge(event.u, event.v):
+                if strict:
+                    raise StreamError(f"edge {event.edge!r} inserted twice at time {event.time}")
+            else:
+                graph.add_edge(event.u, event.v)
+        else:
+            if not graph.has_edge(event.u, event.v):
+                if strict:
+                    raise StreamError(f"edge {event.edge!r} deleted while absent at time {event.time}")
+            else:
+                graph.remove_edge(event.u, event.v)
+    return graph
+
+
+def stream_statistics(events: List[EdgeEvent]) -> dict:
+    """Simple per-stream statistics used by reports and tests."""
+    insertions = sum(1 for event in events if event.is_insertion)
+    deletions = len(events) - insertions
+    return {
+        "num_events": len(events),
+        "num_insertions": insertions,
+        "num_deletions": deletions,
+        "deletion_share": deletions / len(events) if events else 0.0,
+    }

@@ -1,0 +1,26 @@
+"""Shared low-level utilities: RNG handling, validation, timing, statistics."""
+
+from repro.utils.rng import ensure_rng, spawn_seeds
+from repro.utils.stats import linear_fit, mean, pearson_correlation, stdev
+from repro.utils.timing import Stopwatch, time_call
+from repro.utils.validation import (
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_seeds",
+    "linear_fit",
+    "mean",
+    "pearson_correlation",
+    "stdev",
+    "Stopwatch",
+    "time_call",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "require_type",
+]

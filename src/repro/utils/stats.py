@@ -1,0 +1,68 @@
+"""Small statistics helpers used by experiments and tests.
+
+These avoid pulling heavier dependencies into hot paths; the experiment
+harness only needs means, standard deviations, a least-squares line, and
+a Pearson correlation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of ``values`` (raises on an empty sequence)."""
+    if not values:
+        raise ValueError("mean() requires at least one value")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation of ``values``."""
+    if not values:
+        raise ValueError("stdev() requires at least one value")
+    center = mean(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) / len(values))
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares fit ``y = slope * x + intercept``.
+
+    Returns ``(slope, intercept, r_squared)``.  Used by the scalability
+    experiment (Fig. 1(b)) to quantify how linear runtime is in |E|.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("linear_fit() requires sequences of equal length")
+    if len(xs) < 2:
+        raise ValueError("linear_fit() requires at least two points")
+    x_mean = mean(xs)
+    y_mean = mean(ys)
+    sxx = sum((x - x_mean) ** 2 for x in xs)
+    sxy = sum((x - x_mean) * (y - y_mean) for x, y in zip(xs, ys))
+    syy = sum((y - y_mean) ** 2 for y in ys)
+    if sxx == 0:
+        raise ValueError("linear_fit() requires at least two distinct x values")
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+    if syy == 0:
+        r_squared = 1.0
+    else:
+        r_squared = (sxy * sxy) / (sxx * syy)
+    return slope, intercept, r_squared
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between ``xs`` and ``ys``."""
+    if len(xs) != len(ys):
+        raise ValueError("pearson_correlation() requires sequences of equal length")
+    if len(xs) < 2:
+        raise ValueError("pearson_correlation() requires at least two points")
+    x_mean = mean(xs)
+    y_mean = mean(ys)
+    sxx = sum((x - x_mean) ** 2 for x in xs)
+    syy = sum((y - y_mean) ** 2 for y in ys)
+    sxy = sum((x - x_mean) * (y - y_mean) for x, y in zip(xs, ys))
+    if sxx == 0 or syy == 0:
+        raise ValueError("pearson_correlation() is undefined for constant sequences")
+    return sxy / math.sqrt(sxx * syy)

@@ -1,0 +1,60 @@
+"""Lightweight wall-clock timing used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+
+class Stopwatch:
+    """A resettable wall-clock stopwatch.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> watch.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = watch.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._started_at: float = 0.0
+        self._elapsed: float = 0.0
+        self._running = False
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) timing from zero."""
+        self._started_at = time.perf_counter()
+        self._elapsed = 0.0
+        self._running = True
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds."""
+        if not self._running:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._started_at
+        self._running = False
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds measured by the last completed start/stop cycle."""
+        if self._running:
+            return time.perf_counter() - self._started_at
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - started

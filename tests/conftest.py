@@ -1,0 +1,83 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    caveman_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    nested_partition_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """The smallest non-trivial graph: a triangle."""
+    return Graph(edges=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_clique() -> Graph:
+    """A 6-node clique — the best case for summarization."""
+    return complete_graph(6)
+
+
+@pytest.fixture
+def small_bipartite() -> Graph:
+    """A complete bipartite graph K_{4,5}."""
+    return complete_bipartite_graph(4, 5)
+
+
+@pytest.fixture
+def small_caveman() -> Graph:
+    """Four 5-cliques with a little rewiring."""
+    return caveman_graph(4, 5, 0.05, seed=7)
+
+
+@pytest.fixture
+def small_random() -> Graph:
+    """A sparse Erdős–Rényi graph."""
+    return erdos_renyi_graph(40, 0.12, seed=11)
+
+
+@pytest.fixture
+def small_hierarchical() -> Graph:
+    """A nested planted-partition graph with clear two-level structure."""
+    return nested_partition_graph((3, 4, 5), (0.02, 0.25, 0.9), seed=3)
+
+
+@pytest.fixture
+def small_star() -> Graph:
+    """A star with 8 leaves."""
+    return star_graph(8)
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    """A path on 10 nodes."""
+    return path_graph(10)
+
+
+@pytest.fixture(
+    params=["triangle", "clique", "bipartite", "caveman", "random", "hierarchical", "star", "path"]
+)
+def any_small_graph(request, triangle_graph, small_clique, small_bipartite, small_caveman,
+                    small_random, small_hierarchical, small_star, small_path) -> Graph:
+    """Parametrized fixture cycling over all structural test graphs."""
+    graphs = {
+        "triangle": triangle_graph,
+        "clique": small_clique,
+        "bipartite": small_bipartite,
+        "caveman": small_caveman,
+        "random": small_random,
+        "hierarchical": small_hierarchical,
+        "star": small_star,
+        "path": small_path,
+    }
+    return graphs[request.param]

@@ -1,0 +1,155 @@
+"""Tests for graph algorithms running on raw graphs and on summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    as_neighbor_function,
+    bfs_distances,
+    bfs_order,
+    connected_component_of,
+    count_triangles,
+    dfs_order,
+    dijkstra_distances,
+    local_triangle_counts,
+    node_universe,
+    pagerank,
+    shortest_path,
+)
+from repro.baselines import sweg_summarize
+from repro.core import Slugger, SluggerConfig
+from repro.graphs import Graph, caveman_graph, complete_graph, erdos_renyi_graph, path_graph, star_graph
+
+
+@pytest.fixture
+def providers(small_caveman):
+    """The same graph as a raw graph, a hierarchical summary, and a flat summary."""
+    hierarchical = Slugger(SluggerConfig(iterations=5, seed=0)).summarize(small_caveman).summary
+    flat = sweg_summarize(small_caveman, iterations=5, seed=0)
+    return small_caveman, hierarchical, flat
+
+
+class TestNeighborProviders:
+    def test_all_providers_agree_on_neighbors(self, providers):
+        graph, hierarchical, flat = providers
+        for node in graph.nodes():
+            expected = set(graph.neighbor_set(node))
+            assert hierarchical.neighbors(node) == expected
+            assert flat.neighbors(node) == expected
+
+    def test_node_universe(self, providers):
+        graph, hierarchical, flat = providers
+        expected = set(graph.nodes())
+        assert set(node_universe(hierarchical)) == expected
+        assert set(node_universe(flat)) == expected
+
+    def test_unsupported_provider_rejected(self):
+        with pytest.raises(TypeError):
+            as_neighbor_function({"not": "a graph"})
+        with pytest.raises(TypeError):
+            node_universe(42)
+
+
+class TestTraversal:
+    def test_bfs_distances_on_path(self):
+        graph = path_graph(6)
+        distances = bfs_distances(graph, 0)
+        assert distances == {node: node for node in range(6)}
+
+    def test_bfs_and_dfs_cover_component(self, providers):
+        graph, hierarchical, _flat = providers
+        source = graph.nodes()[0]
+        expected = connected_component_of(graph, source)
+        assert set(bfs_order(hierarchical, source)) == expected
+        assert set(dfs_order(hierarchical, source)) == expected
+
+    def test_dfs_matches_graph_and_summary(self, providers):
+        graph, hierarchical, flat = providers
+        source = graph.nodes()[0]
+        assert dfs_order(graph, source) == dfs_order(hierarchical, source) == dfs_order(flat, source)
+
+    def test_bfs_on_star(self):
+        graph = star_graph(5)
+        order = bfs_order(graph, 0)
+        assert order[0] == 0
+        assert set(order) == set(graph.nodes())
+
+
+class TestPagerank:
+    def test_scores_sum_to_one(self, providers):
+        graph, hierarchical, _flat = providers
+        scores = pagerank(hierarchical, iterations=10)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_hub_has_highest_score(self):
+        graph = star_graph(6)
+        scores = pagerank(graph, iterations=30)
+        assert max(scores, key=scores.get) == 0
+
+    def test_summary_matches_graph(self, providers):
+        graph, hierarchical, flat = providers
+        on_graph = pagerank(graph, iterations=8)
+        on_hierarchical = pagerank(hierarchical, iterations=8)
+        on_flat = pagerank(flat, iterations=8)
+        for node in graph.nodes():
+            assert on_hierarchical[node] == pytest.approx(on_graph[node], abs=1e-12)
+            assert on_flat[node] == pytest.approx(on_graph[node], abs=1e-12)
+
+    def test_empty_graph(self):
+        assert pagerank(Graph()) == {}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            pagerank(complete_graph(3), damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank(complete_graph(3), iterations=0)
+
+
+class TestShortestPaths:
+    def test_unit_weights_match_bfs(self, providers):
+        graph, hierarchical, _flat = providers
+        source = graph.nodes()[0]
+        bfs = bfs_distances(graph, source)
+        dijkstra = dijkstra_distances(hierarchical, source)
+        assert {node: int(distance) for node, distance in dijkstra.items()} == bfs
+
+    def test_weighted_distances(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        weights = {(0, 1): 1.0, (1, 0): 1.0, (1, 2): 1.0, (2, 1): 1.0, (0, 2): 5.0, (2, 0): 5.0}
+        distances = dijkstra_distances(graph, 0, weight=lambda u, v: weights[(u, v)])
+        assert distances[2] == pytest.approx(2.0)
+
+    def test_negative_weight_rejected(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            dijkstra_distances(graph, 0, weight=lambda u, v: -1.0)
+
+    def test_shortest_path_endpoints(self):
+        graph = path_graph(5)
+        path = shortest_path(graph, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_unreachable(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.add_node(9)
+        assert shortest_path(graph, 0, 9) is None
+
+
+class TestTriangles:
+    def test_complete_graph_count(self):
+        assert count_triangles(complete_graph(5)) == 10
+
+    def test_triangle_free_graph(self):
+        assert count_triangles(path_graph(6)) == 0
+
+    def test_summary_matches_graph(self, providers):
+        graph, hierarchical, flat = providers
+        expected = count_triangles(graph)
+        assert count_triangles(hierarchical) == expected
+        assert count_triangles(flat) == expected
+
+    def test_local_counts_sum(self):
+        graph = caveman_graph(2, 4, seed=0)
+        local = local_triangle_counts(graph)
+        assert sum(local.values()) == 3 * count_triangles(graph)

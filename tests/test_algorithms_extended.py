@@ -1,0 +1,174 @@
+"""Tests for the extended summary-aware algorithms (components, cores, clustering, communities)."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    average_clustering,
+    community_sizes,
+    connected_components,
+    core_numbers,
+    is_connected,
+    k_core_nodes,
+    label_propagation_communities,
+    largest_component,
+    local_clustering,
+    max_core,
+    modularity,
+    num_connected_components,
+)
+from repro.baselines import sweg_summarize
+from repro.core import SluggerConfig, summarize
+from repro.graphs import (
+    Graph,
+    caveman_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def _providers(graph, seed=0):
+    """The same graph as raw adjacency, SLUGGER summary, and SWeG summary."""
+    hierarchical = summarize(graph, SluggerConfig(iterations=5, seed=seed)).summary
+    flat = sweg_summarize(graph, iterations=5, seed=seed)
+    return {"graph": graph, "hierarchical": hierarchical, "flat": flat}
+
+
+def _to_networkx(graph):
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestConnectedComponents:
+    def test_disconnected_graph_components(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (10, 11)], nodes=[20])
+        components = connected_components(graph)
+        assert sorted(map(len, components), reverse=True) == [3, 2, 1]
+        assert num_connected_components(graph) == 3
+        assert largest_component(graph) == {0, 1, 2}
+        assert not is_connected(graph)
+
+    def test_connected_graph(self):
+        graph = cycle_graph(7)
+        assert is_connected(graph)
+        assert num_connected_components(graph) == 1
+
+    def test_empty_graph_is_vacuously_connected(self):
+        assert is_connected(Graph())
+        assert largest_component(Graph()) == set()
+
+    def test_all_providers_agree(self):
+        graph = caveman_graph(3, 5, 0.1, seed=1)
+        expected = connected_components(graph)
+        for provider in _providers(graph).values():
+            got = connected_components(provider)
+            assert sorted(map(frozenset, got)) == sorted(map(frozenset, expected))
+
+    def test_matches_networkx(self):
+        graph = erdos_renyi_graph(40, 0.05, seed=2)
+        ours = {frozenset(component) for component in connected_components(graph)}
+        theirs = {frozenset(component) for component in nx.connected_components(_to_networkx(graph))}
+        assert ours == theirs
+
+
+class TestCoreNumbers:
+    def test_complete_graph_core(self):
+        graph = complete_graph(6)
+        cores = core_numbers(graph)
+        assert set(cores.values()) == {5}
+        assert max_core(graph) == 5
+
+    def test_star_graph_core(self):
+        graph = star_graph(5)
+        assert max_core(graph) == 1
+
+    def test_path_graph_core(self):
+        assert max_core(path_graph(6)) == 1
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in (0, 1, 2):
+            graph = erdos_renyi_graph(35, 0.15, seed=seed)
+            assert core_numbers(graph) == nx.core_number(_to_networkx(graph))
+
+    def test_k_core_nodes(self):
+        graph = caveman_graph(3, 5, 0.0, seed=0)
+        # Each clique of 5 nodes is a 4-core.
+        assert k_core_nodes(graph, 4) == set(graph.nodes())
+        assert k_core_nodes(graph, 5) == set()
+        with pytest.raises(ValueError):
+            k_core_nodes(graph, -1)
+
+    def test_summary_provider_matches_graph(self):
+        graph = caveman_graph(4, 4, 0.1, seed=3)
+        providers = _providers(graph)
+        assert core_numbers(providers["hierarchical"]) == core_numbers(graph)
+        assert core_numbers(providers["flat"]) == core_numbers(graph)
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+        assert max_core(Graph()) == 0
+
+
+class TestClustering:
+    def test_complete_graph_clustering_is_one(self):
+        graph = complete_graph(5)
+        assert average_clustering(graph) == pytest.approx(1.0)
+        assert local_clustering(graph, 0) == pytest.approx(1.0)
+
+    def test_tree_clustering_is_zero(self):
+        graph = star_graph(6)
+        assert average_clustering(graph) == 0.0
+
+    def test_low_degree_nodes_have_zero_coefficient(self):
+        graph = path_graph(3)
+        assert local_clustering(graph, 0) == 0.0
+
+    def test_matches_networkx(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=4)
+        assert average_clustering(graph) == pytest.approx(
+            nx.average_clustering(_to_networkx(graph)), abs=1e-9
+        )
+
+    def test_summary_provider_matches_graph(self):
+        graph = caveman_graph(3, 5, 0.1, seed=5)
+        providers = _providers(graph)
+        assert average_clustering(providers["hierarchical"]) == pytest.approx(
+            average_clustering(graph)
+        )
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestCommunities:
+    def test_caveman_communities_recovered(self):
+        graph = caveman_graph(4, 6, 0.0, seed=0)
+        communities = label_propagation_communities(graph, seed=0)
+        assert community_sizes(communities) == [6, 6, 6, 6]
+
+    def test_modularity_of_good_partition_is_high(self):
+        graph = caveman_graph(4, 6, 0.0, seed=0)
+        communities = label_propagation_communities(graph, seed=0)
+        assert modularity(graph, communities) > 0.5
+
+    def test_modularity_of_single_block_is_zero(self):
+        graph = caveman_graph(4, 6, 0.0, seed=0)
+        assert modularity(graph, [set(graph.nodes())]) == pytest.approx(0.0)
+
+    def test_runs_on_summary_provider(self):
+        graph = caveman_graph(3, 6, 0.05, seed=1)
+        summary = summarize(graph, SluggerConfig(iterations=5, seed=0)).summary
+        communities = label_propagation_communities(summary, seed=0)
+        assert sum(map(len, communities)) == graph.num_nodes
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            label_propagation_communities(complete_graph(3), max_rounds=0)
+
+    def test_modularity_of_empty_graph(self):
+        assert modularity(Graph(), []) == 0.0

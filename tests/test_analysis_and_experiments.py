@@ -1,0 +1,194 @@
+"""Tests for the analysis metrics, method comparison, and experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    MethodResult,
+    compare_methods,
+    compression_report,
+    default_methods,
+    edge_composition,
+    hierarchy_statistics,
+    relative_size,
+)
+from repro.baselines import sweg_summarize
+from repro.core import Slugger, SluggerConfig
+from repro.exceptions import SummaryInvariantError
+from repro.experiments import (
+    ExperimentRecord,
+    composition_experiment,
+    format_series,
+    format_table,
+    headline_experiment,
+    height_sweep,
+    iteration_sweep,
+    pruning_ablation,
+    run_repeated,
+    scalability_experiment,
+    summary_algorithm_experiment,
+    sweep,
+    theorem1_experiment,
+)
+from repro.graphs import Graph, caveman_graph
+
+
+@pytest.fixture(scope="module")
+def caveman_and_summaries():
+    graph = caveman_graph(4, 5, 0.05, seed=3)
+    hierarchical = Slugger(SluggerConfig(iterations=5, seed=0)).summarize(graph).summary
+    flat = sweg_summarize(graph, iterations=5, seed=0)
+    return graph, hierarchical, flat
+
+
+class TestMetrics:
+    def test_relative_size(self, caveman_and_summaries):
+        graph, hierarchical, flat = caveman_and_summaries
+        assert relative_size(hierarchical, graph) == pytest.approx(hierarchical.cost() / graph.num_edges)
+        assert relative_size(flat, graph) == pytest.approx(flat.cost_eq11() / graph.num_edges)
+
+    def test_relative_size_requires_edges(self, caveman_and_summaries):
+        _graph, hierarchical, _flat = caveman_and_summaries
+        with pytest.raises(SummaryInvariantError):
+            relative_size(hierarchical, Graph(nodes=[0]))
+
+    def test_edge_composition_sums_to_one(self, caveman_and_summaries):
+        _graph, hierarchical, flat = caveman_and_summaries
+        for summary in (hierarchical, flat):
+            shares = edge_composition(summary)
+            assert sum(shares.values()) == pytest.approx(1.0)
+            assert all(0.0 <= value <= 1.0 for value in shares.values())
+
+    def test_edge_composition_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            edge_composition("not a summary")
+
+    def test_hierarchy_statistics(self, caveman_and_summaries):
+        _graph, hierarchical, flat = caveman_and_summaries
+        deep = hierarchy_statistics(hierarchical)
+        shallow = hierarchy_statistics(flat)
+        assert deep["max_height"] >= shallow["max_height"] - 1e-9
+        assert shallow["max_height"] in (0.0, 1.0)
+
+    def test_compression_report_fields(self, caveman_and_summaries):
+        graph, hierarchical, _flat = caveman_and_summaries
+        report = compression_report(hierarchical, graph)
+        expected_keys = {
+            "num_nodes", "num_edges", "cost", "relative_size",
+            "share_p_edges", "share_n_edges", "share_h_edges",
+            "max_height", "average_leaf_depth",
+        }
+        assert expected_keys <= set(report)
+
+
+class TestComparison:
+    def test_compare_methods_orders_by_size(self, caveman_and_summaries):
+        graph, _hierarchical, _flat = caveman_and_summaries
+        results = compare_methods(graph, methods=default_methods(iterations=3), seed=0)
+        assert len(results) == 5
+        sizes = [result.relative_size for result in results]
+        assert sizes == sorted(sizes)
+        assert {result.method for result in results} == {
+            "slugger", "sweg", "mosso", "randomized", "sags"
+        }
+
+    def test_compare_methods_custom_subset(self, caveman_and_summaries):
+        graph, _hierarchical, _flat = caveman_and_summaries
+        methods = {name: fn for name, fn in default_methods(iterations=3).items()
+                   if name in ("slugger", "sweg")}
+        results = compare_methods(graph, methods=methods, seed=0)
+        assert len(results) == 2
+        assert all(isinstance(result, MethodResult) for result in results)
+
+
+class TestRunnerAndReporting:
+    def test_run_repeated_aggregates(self):
+        aggregated = run_repeated(lambda seed: {"value": float(seed)}, repetitions=3, base_seed=1)
+        assert aggregated["value"] == pytest.approx(2.0)
+        assert aggregated["value_std"] > 0
+        assert aggregated["repetitions"] == 3.0
+
+    def test_run_repeated_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            run_repeated(lambda seed: {"value": 1.0}, repetitions=0)
+
+    def test_sweep_records(self):
+        records = sweep(lambda x, y: {"sum": float(x + y)}, "x", [1, 2, 3], y=10)
+        assert [record.values["sum"] for record in records] == [11.0, 12.0, 13.0]
+        assert records[0].parameters["x"] == 1
+        assert records[0].as_row()["y"] == 10
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}]
+        text = format_table(rows, ["a", "b"], title="demo")
+        assert "demo" in text
+        assert "20" in text
+        assert "0.250" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], ["a"])
+
+    def test_format_series(self):
+        text = format_series([1, 2], [0.1, 0.2], "x", "y", title="curve")
+        assert "curve" in text
+        assert "0.200" in text
+
+
+class TestExperiments:
+    def test_headline_experiment_has_all_methods(self):
+        records = headline_experiment(dataset="CA", iterations=2, seed=0)
+        methods = {record.parameters["method"] for record in records}
+        assert methods == {"slugger", "sweg", "mosso", "randomized", "sags"}
+        for record in records:
+            assert 0 < record.values["relative_size"] <= 1.6
+
+    def test_scalability_experiment_reports_fit(self):
+        records = scalability_experiment(dataset="CA", fractions=(0.4, 0.7, 1.0),
+                                          iterations=2, seed=0)
+        assert records[-1].label == "linear-fit"
+        assert 0.0 <= records[-1].values["r_squared"] <= 1.0
+        assert len(records) == 4
+
+    def test_composition_experiment_shares(self):
+        records = composition_experiment(["CA"], iterations=2, seed=0)
+        record = records[0]
+        total = (
+            record.values["share_p_edges"]
+            + record.values["share_n_edges"]
+            + record.values["share_h_edges"]
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_iteration_sweep_monotone_tendency(self):
+        records = iteration_sweep(["DB"], iteration_values=(1, 4), seed=0)
+        sizes = {record.parameters["iterations"]: record.values["relative_size"] for record in records}
+        assert sizes[4] <= sizes[1] + 0.05
+
+    def test_pruning_ablation_stages(self):
+        records = pruning_ablation(["DB"], iterations=3, seed=0)
+        stages = {record.parameters["stage"]: record.values for record in records}
+        assert set(stages) == {0, 1, 2, 3}
+        assert stages[3]["relative_size"] <= stages[0]["relative_size"] + 1e-9
+        assert stages[3]["max_height"] <= stages[0]["max_height"] + 1e-9
+
+    def test_height_sweep_depth_increases_with_bound(self):
+        records = height_sweep(["DB"], bounds=(1, None), iterations=3, seed=0)
+        by_bound = {record.parameters["height_bound"]: record.values for record in records}
+        assert by_bound[1]["average_leaf_depth"] <= by_bound[None]["average_leaf_depth"] + 1e-9
+        assert by_bound[1]["max_height"] <= 1.0
+
+    def test_summary_algorithm_experiment_agreement(self):
+        records = summary_algorithm_experiment(dataset="CA", iterations=2, seed=0,
+                                               pagerank_iterations=3)
+        assert {record.parameters["algorithm"] for record in records} == {
+            "bfs", "pagerank", "dijkstra", "triangles"
+        }
+        for record in records:
+            assert record.values["results_agree"] == 1.0
+
+    def test_theorem1_experiment_gap(self):
+        records = theorem1_experiment(sizes=(4, 6), k=2, iterations=4, seed=0)
+        assert len(records) == 2
+        for record in records:
+            assert record.values["hierarchical_cost"] <= record.values["flat_cost"]

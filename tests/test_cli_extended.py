@@ -1,0 +1,126 @@
+"""Tests for the extended CLI subcommands (compress, stream, lossy, export)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import caveman_graph, write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    graph = caveman_graph(3, 5, 0.1, seed=4)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+class TestParser:
+    def test_compress_defaults(self):
+        arguments = build_parser().parse_args(["compress", "--dataset", "PR"])
+        assert arguments.code == "gamma"
+        assert arguments.ordering == "bfs"
+
+    def test_stream_mode_choices(self):
+        arguments = build_parser().parse_args(["stream", "--dataset", "FA", "--mode", "window"])
+        assert arguments.mode == "window"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--dataset", "FA", "--mode", "bogus"])
+
+    def test_lossy_epsilon_is_repeatable(self):
+        arguments = build_parser().parse_args(
+            ["lossy", "--dataset", "PR", "--epsilon", "0.1", "--epsilon", "0.3"]
+        )
+        assert arguments.epsilon == [0.1, 0.3]
+
+    def test_export_format_choices(self):
+        arguments = build_parser().parse_args(["export", "--dataset", "PR", "--format", "dot"])
+        assert arguments.format == "dot"
+
+
+class TestCompressCommand:
+    def test_reports_pipeline_metrics(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main(["compress", "--input", str(path), "--iterations", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "raw_bits_per_edge" in output
+        assert "pipeline_ratio" in output
+
+    def test_accepts_alternate_code_and_ordering(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main([
+            "compress", "--input", str(path), "--iterations", "2",
+            "--code", "delta", "--ordering", "degree",
+        ])
+        assert exit_code == 0
+        assert "code=delta" in capsys.readouterr().out
+
+
+class TestStreamCommand:
+    def test_insertion_stream(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main(["stream", "--input", str(path), "--checkpoints", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "relative_size" in output
+        assert "insertion stream" in output
+
+    def test_dynamic_stream(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main([
+            "stream", "--input", str(path), "--mode", "dynamic",
+            "--deletion-ratio", "0.3", "--checkpoints", "3",
+        ])
+        assert exit_code == 0
+        assert "dynamic stream" in capsys.readouterr().out
+
+    def test_window_stream(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main([
+            "stream", "--input", str(path), "--mode", "window", "--window", "10",
+            "--checkpoints", "2",
+        ])
+        assert exit_code == 0
+        assert "window stream" in capsys.readouterr().out
+
+
+class TestLossyCommand:
+    def test_default_epsilon_sweep(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main(["lossy", "--input", str(path), "--iterations", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "epsilon" in output
+        assert "max_relative_error" in output
+
+    def test_explicit_epsilons(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main([
+            "lossy", "--input", str(path), "--iterations", "2",
+            "--epsilon", "0.0", "--epsilon", "0.4",
+        ])
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) >= 4  # Title, header, separator, two data rows.
+
+
+class TestExportCommand:
+    def test_ascii_to_stdout(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        exit_code = main(["export", "--input", str(path), "--iterations", "3"])
+        assert exit_code == 0
+        assert "subnodes" in capsys.readouterr().out
+
+    def test_dot_to_file(self, edge_list_file, tmp_path, capsys):
+        path, _graph = edge_list_file
+        output = tmp_path / "summary.dot"
+        exit_code = main([
+            "export", "--input", str(path), "--format", "dot",
+            "--output", str(output), "--iterations", "3",
+        ])
+        assert exit_code == 0
+        text = output.read_text(encoding="utf-8")
+        assert text.startswith("graph")
+        assert "written to" in capsys.readouterr().out

@@ -1,0 +1,172 @@
+"""Tests for node orderings and the gap-compressed adjacency representation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.adjacency import decode_adjacency, encode_adjacency
+from repro.compression.codes import available_codes
+from repro.compression.ordering import (
+    available_orderings,
+    bfs_ordering,
+    compute_ordering,
+    degree_ordering,
+    invert_ordering,
+    natural_ordering,
+    ordering_locality,
+    shingle_ordering,
+)
+from repro.exceptions import CompressionError
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    caveman_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def _random_graph_strategy():
+    """Small random edge lists over a bounded node universe."""
+    return st.lists(
+        st.tuples(st.integers(0, 24), st.integers(0, 24)).filter(lambda pair: pair[0] != pair[1]),
+        max_size=80,
+    )
+
+
+class TestOrderings:
+    def test_every_scheme_is_a_permutation(self):
+        graph = caveman_graph(4, 5, 0.1, seed=0)
+        for scheme in available_orderings():
+            ordering = compute_ordering(graph, scheme, seed=1)
+            assert set(ordering) == set(graph.nodes())
+            assert sorted(ordering.values()) == list(range(graph.num_nodes))
+
+    def test_natural_ordering_is_sorted_by_repr(self):
+        graph = Graph(edges=[(3, 1), (1, 2)])
+        ordering = natural_ordering(graph)
+        assert ordering[1] < ordering[2] < ordering[3]
+
+    def test_degree_ordering_puts_hub_first(self):
+        graph = star_graph(8)
+        ordering = degree_ordering(graph)
+        hub = max(graph.nodes(), key=graph.degree)
+        assert ordering[hub] == 0
+
+    def test_bfs_ordering_keeps_components_contiguous(self):
+        component_a = path_graph(4)
+        graph = Graph(edges=list(component_a.edges()) + [(10, 11), (11, 12)])
+        ordering = bfs_ordering(graph)
+        first_block = {node for node, index in ordering.items() if index < 4}
+        assert first_block in ({0, 1, 2, 3}, {10, 11, 12})\
+            or len(first_block) == 4  # one component fills the first block
+
+    def test_bfs_ordering_improves_locality_on_path(self):
+        graph = path_graph(60)
+        natural = ordering_locality(graph, natural_ordering(graph))
+        bfs = ordering_locality(graph, bfs_ordering(graph))
+        assert bfs <= natural
+
+    def test_shingle_ordering_is_deterministic_per_seed(self):
+        graph = barabasi_albert_graph(40, 2, seed=0)
+        assert shingle_ordering(graph, seed=5) == shingle_ordering(graph, seed=5)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(CompressionError):
+            compute_ordering(complete_graph(3), "random-nonsense")
+
+    def test_invert_ordering_round_trip(self):
+        graph = caveman_graph(3, 4, 0.0, seed=0)
+        ordering = degree_ordering(graph)
+        order = invert_ordering(ordering)
+        assert all(ordering[node] == index for index, node in enumerate(order))
+
+    def test_invert_ordering_rejects_bad_positions(self):
+        with pytest.raises(CompressionError):
+            invert_ordering({"a": 0, "b": 2})
+
+    def test_locality_of_empty_graph_is_zero(self):
+        graph = Graph(nodes=[1, 2, 3])
+        assert ordering_locality(graph, natural_ordering(graph)) == 0.0
+
+
+class TestCompressedAdjacency:
+    @pytest.mark.parametrize("code", ["gamma", "delta", "rice2"])
+    @pytest.mark.parametrize("ordering", ["natural", "degree", "bfs", "shingle"])
+    def test_round_trip_all_codecs(self, code, ordering):
+        graph = caveman_graph(4, 5, 0.15, seed=2)
+        compressed = encode_adjacency(graph, code=code, ordering=ordering, seed=3)
+        assert decode_adjacency(compressed) == graph
+
+    def test_round_trip_with_isolated_nodes(self):
+        graph = Graph(edges=[(0, 1)], nodes=[5, 6])
+        compressed = encode_adjacency(graph)
+        restored = decode_adjacency(compressed)
+        assert restored == graph
+        assert set(restored.nodes()) == {0, 1, 5, 6}
+
+    def test_round_trip_empty_graph(self):
+        graph = Graph(nodes=[0, 1, 2])
+        compressed = encode_adjacency(graph)
+        assert decode_adjacency(compressed) == graph
+        assert compressed.num_edges == 0
+        assert compressed.bits_per_edge() == 0.0
+
+    def test_metadata_fields(self):
+        graph = complete_graph(5)
+        compressed = encode_adjacency(graph, code="gamma", ordering="degree")
+        assert compressed.num_nodes == 5
+        assert compressed.num_edges == 10
+        assert compressed.code_name == "gamma"
+        assert compressed.ordering_scheme == "degree"
+        assert compressed.size_bytes() == (compressed.size_bits() + 7) // 8
+
+    def test_bits_per_edge_positive_for_non_empty_graph(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=1)
+        compressed = encode_adjacency(graph)
+        assert compressed.bits_per_edge() > 0
+
+    def test_precomputed_ordering_is_used(self):
+        graph = path_graph(6)
+        ordering = {node: graph.num_nodes - 1 - node for node in graph.nodes()}
+        compressed = encode_adjacency(graph, precomputed_ordering=ordering, ordering="custom")
+        assert compressed.ordering_scheme == "custom"
+        assert decode_adjacency(compressed) == graph
+
+    def test_precomputed_ordering_must_cover_nodes(self):
+        graph = path_graph(4)
+        with pytest.raises(CompressionError):
+            encode_adjacency(graph, precomputed_ordering={0: 0, 1: 1})
+
+    def test_locality_friendly_ordering_does_not_hurt_much(self):
+        graph = barabasi_albert_graph(80, 3, seed=4)
+        natural_bits = encode_adjacency(graph, ordering="natural").size_bits()
+        bfs_bits = encode_adjacency(graph, ordering="bfs").size_bits()
+        # BFS relabeling should not blow up the encoding on a scale-free graph.
+        assert bfs_bits <= natural_bits * 1.25
+
+    def test_decoder_detects_truncated_payload(self):
+        graph = caveman_graph(3, 4, 0.1, seed=0)
+        compressed = encode_adjacency(graph)
+        compressed.bit_length = max(1, compressed.bit_length - 16)
+        with pytest.raises(CompressionError):
+            decode_adjacency(compressed)
+
+    @given(_random_graph_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, edges):
+        graph = Graph.from_edges(edges)
+        if graph.num_nodes == 0:
+            graph.add_node(0)
+        compressed = encode_adjacency(graph, code="gamma", ordering="bfs")
+        assert decode_adjacency(compressed) == graph
+
+    @given(_random_graph_strategy(), st.sampled_from(sorted(available_codes())))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property_all_codes(self, edges, code):
+        graph = Graph.from_edges(edges)
+        graph.add_node(99)
+        compressed = encode_adjacency(graph, code=code)
+        assert decode_adjacency(compressed) == graph

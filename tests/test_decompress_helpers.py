@@ -1,0 +1,57 @@
+"""Tests for the model-agnostic decompression helpers of :mod:`repro.model.decompress`."""
+
+from __future__ import annotations
+
+from repro.baselines import sweg_summarize
+from repro.core import SluggerConfig, summarize
+from repro.graphs import Graph, caveman_graph
+from repro.model.decompress import partial_neighbors, reconstruct, reconstruction_matches
+
+
+def _summaries(graph, seed=0):
+    hierarchical = summarize(graph, SluggerConfig(iterations=5, seed=seed)).summary
+    flat = sweg_summarize(graph, iterations=5, seed=seed)
+    return hierarchical, flat
+
+
+class TestReconstruct:
+    def test_both_models_reconstruct_exactly(self):
+        graph = caveman_graph(3, 5, 0.1, seed=0)
+        for summary in _summaries(graph):
+            assert reconstruct(summary) == graph
+
+    def test_reconstruction_matches_true_for_exact_summaries(self):
+        graph = caveman_graph(3, 5, 0.1, seed=1)
+        for summary in _summaries(graph):
+            assert reconstruction_matches(summary, graph)
+
+    def test_reconstruction_matches_false_for_wrong_graph(self):
+        graph = caveman_graph(3, 5, 0.1, seed=2)
+        other = graph.copy()
+        removable = next(iter(other.edges()))
+        other.remove_edge(*removable)
+        hierarchical, flat = _summaries(graph)
+        assert not reconstruction_matches(hierarchical, other)
+        assert not reconstruction_matches(flat, other)
+
+    def test_reconstruction_matches_false_for_node_mismatch(self):
+        graph = Graph(edges=[(0, 1)])
+        bigger = Graph(edges=[(0, 1)], nodes=[2])
+        hierarchical, _flat = _summaries(graph)
+        assert not reconstruction_matches(hierarchical, bigger)
+
+
+class TestPartialNeighbors:
+    def test_matches_graph_adjacency_for_both_models(self):
+        graph = caveman_graph(3, 5, 0.1, seed=3)
+        hierarchical, flat = _summaries(graph)
+        for node in graph.nodes():
+            expected = set(graph.neighbor_set(node))
+            assert partial_neighbors(hierarchical, node) == expected
+            assert partial_neighbors(flat, node) == expected
+
+    def test_isolated_node_has_no_neighbors(self):
+        graph = Graph(edges=[(0, 1)], nodes=[7])
+        hierarchical, flat = _summaries(graph)
+        assert partial_neighbors(hierarchical, 7) == set()
+        assert partial_neighbors(flat, 7) == set()

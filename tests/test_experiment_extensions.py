@@ -1,0 +1,82 @@
+"""Tests for the extension experiments (pipeline, ordering, lossy, streaming, breakdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    compression_pipeline_experiment,
+    cost_breakdown_experiment,
+    lossy_tradeoff_experiment,
+    ordering_ablation_experiment,
+    streaming_experiment,
+)
+
+
+class TestCompressionPipelineExperiment:
+    def test_records_have_expected_fields(self):
+        records = compression_pipeline_experiment(["CA", "PR"], iterations=3, seed=0)
+        assert len(records) == 2
+        for record in records:
+            assert record.parameters["code"] == "gamma"
+            assert record.values["raw_bits_per_edge"] > 0
+            assert record.values["summary_bits_per_edge"] > 0
+            assert record.values["pipeline_ratio"] == pytest.approx(
+                record.values["summary_bits_per_edge"] / record.values["raw_bits_per_edge"]
+            )
+
+    def test_alternate_code_and_ordering(self):
+        records = compression_pipeline_experiment(
+            ["CA"], iterations=2, seed=0, code="delta", ordering="degree"
+        )
+        assert records[0].parameters["code"] == "delta"
+        assert records[0].parameters["ordering"] == "degree"
+
+
+class TestOrderingAblationExperiment:
+    def test_covers_requested_orderings(self):
+        records = ordering_ablation_experiment(
+            dataset="CA", orderings=("natural", "bfs"), seed=0
+        )
+        assert {record.parameters["ordering"] for record in records} == {"natural", "bfs"}
+        for record in records:
+            assert record.values["bits_per_edge"] > 0
+            assert record.values["locality"] >= 0
+
+
+class TestLossyTradeoffExperiment:
+    def test_error_bound_respected_and_size_monotone(self):
+        records = lossy_tradeoff_experiment(["CA"], epsilons=(0.0, 0.5), iterations=3, seed=0)
+        assert len(records) == 2
+        for record in records:
+            assert record.values["max_relative_error"] <= record.parameters["epsilon"] + 1e-9
+        assert records[1].values["relative_size"] <= records[0].values["relative_size"] + 1e-9
+
+
+class TestStreamingExperiment:
+    def test_checkpoints_for_both_stream_kinds(self):
+        records = streaming_experiment(dataset="CA", deletion_ratio=0.2, checkpoints=3, seed=0)
+        kinds = {record.parameters["stream"] for record in records}
+        assert kinds == {"insertion_only", "fully_dynamic"}
+        for record in records:
+            assert record.values["relative_size"] > 0
+            assert record.values["num_edges"] > 0
+
+    def test_edge_counts_grow_over_insertion_stream(self):
+        records = [
+            record
+            for record in streaming_experiment(dataset="CA", checkpoints=4, seed=0)
+            if record.parameters["stream"] == "insertion_only"
+        ]
+        counts = [record.values["num_edges"] for record in records]
+        assert counts == sorted(counts)
+
+
+class TestCostBreakdownExperiment:
+    def test_decomposition_is_consistent(self):
+        records = cost_breakdown_experiment(["CA", "PR"], iterations=3, seed=0)
+        assert [record.label for record in records] == ["CA", "PR"]
+        for record in records:
+            assert record.values["matches_h_edges"] == 1.0
+            assert record.values["matches_p_n_edges"] == 1.0
+            assert record.values["cost_h"] + record.values["cost_p"] == record.values["cost"]

@@ -1,0 +1,153 @@
+"""Tests for the hierarchy/summary export helpers and the cost decomposition."""
+
+import pytest
+
+from repro.analysis.cost_breakdown import (
+    cost_decomposition,
+    cost_per_root,
+    hierarchy_cost_per_root,
+    superedge_cost_per_root,
+    superedge_cost_per_root_pair,
+)
+from repro.baselines import sweg_summarize
+from repro.core import SluggerConfig, summarize
+from repro.graphs import Graph, caveman_graph, complete_graph, load_dataset
+from repro.model import (
+    Hierarchy,
+    HierarchicalSummary,
+    ascii_hierarchy,
+    flat_summary_to_dot,
+    hierarchy_to_dot,
+    summary_to_dot,
+    supernode_size_distribution,
+)
+
+
+def _slugger_summary(graph, iterations=5, seed=0):
+    return summarize(graph, SluggerConfig(iterations=iterations, seed=seed)).summary
+
+
+def _manual_summary():
+    """A small hand-built summary: {0,1} under one parent, leaf 2 separate."""
+    graph = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+    hierarchy = Hierarchy()
+    leaves = {node: hierarchy.add_leaf(node) for node in graph.nodes()}
+    parent = hierarchy.create_parent([leaves[0], leaves[1]])
+    summary = HierarchicalSummary(hierarchy)
+    summary.add_p_edge(parent, parent)
+    summary.add_p_edge(parent, leaves[2])
+    summary.validate(graph)
+    return graph, hierarchy, summary, parent, leaves
+
+
+class TestDotExport:
+    def test_hierarchy_to_dot_contains_all_supernodes(self):
+        graph, hierarchy, summary, parent, leaves = _manual_summary()
+        dot = hierarchy_to_dot(hierarchy)
+        assert dot.startswith("digraph")
+        for supernode in hierarchy.supernodes():
+            assert f"S{supernode}" in dot
+        assert f"{parent} -> {leaves[0]};" in dot
+
+    def test_summary_to_dot_styles_edge_types(self):
+        graph = caveman_graph(3, 4, 0.1, seed=0)
+        summary = _slugger_summary(graph)
+        dot = summary_to_dot(summary)
+        assert dot.startswith("graph")
+        assert "color=red" in dot  # p-edges are always present
+        if summary.num_n_edges:
+            assert "style=dashed" in dot
+        assert dot.count("color=grey") == summary.num_h_edges
+
+    def test_flat_summary_to_dot(self):
+        graph = caveman_graph(3, 4, 0.1, seed=1)
+        summary = sweg_summarize(graph, iterations=4, seed=0)
+        dot = flat_summary_to_dot(summary)
+        assert dot.startswith("graph")
+        assert dot.count("g") >= len(summary.groups)
+
+    def test_dot_escapes_quotes_in_labels(self):
+        graph = Graph(edges=[('say "hi"', "other")])
+        summary = HierarchicalSummary.from_graph(graph)
+        dot = summary_to_dot(summary)
+        assert '\\"hi\\"' in dot
+
+
+class TestAsciiHierarchy:
+    def test_lists_every_root_and_child(self):
+        graph, hierarchy, summary, parent, leaves = _manual_summary()
+        text = ascii_hierarchy(summary)
+        assert f"S{parent} (2 subnodes)" in text
+        assert text.count("\n") + 1 == hierarchy.num_supernodes
+        # The child line is indented under its parent.
+        child_line = [line for line in text.splitlines() if f"S{leaves[0]} " in line][0]
+        assert child_line.startswith("  ")
+
+    def test_accepts_hierarchy_directly(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_leaf("a")
+        assert "1 subnodes" in ascii_hierarchy(hierarchy)
+
+    def test_truncates_large_member_lists(self):
+        graph = complete_graph(30)
+        summary = _slugger_summary(graph)
+        text = ascii_hierarchy(summary, max_members=4)
+        assert "..." in text
+
+
+class TestSizeDistribution:
+    def test_hierarchical_counts_roots_only(self):
+        graph, hierarchy, summary, parent, leaves = _manual_summary()
+        histogram = supernode_size_distribution(summary)
+        assert histogram == {2: 1, 1: 1}
+
+    def test_flat_counts_every_group(self):
+        graph = caveman_graph(3, 4, 0.0, seed=0)
+        summary = sweg_summarize(graph, iterations=4, seed=0)
+        histogram = supernode_size_distribution(summary)
+        assert sum(size * count for size, count in histogram.items()) == graph.num_nodes
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            supernode_size_distribution("not a summary")
+
+
+class TestCostBreakdown:
+    def test_manual_summary_costs(self):
+        graph, hierarchy, summary, parent, leaves = _manual_summary()
+        h_costs = hierarchy_cost_per_root(summary)
+        assert h_costs[parent] == 2  # Two children under the parent.
+        assert h_costs[leaves[2]] == 0
+        pair_costs = superedge_cost_per_root_pair(summary)
+        assert pair_costs[(parent, parent)] == 1
+        key = (parent, leaves[2]) if parent <= leaves[2] else (leaves[2], parent)
+        assert pair_costs[key] == 1
+        per_root = cost_per_root(summary)
+        assert per_root[parent] == 2 + 2  # h-edges + (self-loop and cross superedge)
+        assert per_root[leaves[2]] == 1
+
+    def test_decomposition_matches_eq2_on_slugger_output(self):
+        graph = load_dataset("PR", seed=0)
+        summary = _slugger_summary(graph, iterations=5)
+        decomposition = cost_decomposition(summary)
+        assert decomposition["matches_h_edges"] == 1.0
+        assert decomposition["matches_p_n_edges"] == 1.0
+        assert decomposition["cost"] == summary.cost()
+        assert decomposition["cost_h"] + decomposition["cost_p"] == summary.cost()
+        assert 0.0 < decomposition["max_root_share"] <= 1.0
+
+    def test_superedge_cost_per_root_counts_both_sides(self):
+        graph, hierarchy, summary, parent, leaves = _manual_summary()
+        per_root = superedge_cost_per_root(summary)
+        # The cross superedge is charged to both roots; the self-loop only
+        # to its own root.
+        assert per_root[parent] == 2
+        assert per_root[leaves[2]] == 1
+
+    def test_trivial_summary_decomposition(self):
+        graph = complete_graph(4)
+        summary = HierarchicalSummary.from_graph(graph)
+        decomposition = cost_decomposition(summary)
+        assert decomposition["cost_h"] == 0
+        assert decomposition["cost_p"] == graph.num_edges
+        assert decomposition["num_roots"] == graph.num_nodes

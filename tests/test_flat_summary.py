@@ -1,0 +1,136 @@
+"""Unit tests for the flat (Navlakha) summarization model and conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SummaryInvariantError
+from repro.graphs import Graph, caveman_graph, complete_bipartite_graph, complete_graph
+from repro.model import FlatSummary, flat_to_hierarchical, hierarchical_report, singleton_summary
+
+
+class TestEncoding:
+    def test_singletons_reproduce_graph(self, any_small_graph):
+        summary = FlatSummary.singletons(any_small_graph)
+        summary.validate(any_small_graph)
+        assert summary.cost() == any_small_graph.num_edges
+        assert summary.membership_edges() == 0
+
+    def test_clique_group_uses_self_superedge(self):
+        graph = complete_graph(5)
+        summary = FlatSummary.from_grouping(graph, [list(range(5))])
+        summary.validate(graph)
+        assert summary.num_superedges == 1
+        assert summary.num_corrections == 0
+        assert summary.cost() == 1
+        assert summary.cost_eq11() == 1 + 5
+
+    def test_bipartite_grouping(self):
+        graph = complete_bipartite_graph(3, 4)
+        summary = FlatSummary.from_grouping(graph, [[0, 1, 2], [3, 4, 5, 6]])
+        summary.validate(graph)
+        assert summary.num_superedges == 1
+        assert summary.cost() == 1
+
+    def test_sparse_pair_keeps_corrections(self):
+        graph = Graph(edges=[(0, 2)])
+        graph.add_node(1)
+        graph.add_node(3)
+        summary = FlatSummary.from_grouping(graph, [[0, 1], [2, 3]])
+        summary.validate(graph)
+        # One edge out of four possible: listing it is cheaper than a superedge.
+        assert summary.num_superedges == 0
+        assert summary.corrections_plus == {(0, 2)}
+
+    def test_near_clique_negative_corrections(self):
+        graph = complete_graph(5)
+        graph.remove_edge(0, 1)
+        summary = FlatSummary.from_grouping(graph, [list(range(5))])
+        summary.validate(graph)
+        assert summary.num_superedges == 1
+        assert summary.corrections_minus == {(0, 1)}
+
+    def test_uncovered_nodes_become_singletons(self):
+        graph = complete_graph(4)
+        summary = FlatSummary.from_grouping(graph, [[0, 1]])
+        summary.validate(graph)
+        assert len(summary.groups) == 3
+
+    def test_overlapping_groups_rejected(self):
+        graph = complete_graph(4)
+        with pytest.raises(SummaryInvariantError):
+            FlatSummary.from_grouping(graph, [[0, 1], [1, 2]])
+
+    def test_unknown_member_rejected(self):
+        graph = complete_graph(3)
+        with pytest.raises(SummaryInvariantError):
+            FlatSummary.from_grouping(graph, [[0, 7]])
+
+
+class TestQueries:
+    def test_neighbors_match_graph(self, small_caveman):
+        groups = [
+            [node for node in small_caveman.nodes() if node // 5 == block]
+            for block in range(4)
+        ]
+        summary = FlatSummary.from_grouping(small_caveman, groups)
+        for node in small_caveman.nodes():
+            assert summary.neighbors(node) == set(small_caveman.neighbor_set(node))
+
+    def test_neighbors_unknown_node(self):
+        summary = FlatSummary.singletons(complete_graph(3))
+        with pytest.raises(KeyError):
+            summary.neighbors(42)
+
+    def test_group_sizes_and_counts(self):
+        graph = complete_graph(6)
+        summary = FlatSummary.from_grouping(graph, [[0, 1, 2], [3, 4]])
+        assert summary.group_sizes() == [3, 2, 1]
+        assert summary.num_non_singleton_groups() == 2
+        assert summary.membership_edges() == 5
+
+    def test_relative_size_needs_edges(self):
+        graph = Graph(nodes=[0, 1])
+        summary = FlatSummary.singletons(graph)
+        with pytest.raises(SummaryInvariantError):
+            summary.relative_size(graph)
+
+    def test_repr(self):
+        summary = FlatSummary.singletons(complete_graph(3))
+        assert "groups=3" in repr(summary)
+
+
+class TestConversion:
+    def test_flat_to_hierarchical_preserves_graph(self, small_caveman):
+        groups = [
+            [node for node in small_caveman.nodes() if node // 5 == block]
+            for block in range(4)
+        ]
+        flat = FlatSummary.from_grouping(small_caveman, groups)
+        hierarchical = flat_to_hierarchical(flat)
+        hierarchical.validate(small_caveman)
+
+    def test_flat_to_hierarchical_cost_matches_eq11(self, small_caveman, small_random):
+        for graph in (small_caveman, small_random):
+            groups = {}
+            for index, node in enumerate(sorted(graph.nodes(), key=repr)):
+                groups.setdefault(index % 5, []).append(node)
+            flat = FlatSummary.from_grouping(graph, groups.values())
+            hierarchical = flat_to_hierarchical(flat)
+            hierarchical.validate(graph)
+            assert hierarchical.cost() == flat.cost_eq11()
+
+    def test_singleton_summary_helper(self, small_random):
+        summary = singleton_summary(small_random)
+        summary.validate(small_random)
+        assert summary.cost() == small_random.num_edges
+
+    def test_hierarchical_report_fields(self, small_caveman):
+        flat = FlatSummary.from_grouping(
+            small_caveman,
+            [[node for node in small_caveman.nodes() if node // 5 == block] for block in range(4)],
+        )
+        report = hierarchical_report(flat_to_hierarchical(flat))
+        assert report["cost"] == flat.cost_eq11()
+        assert report["max_height"] == 1.0
+        assert 0.0 < report["average_leaf_depth"] <= 1.0

@@ -1,0 +1,151 @@
+"""Unit tests for graph generators and dataset analogues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError, InvalidGraphError
+from repro.graphs import (
+    DATASETS,
+    available_datasets,
+    barabasi_albert_graph,
+    caveman_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    copying_model_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    kronecker_like_graph,
+    load_dataset,
+    nested_partition_graph,
+    path_graph,
+    star_graph,
+    theorem1_graph,
+)
+from repro.graphs.datasets import dataset_table
+from repro.graphs.generators import planted_clique_graph
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 10
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 12
+        assert not graph.has_edge(0, 1)  # No edges within a part.
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.num_edges == 6
+        assert graph.degree(0) == 6
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        with pytest.raises(InvalidGraphError):
+            cycle_graph(2)
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 4 * 2  # horizontal + vertical
+
+    def test_theorem1_graph_degrees(self):
+        n, k = 5, 2
+        graph = theorem1_graph(n, k)
+        assert graph.num_nodes == n + n * k
+        # Every grouped subnode misses exactly two hubs, so has degree n - 2.
+        for group_member in range(n, n + n * k):
+            assert graph.degree(group_member) == n - 2
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_determinism(self):
+        first = erdos_renyi_graph(30, 0.2, seed=5)
+        second = erdos_renyi_graph(30, 0.2, seed=5)
+        assert first.edge_set() == second.edge_set()
+
+    def test_erdos_renyi_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=1).num_edges == 45
+
+    def test_barabasi_albert_size(self):
+        graph = barabasi_albert_graph(50, 3, seed=2)
+        assert graph.num_nodes == 50
+        assert graph.num_edges >= 3 * (50 - 3)
+
+    def test_barabasi_albert_rejects_bad_parameters(self):
+        with pytest.raises(InvalidGraphError):
+            barabasi_albert_graph(3, 5, seed=0)
+
+    def test_caveman_structure(self):
+        graph = caveman_graph(3, 4, 0.0, seed=0)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 6
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 4)
+
+    def test_nested_partition_probabilities_increase_density(self):
+        sparse = nested_partition_graph((2, 3, 4), (0.0, 0.0, 0.2), seed=1)
+        dense = nested_partition_graph((2, 3, 4), (0.0, 0.0, 0.9), seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_nested_partition_level_semantics(self):
+        # With only the deepest level connected, edges stay within bottom blocks.
+        graph = nested_partition_graph((2, 2, 3), (0.0, 0.0, 1.0), seed=1)
+        assert graph.num_edges == 4 * 3  # four bottom blocks of size 3
+        for u, v in graph.edges():
+            assert u // 3 == v // 3
+
+    def test_nested_partition_argument_mismatch(self):
+        with pytest.raises(InvalidGraphError):
+            nested_partition_graph((2, 2), (0.5,), seed=0)
+
+    def test_copying_model(self):
+        graph = copying_model_graph(60, 4, 0.8, seed=3)
+        assert graph.num_nodes == 60
+        assert graph.num_edges >= 60
+
+    def test_kronecker_like(self):
+        graph = kronecker_like_graph(power=4, seed=4)
+        assert graph.num_nodes == 16
+
+    def test_planted_clique(self):
+        graph = planted_clique_graph(30, 6, 0.05, seed=9)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                assert graph.has_edge(u, v)
+
+
+class TestDatasets:
+    def test_sixteen_datasets_registered(self):
+        assert len(DATASETS) == 16
+        assert available_datasets() == list(DATASETS)
+
+    def test_load_dataset_deterministic(self):
+        first = load_dataset("PR", seed=0)
+        second = load_dataset("PR", seed=0)
+        assert first.edge_set() == second.edge_set()
+
+    def test_load_dataset_case_insensitive(self):
+        assert load_dataset("pr", seed=0).num_edges == load_dataset("PR", seed=0).num_edges
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("NOPE")
+
+    def test_every_dataset_generates_a_connected_ish_graph(self):
+        for key in available_datasets():
+            graph = load_dataset(key, seed=0)
+            assert graph.num_nodes > 50
+            assert graph.num_edges > graph.num_nodes / 2
+
+    def test_dataset_table_fields(self):
+        rows = dataset_table(keys=["PR", "CA"])
+        assert len(rows) == 2
+        assert {"key", "name", "domain", "analogue_nodes", "analogue_edges"} <= set(rows[0])

@@ -1,0 +1,146 @@
+"""Unit tests for the core Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs import Graph
+from repro.graphs.graph import canonical_edge
+
+
+class TestGraphConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_nodes_only(self):
+        graph = Graph(nodes=[1, 2, 3])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_edges_create_nodes(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph(edges=[(3, 3)])
+
+    def test_from_edges_skips_self_loops(self):
+        graph = Graph.from_edges([(0, 1), (2, 2), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.has_node(2)
+
+    def test_string_nodes(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        assert graph.has_edge("a", "b")
+        assert graph.degree("b") == 2
+
+
+class TestGraphMutation:
+    def test_add_edge_returns_newness(self):
+        graph = Graph()
+        assert graph.add_edge(0, 1) is True
+        assert graph.add_edge(0, 1) is False
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.remove_edge(0, 1) is True
+        assert graph.remove_edge(0, 1) is False
+        assert graph.num_edges == 1
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        graph.remove_node(1)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(0, 2)
+
+    def test_remove_missing_node_is_noop(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.remove_node(99)
+        assert graph.num_nodes == 2
+
+
+class TestGraphQueries:
+    def test_neighbors(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.neighbors(0) == frozenset({1, 2, 3})
+        assert graph.neighbors(1) == frozenset({0})
+
+    def test_neighbors_of_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(KeyError):
+            graph.neighbors(0)
+
+    def test_degree_of_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(KeyError):
+            graph.degree(5)
+
+    def test_edges_iterated_once(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_edge_set_canonical(self):
+        graph = Graph(edges=[(2, 1)])
+        assert graph.edge_set() == {(1, 2)}
+
+    def test_contains_and_iter(self):
+        graph = Graph(edges=[(0, 1)])
+        assert 0 in graph
+        assert 5 not in graph
+        assert sorted(graph) == [0, 1]
+        assert len(graph) == 2
+
+    def test_equality(self):
+        first = Graph(edges=[(0, 1), (1, 2)])
+        second = Graph(edges=[(1, 2), (0, 1)])
+        assert first == second
+        second.add_edge(0, 2)
+        assert first != second
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_relabeled_preserves_structure(self):
+        graph = Graph(edges=[("x", "y"), ("y", "z")])
+        relabeled, mapping = graph.relabeled()
+        assert relabeled.num_nodes == 3
+        assert relabeled.num_edges == 2
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabeled.has_edge(mapping["x"], mapping["y"])
+
+    def test_repr_mentions_sizes(self):
+        graph = Graph(edges=[(0, 1)])
+        assert "num_nodes=2" in repr(graph)
+        assert "num_edges=1" in repr(graph)
+
+
+class TestCanonicalEdge:
+    def test_orders_integers(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_orders_strings(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_fall_back_to_repr(self):
+        edge = canonical_edge("a", 1)
+        assert set(edge) == {"a", 1}
+        assert canonical_edge(1, "a") == edge

@@ -1,0 +1,162 @@
+"""Unit tests for the hierarchical graph summarization model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SummaryInvariantError
+from repro.graphs import Graph, complete_graph
+from repro.model import Hierarchy, HierarchicalSummary
+
+
+@pytest.fixture
+def fig2_like():
+    """A small instance mimicking the paper's running example (Fig. 2).
+
+    Nodes 0-3 form a group where 0,1 are connected to node 5 but 2,3 are
+    not; encoded with a positive blanket from the group to 5 plus a
+    negative edge from the subgroup {2,3}.
+    """
+    graph = Graph(edges=[(0, 5), (1, 5), (0, 1), (2, 3)])
+    hierarchy = Hierarchy()
+    leaves = {node: hierarchy.add_leaf(node) for node in (0, 1, 2, 3, 5)}
+    inner = hierarchy.create_parent([leaves[2], leaves[3]])
+    outer = hierarchy.create_parent([leaves[0], leaves[1], inner])
+    summary = HierarchicalSummary(hierarchy)
+    summary.add_p_edge(outer, leaves[5])     # blanket: everyone in {0,1,2,3} ~ 5
+    summary.add_n_edge(inner, leaves[5])     # exception: {2,3} are not adjacent to 5
+    summary.add_p_edge(leaves[0], leaves[1])
+    summary.add_p_edge(inner, inner)         # self-loop encodes the edge (2,3)
+    return graph, summary
+
+
+class TestTrivialSummary:
+    def test_from_graph_matches_input(self, any_small_graph):
+        summary = HierarchicalSummary.from_graph(any_small_graph)
+        summary.validate(any_small_graph)
+        assert summary.cost() == any_small_graph.num_edges
+        assert summary.num_h_edges == 0
+
+    def test_relative_size_of_trivial_summary_is_one(self, small_random):
+        summary = HierarchicalSummary.from_graph(small_random)
+        assert summary.relative_size(small_random) == pytest.approx(1.0)
+
+    def test_relative_size_requires_edges(self):
+        graph = Graph(nodes=[0, 1])
+        summary = HierarchicalSummary.from_graph(graph)
+        with pytest.raises(SummaryInvariantError):
+            summary.relative_size(graph)
+
+
+class TestSuperedgeMutation:
+    def test_add_and_remove(self):
+        graph = Graph(edges=[(0, 1)])
+        summary = HierarchicalSummary.from_graph(graph)
+        a = summary.hierarchy.leaf_of(0)
+        b = summary.hierarchy.leaf_of(1)
+        assert summary.has_p_edge(a, b)
+        assert not summary.add_p_edge(a, b)  # Already present.
+        assert summary.remove_p_edge(a, b)
+        assert not summary.remove_p_edge(a, b)
+        assert summary.cost() == 0
+
+    def test_sign_conflicts_rejected(self):
+        graph = Graph(edges=[(0, 1)])
+        summary = HierarchicalSummary.from_graph(graph)
+        a = summary.hierarchy.leaf_of(0)
+        b = summary.hierarchy.leaf_of(1)
+        with pytest.raises(SummaryInvariantError):
+            summary.add_n_edge(a, b)
+
+    def test_add_edge_sign_dispatch(self):
+        graph = Graph(nodes=[0, 1])
+        summary = HierarchicalSummary.from_graph(graph)
+        a = summary.hierarchy.leaf_of(0)
+        b = summary.hierarchy.leaf_of(1)
+        summary.add_edge(a, b, 1)
+        assert summary.has_p_edge(a, b)
+        summary.remove_edge(a, b, 1)
+        summary.add_edge(a, b, -1)
+        assert summary.has_n_edge(a, b)
+        with pytest.raises(ValueError):
+            summary.add_edge(a, b, 0)
+
+    def test_unknown_supernode_rejected(self):
+        summary = HierarchicalSummary.from_graph(Graph(nodes=[0]))
+        with pytest.raises(KeyError):
+            summary.add_p_edge(0, 999)
+
+    def test_incident_edges_and_degree(self, fig2_like):
+        _graph, summary = fig2_like
+        five = summary.hierarchy.leaf_of(5)
+        assert summary.degree(five) == 2
+        signs = {sign for _, sign in summary.incident_edges(five)}
+        assert signs == {1, -1}
+
+
+class TestInterpretation:
+    def test_fig2_like_decompression(self, fig2_like):
+        graph, summary = fig2_like
+        summary.validate(graph)
+        assert summary.decompress() == graph
+
+    def test_fig2_like_costs(self, fig2_like):
+        _graph, summary = fig2_like
+        assert summary.num_p_edges == 3
+        assert summary.num_n_edges == 1
+        assert summary.num_h_edges == 5
+        assert summary.cost() == 9
+        assert summary.composition() == {"p_edges": 3, "n_edges": 1, "h_edges": 5}
+
+    def test_pair_weight(self, fig2_like):
+        _graph, summary = fig2_like
+        assert summary.pair_weight(0, 5) == 1
+        assert summary.pair_weight(2, 5) == 0
+        assert summary.pair_weight(2, 3) == 1
+        assert summary.pair_weight(0, 3) == 0
+        with pytest.raises(ValueError):
+            summary.pair_weight(0, 0)
+
+    def test_neighbors_by_partial_decompression(self, fig2_like):
+        graph, summary = fig2_like
+        for node in graph.nodes():
+            assert summary.neighbors(node) == set(graph.neighbor_set(node))
+
+    def test_self_loop_covers_clique(self):
+        graph = complete_graph(4)
+        hierarchy = Hierarchy()
+        leaves = [hierarchy.add_leaf(node) for node in graph.nodes()]
+        root = hierarchy.create_parent(leaves)
+        summary = HierarchicalSummary(hierarchy)
+        summary.add_p_edge(root, root)
+        summary.validate(graph)
+        assert summary.cost() == 1 + 4
+
+
+class TestValidation:
+    def test_missing_edge_detected(self, fig2_like):
+        graph, summary = fig2_like
+        summary.remove_p_edge(
+            summary.hierarchy.leaf_of(0), summary.hierarchy.leaf_of(1)
+        )
+        with pytest.raises(SummaryInvariantError):
+            summary.validate(graph)
+
+    def test_node_mismatch_detected(self, fig2_like):
+        graph, summary = fig2_like
+        graph.add_node(99)
+        with pytest.raises(SummaryInvariantError):
+            summary.validate(graph)
+
+    def test_copy_is_independent(self, fig2_like):
+        graph, summary = fig2_like
+        clone = summary.copy()
+        negative_edge = next(iter(clone.n_edges()))
+        clone.remove_n_edge(*negative_edge)
+        summary.validate(graph)  # Original unaffected.
+        with pytest.raises(SummaryInvariantError):
+            clone.validate(graph)
+
+    def test_repr(self, fig2_like):
+        _graph, summary = fig2_like
+        assert "cost=9" in repr(summary)

@@ -1,0 +1,134 @@
+"""End-to-end integration tests across subsystems.
+
+Each test chains several subsystems the way a downstream user would:
+dataset → summarizer → metrics → bit compression → serialization →
+algorithms on the summary.  They complement the per-module unit tests by
+checking that the pieces compose without glue code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, SluggerConfig, load_dataset, summarize
+from repro.algorithms import bfs_distances, connected_components, pagerank
+from repro.analysis import compare_methods, compression_report, cost_decomposition
+from repro.baselines import mosso_summarize, sweg_summarize
+from repro.compression import (
+    compress_graph,
+    compress_hierarchical_summary,
+    compression_report as bits_report,
+)
+from repro.lossy import error_report
+from repro.model import (
+    ascii_hierarchy,
+    load_hierarchical_summary,
+    save_hierarchical_summary,
+)
+from repro.streaming import fully_dynamic_stream, replay_stream
+
+
+@pytest.fixture(scope="module")
+def pr_graph():
+    return load_dataset("PR", seed=0)
+
+
+@pytest.fixture(scope="module")
+def pr_result(pr_graph):
+    return summarize(pr_graph, SluggerConfig(iterations=8, seed=0))
+
+
+class TestSummarizeAnalyzeCompress:
+    def test_summary_metrics_and_bits_agree(self, pr_graph, pr_result):
+        summary = pr_result.summary
+        summary.validate(pr_graph)
+        report = compression_report(summary, pr_graph)
+        assert report["relative_size"] < 1.0
+        decomposition = cost_decomposition(summary)
+        assert decomposition["cost"] == report["cost"]
+
+        bits = bits_report(pr_graph, summary, code="gamma", ordering="bfs", seed=0)
+        # A summary with fewer edges than the graph should also need fewer
+        # bits once both sides go through the same gap compressor.
+        assert bits["pipeline_ratio"] < 1.0
+
+    def test_summary_survives_bit_and_json_round_trips(self, pr_graph, pr_result, tmp_path):
+        summary = pr_result.summary
+        from_bits = compress_hierarchical_summary(summary).decompress()
+        assert from_bits.decompress() == pr_graph
+
+        path = tmp_path / "pr.json"
+        save_hierarchical_summary(summary, path)
+        from_json = load_hierarchical_summary(path)
+        from_json.validate(pr_graph)
+        assert from_json.cost() == summary.cost()
+
+    def test_algorithms_agree_between_graph_and_summary(self, pr_graph, pr_result):
+        summary = pr_result.summary
+        source = pr_graph.nodes()[0]
+        assert bfs_distances(pr_graph, source) == bfs_distances(summary, source)
+        graph_components = sorted(map(frozenset, connected_components(pr_graph)))
+        summary_components = sorted(map(frozenset, connected_components(summary)))
+        assert graph_components == summary_components
+        graph_ranks = pagerank(pr_graph, iterations=10)
+        summary_ranks = pagerank(summary, iterations=10)
+        assert graph_ranks.keys() == summary_ranks.keys()
+        assert all(abs(graph_ranks[n] - summary_ranks[n]) < 1e-9 for n in graph_ranks)
+
+    def test_ascii_rendering_lists_every_subnode_once(self, pr_graph, pr_result):
+        text = ascii_hierarchy(pr_result.summary)
+        assert text.count("(1 subnodes)") <= pr_graph.num_nodes
+        # Every root supernode appears exactly once at indentation level 0.
+        top_level_lines = [line for line in text.splitlines() if not line.startswith(" ")]
+        assert len(top_level_lines) == len(pr_result.summary.hierarchy.roots())
+
+
+class TestMethodsRemainComparable:
+    def test_all_methods_are_lossless_and_ranked(self):
+        graph = load_dataset("CA", seed=0)
+        results = compare_methods(graph, seed=0)
+        assert [result.method for result in results][0] is not None
+        sizes = [result.relative_size for result in results]
+        assert sizes == sorted(sizes)
+        for result in results:
+            assert error_report(result.summary, graph)["exact"] == 1.0
+
+    def test_offline_and_online_mosso_are_consistent(self):
+        graph = load_dataset("CA", seed=0)
+        offline = mosso_summarize(graph, seed=0)
+        offline.validate(graph)
+        events = fully_dynamic_stream(graph, deletion_ratio=0.15, seed=0)
+        online = replay_stream(events, checkpoints=4, validate=False)
+        online.final_summary.validate(online.final_graph)
+        assert online.final_graph.edge_set() == graph.edge_set()
+        # Online maintenance should stay within a small factor of offline.
+        assert online.final_relative_size() <= 2.0 * offline.relative_size(graph) + 0.5
+
+    def test_sweg_summary_composes_with_bit_compression(self):
+        graph = load_dataset("FA", seed=0)
+        summary = sweg_summarize(graph, iterations=5, seed=0)
+        raw_bits = compress_graph(graph, code="gamma", ordering="bfs").size_bits()
+        assert raw_bits > 0
+        from repro.compression import compress_flat_summary
+
+        summary_bits = compress_flat_summary(summary).size_bits()
+        assert summary_bits > 0
+        assert compress_flat_summary(summary).decompress().decompress() == graph
+
+
+class TestRobustness:
+    def test_every_component_handles_a_tiny_graph(self, tmp_path):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        result = summarize(graph, SluggerConfig(iterations=2, seed=0))
+        result.summary.validate(graph)
+        assert compress_hierarchical_summary(result.summary).decompress().decompress() == graph
+        path = tmp_path / "tiny.json"
+        save_hierarchical_summary(result.summary, path)
+        load_hierarchical_summary(path).validate(graph)
+
+    def test_disconnected_graph_end_to_end(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (1, 2), (10, 11), (11, 12), (10, 12)])
+        result = summarize(graph, SluggerConfig(iterations=4, seed=0))
+        result.summary.validate(graph)
+        components = connected_components(result.summary)
+        assert sorted(map(len, components), reverse=True) == [3, 3]

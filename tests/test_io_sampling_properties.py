@@ -1,0 +1,112 @@
+"""Tests for edge-list I/O, node sampling, and structural graph properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError, InvalidGraphError
+from repro.graphs import (
+    Graph,
+    caveman_graph,
+    connected_components,
+    degree_histogram,
+    erdos_renyi_graph,
+    global_clustering_coefficient,
+    graph_density,
+    induced_subgraph,
+    path_graph,
+    read_edge_list,
+    sample_nodes,
+    scalability_series,
+    write_edge_list,
+)
+from repro.graphs.generators import complete_graph
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        graph = erdos_renyi_graph(25, 0.2, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.edge_set() == graph.edge_set()
+
+    def test_comments_and_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n% another\n1 2\n2 2\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert not graph.has_edge(2, 2)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_relabel_option(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_text("alpha beta\nbeta gamma\n")
+        graph = read_edge_list(path, relabel=True)
+        assert set(graph.nodes()) == {0, 1, 2}
+        assert graph.num_edges == 2
+
+    def test_string_and_int_nodes(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("1 two\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge(1, "two")
+
+
+class TestSampling:
+    def test_sample_nodes_fraction(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=2)
+        sampled = sample_nodes(graph, 0.4, seed=3)
+        assert len(sampled) == 20
+        assert set(sampled) <= set(graph.nodes())
+
+    def test_sample_nodes_deterministic(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=2)
+        assert sample_nodes(graph, 0.3, seed=5) == sample_nodes(graph, 0.3, seed=5)
+
+    def test_induced_subgraph(self):
+        graph = complete_graph(6)
+        subgraph = induced_subgraph(graph, [0, 1, 2])
+        assert subgraph.num_nodes == 3
+        assert subgraph.num_edges == 3
+
+    def test_induced_subgraph_unknown_node(self):
+        graph = complete_graph(3)
+        with pytest.raises(InvalidGraphError):
+            induced_subgraph(graph, [0, 99])
+
+    def test_scalability_series_monotone_sizes(self):
+        graph = erdos_renyi_graph(80, 0.1, seed=4)
+        series = scalability_series(graph, (0.25, 0.5, 1.0), seed=6)
+        assert len(series) == 3
+        assert series[0].num_nodes == 20
+        assert series[-1].num_nodes == 80
+        assert series[0].num_edges <= series[-1].num_edges
+
+
+class TestProperties:
+    def test_connected_components(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        graph.add_node(9)
+        components = connected_components(graph)
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 2, 3]
+
+    def test_density(self):
+        assert graph_density(complete_graph(5)) == 1.0
+        assert graph_density(Graph(nodes=[0])) == 0.0
+
+    def test_degree_histogram(self):
+        histogram = degree_histogram(path_graph(4))
+        assert histogram == {1: 2, 2: 2}
+
+    def test_clustering_coefficient(self):
+        assert global_clustering_coefficient(complete_graph(4)) == pytest.approx(1.0)
+        assert global_clustering_coefficient(path_graph(5)) == 0.0
+        # A caveman graph of cliques keeps transitivity high.
+        assert global_clustering_coefficient(caveman_graph(3, 4, seed=0)) > 0.9

@@ -1,0 +1,162 @@
+"""Tests for the three pruning substeps (Sect. III-B4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Slugger, SluggerConfig
+from repro.core.pruning import (
+    prune,
+    prune_edgeless_supernodes,
+    prune_single_edge_roots,
+    reencode_root_pairs_flat,
+)
+from repro.graphs import Graph, caveman_graph, complete_graph, nested_partition_graph
+from repro.model import Hierarchy, HierarchicalSummary
+
+
+def _unpruned_summary(graph, iterations=6, seed=0):
+    config = SluggerConfig(iterations=iterations, seed=seed, prune=False)
+    return Slugger(config).summarize(graph).summary
+
+
+class TestSubstep1:
+    def test_removes_edgeless_internal_nodes(self):
+        graph = complete_graph(4)
+        hierarchy = Hierarchy()
+        leaves = [hierarchy.add_leaf(node) for node in graph.nodes()]
+        inner = hierarchy.create_parent(leaves[:2])
+        root = hierarchy.create_parent([inner, leaves[2], leaves[3]])
+        summary = HierarchicalSummary(hierarchy)
+        summary.add_p_edge(root, root)
+        summary.validate(graph)
+        removed = prune_edgeless_supernodes(summary)
+        assert removed == 1
+        assert not hierarchy.contains(inner)
+        summary.validate(graph)
+        assert summary.num_h_edges == 4
+
+    def test_keeps_supernodes_with_edges(self):
+        graph = complete_graph(4)
+        hierarchy = Hierarchy()
+        leaves = [hierarchy.add_leaf(node) for node in graph.nodes()]
+        inner = hierarchy.create_parent(leaves[:2])
+        root = hierarchy.create_parent([inner, leaves[2], leaves[3]])
+        summary = HierarchicalSummary(hierarchy)
+        summary.add_p_edge(root, root)
+        summary.add_n_edge(inner, leaves[2])
+        graph.remove_edge(0, 2)
+        graph.remove_edge(1, 2)
+        summary.validate(graph)
+        assert prune_edgeless_supernodes(summary) == 0
+        assert hierarchy.contains(inner)
+
+    def test_never_removes_leaves(self):
+        graph = Graph(nodes=[0, 1])
+        summary = HierarchicalSummary.from_graph(graph)
+        assert prune_edgeless_supernodes(summary) == 0
+        assert summary.hierarchy.num_supernodes == 2
+
+
+class TestSubstep2:
+    def test_pushes_single_edge_down(self):
+        # Root {0,1} has its only edge towards leaf 2; removing the root
+        # must add edges from its children to 2 instead.
+        graph = Graph(edges=[(0, 2), (1, 2)])
+        hierarchy = Hierarchy()
+        leaves = {node: hierarchy.add_leaf(node) for node in (0, 1, 2)}
+        root = hierarchy.create_parent([leaves[0], leaves[1]])
+        summary = HierarchicalSummary(hierarchy)
+        summary.add_p_edge(root, leaves[2])
+        summary.validate(graph)
+        cost_before = summary.cost()
+        removed = prune_single_edge_roots(summary)
+        assert removed == 1
+        assert not hierarchy.contains(root)
+        summary.validate(graph)
+        assert summary.cost() < cost_before
+
+    def test_opposite_sign_edges_cancel(self):
+        # Root {0,1} has a positive blanket to 2, child {1} has a negative
+        # correction: after pruning only the (0,2) edge should remain.
+        graph = Graph(edges=[(0, 2)])
+        graph.add_node(1)
+        hierarchy = Hierarchy()
+        leaves = {node: hierarchy.add_leaf(node) for node in (0, 1, 2)}
+        root = hierarchy.create_parent([leaves[0], leaves[1]])
+        summary = HierarchicalSummary(hierarchy)
+        summary.add_p_edge(root, leaves[2])
+        summary.add_n_edge(leaves[1], leaves[2])
+        summary.validate(graph)
+        removed = prune_single_edge_roots(summary)
+        assert removed == 1
+        summary.validate(graph)
+        assert summary.has_p_edge(leaves[0], leaves[2])
+        assert not summary.has_n_edge(leaves[1], leaves[2])
+        assert summary.cost() == 1
+
+    def test_roots_with_multiple_edges_untouched(self):
+        graph = Graph(edges=[(0, 2), (1, 2), (0, 3), (1, 3)])
+        hierarchy = Hierarchy()
+        leaves = {node: hierarchy.add_leaf(node) for node in (0, 1, 2, 3)}
+        root = hierarchy.create_parent([leaves[0], leaves[1]])
+        summary = HierarchicalSummary(hierarchy)
+        summary.add_p_edge(root, leaves[2])
+        summary.add_p_edge(root, leaves[3])
+        summary.validate(graph)
+        assert prune_single_edge_roots(summary) == 0
+        assert hierarchy.contains(root)
+
+
+class TestSubstep3:
+    def test_clique_reencoded_with_self_superedge(self):
+        # A clique left encoded with leaf-level edges should collapse to a
+        # single self-loop on the root after the flat re-encoding.
+        graph = complete_graph(5)
+        hierarchy = Hierarchy()
+        leaves = [hierarchy.add_leaf(node) for node in graph.nodes()]
+        root = hierarchy.create_parent(leaves)
+        summary = HierarchicalSummary(hierarchy)
+        for u, v in graph.edges():
+            summary.add_p_edge(hierarchy.leaf_of(u), hierarchy.leaf_of(v))
+        assert reencode_root_pairs_flat(graph, summary) == 1
+        summary.validate(graph)
+        assert summary.has_p_edge(root, root)
+        assert summary.num_p_edges == 1
+
+    def test_sparse_pairs_left_alone(self):
+        graph = Graph(edges=[(0, 1)])
+        summary = HierarchicalSummary.from_graph(graph)
+        assert reencode_root_pairs_flat(graph, summary) == 0
+        summary.validate(graph)
+
+
+class TestFullPruning:
+    def test_prune_never_breaks_losslessness(self, any_small_graph):
+        summary = _unpruned_summary(any_small_graph)
+        stats = prune(any_small_graph, summary, rounds=3)
+        summary.validate(any_small_graph)
+        assert set(stats) == {"substep1", "substep2", "substep3"}
+
+    def test_prune_never_increases_cost(self, small_caveman, small_hierarchical, small_random):
+        for graph in (small_caveman, small_hierarchical, small_random):
+            summary = _unpruned_summary(graph)
+            cost_before = summary.cost()
+            prune(graph, summary)
+            assert summary.cost() <= cost_before
+
+    def test_prune_reduces_height_statistics(self):
+        graph = nested_partition_graph((3, 3, 4), (0.02, 0.3, 0.95), seed=5)
+        summary = _unpruned_summary(graph, iterations=8)
+        height_before = summary.hierarchy.max_height()
+        depth_before = summary.hierarchy.average_leaf_depth()
+        prune(graph, summary)
+        assert summary.hierarchy.max_height() <= height_before
+        assert summary.hierarchy.average_leaf_depth() <= depth_before + 1e-9
+
+    def test_zero_rounds_is_noop(self, small_caveman):
+        summary = _unpruned_summary(small_caveman)
+        cost_before = summary.cost()
+        stats = prune(small_caveman, summary, rounds=0)
+        assert summary.cost() == cost_before
+        assert stats == {"substep1": 0, "substep2": 0, "substep3": 0}

@@ -1,0 +1,119 @@
+"""Tests for the additional random-graph models (R-MAT, small world, configuration, HRG)."""
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs import (
+    configuration_model_graph,
+    hierarchical_random_graph,
+    rmat_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import global_clustering_coefficient
+
+
+class TestRmat:
+    def test_size_and_simplicity(self):
+        graph = rmat_graph(scale=6, edge_factor=4, seed=0)
+        assert graph.num_nodes == 64
+        assert 0 < graph.num_edges <= 4 * 64
+        assert all(u != v for u, v in graph.edges())
+
+    def test_deterministic_per_seed(self):
+        assert rmat_graph(5, 4, seed=3).edge_set() == rmat_graph(5, 4, seed=3).edge_set()
+        assert rmat_graph(5, 4, seed=3).edge_set() != rmat_graph(5, 4, seed=4).edge_set()
+
+    def test_skewed_probabilities_create_hubs(self):
+        graph = rmat_graph(scale=7, edge_factor=8, seed=1)
+        degrees = sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+        # The top node should be far above the mean degree (heavy tail).
+        mean_degree = sum(degrees) / len(degrees)
+        assert degrees[0] > 2.5 * mean_degree
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            rmat_graph(4, 2, probabilities=(0.5, 0.2, 0.2, 0.2))
+        with pytest.raises(InvalidGraphError):
+            rmat_graph(4, 2, probabilities=(0.5, 0.5))
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_without_rewiring(self):
+        graph = watts_strogatz_graph(12, 4, 0.0)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 12 * 2  # n * k / 2
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_rewiring_keeps_edge_count(self):
+        graph = watts_strogatz_graph(30, 4, 0.3, seed=0)
+        assert graph.num_edges == 60
+
+    def test_lattice_is_highly_clustered(self):
+        lattice = watts_strogatz_graph(40, 6, 0.0)
+        assert global_clustering_coefficient(lattice) > 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidGraphError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(InvalidGraphError):
+            watts_strogatz_graph(4, 6, 0.1)  # k >= n
+
+
+class TestConfigurationModel:
+    def test_degrees_bounded_by_prescription(self):
+        degrees = [3, 3, 2, 2, 1, 1]
+        graph = configuration_model_graph(degrees, seed=0)
+        assert graph.num_nodes == len(degrees)
+        for node, degree in enumerate(degrees):
+            assert graph.degree(node) <= degree
+
+    def test_empty_sequence(self):
+        assert configuration_model_graph([]).num_nodes == 0
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            configuration_model_graph([3, 2])
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            configuration_model_graph([2, -1, 1])
+
+    def test_regular_sequence_is_nearly_realized(self):
+        degrees = [4] * 30
+        graph = configuration_model_graph(degrees, seed=1)
+        realized = sum(graph.degree(node) for node in graph.nodes())
+        assert realized >= 0.8 * sum(degrees)
+
+
+class TestHierarchicalRandomGraph:
+    def test_size(self):
+        graph = hierarchical_random_graph(depth=2, branching=3, leaves_per_block=4, seed=0)
+        assert graph.num_nodes == 9 * 4
+
+    def test_nested_density_gradient(self):
+        graph = hierarchical_random_graph(
+            depth=2, branching=2, leaves_per_block=8,
+            top_probability=0.02, bottom_probability=0.8, seed=0,
+        )
+        # Density inside a lowest block must exceed density across the two
+        # top-level halves — the hallmark of hierarchical organisation.
+        block = list(range(8))
+        within_block = sum(
+            1 for i in block for j in block if i < j and graph.has_edge(i, j)
+        ) / (8 * 7 / 2)
+        half = graph.num_nodes // 2
+        across = sum(
+            1 for i in range(half) for j in range(half, graph.num_nodes) if graph.has_edge(i, j)
+        ) / (half * half)
+        assert within_block > across
+
+    def test_deterministic_per_seed(self):
+        first = hierarchical_random_graph(2, 2, 3, seed=5)
+        second = hierarchical_random_graph(2, 2, 3, seed=5)
+        assert first.edge_set() == second.edge_set()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            hierarchical_random_graph(0)
+        with pytest.raises(ValueError):
+            hierarchical_random_graph(2, top_probability=1.5)

@@ -1,0 +1,68 @@
+"""Tests for JSON serialization of summaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Slugger, SluggerConfig
+from repro.exceptions import GraphFormatError
+from repro.graphs import caveman_graph, erdos_renyi_graph
+from repro.model import (
+    FlatSummary,
+    load_flat_summary,
+    load_hierarchical_summary,
+    save_flat_summary,
+    save_hierarchical_summary,
+)
+
+
+class TestHierarchicalSerialization:
+    def test_round_trip_preserves_graph(self, tmp_path):
+        graph = caveman_graph(4, 5, 0.1, seed=2)
+        summary = Slugger(SluggerConfig(iterations=5, seed=0)).summarize(graph).summary
+        path = tmp_path / "summary.json"
+        save_hierarchical_summary(summary, path)
+        loaded = load_hierarchical_summary(path)
+        loaded.validate(graph)
+        assert loaded.cost() == summary.cost()
+        assert loaded.num_h_edges == summary.num_h_edges
+
+    def test_round_trip_trivial_summary(self, tmp_path):
+        graph = erdos_renyi_graph(20, 0.2, seed=1)
+        summary = Slugger(SluggerConfig(iterations=1, seed=0, prune=False)).summarize(graph).summary
+        path = tmp_path / "trivial.json"
+        save_hierarchical_summary(summary, path)
+        load_hierarchical_summary(path).validate(graph)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(GraphFormatError):
+            load_hierarchical_summary(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            load_hierarchical_summary(path)
+
+
+class TestFlatSerialization:
+    def test_round_trip(self, tmp_path):
+        graph = caveman_graph(3, 4, 0.0, seed=0)
+        groups = [[node for node in graph.nodes() if node // 4 == block] for block in range(3)]
+        summary = FlatSummary.from_grouping(graph, groups)
+        path = tmp_path / "flat.json"
+        save_flat_summary(summary, path)
+        loaded = load_flat_summary(path)
+        loaded.validate(graph)
+        assert loaded.cost_eq11() == summary.cost_eq11()
+        assert loaded.superedges == summary.superedges
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro/hierarchical-summary/v1"}))
+        with pytest.raises(GraphFormatError):
+            load_flat_summary(path)

@@ -1,0 +1,158 @@
+"""Unit tests for SLUGGER's mutable state and the saving objective."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.saving import best_partner, estimate_merged_cost, pair_cost_estimate, saving, two_hop_roots
+from repro.core.state import SluggerState
+from repro.exceptions import SummaryInvariantError
+from repro.graphs import Graph, complete_bipartite_graph, complete_graph, path_graph
+
+
+@pytest.fixture
+def path_state() -> SluggerState:
+    return SluggerState(path_graph(5))
+
+
+class TestStateInitialization:
+    def test_initial_indices(self, path_state):
+        graph = path_state.graph
+        assert len(path_state.roots) == graph.num_nodes
+        assert path_state.total_cost() == graph.num_edges
+        path_state.check_consistency()
+
+    def test_initial_costs(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        endpoint = hierarchy.leaf_of(0)
+        middle = hierarchy.leaf_of(2)
+        assert path_state.cost_of(endpoint) == 1
+        assert path_state.cost_of(middle) == 2
+        assert path_state.subedges_between(endpoint, hierarchy.leaf_of(1)) == 1
+        assert path_state.pn_cost_between(endpoint, hierarchy.leaf_of(1)) == 1
+
+    def test_neighbor_roots(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        middle = hierarchy.leaf_of(2)
+        assert two_hop_roots(path_state, middle) >= path_state.neighbor_roots(middle)
+        assert len(path_state.neighbor_roots(middle)) == 2
+
+
+class TestSuperedgeBookkeeping:
+    def test_add_and_remove_superedge(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        a, b = hierarchy.leaf_of(0), hierarchy.leaf_of(2)
+        path_state.add_superedge(a, b, a, b, 1)
+        assert path_state.pn_cost_between(a, b) == 1
+        path_state.check_consistency()
+        path_state.remove_superedge(a, b, a, b, 1)
+        assert path_state.pn_cost_between(a, b) == 0
+        path_state.check_consistency()
+
+    def test_remove_missing_superedge_raises(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        a, b = hierarchy.leaf_of(0), hierarchy.leaf_of(2)
+        with pytest.raises(SummaryInvariantError):
+            path_state.remove_superedge(a, b, a, b, 1)
+
+    def test_remove_all_between(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        a, b = hierarchy.leaf_of(0), hierarchy.leaf_of(1)
+        assert path_state.remove_all_between(a, b) == 1
+        assert path_state.pn_cost_between(a, b) == 0
+        assert path_state.summary.cost() == path_state.graph.num_edges - 1
+
+
+class TestMerging:
+    def test_merge_rekeys_indices(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        a, b = hierarchy.leaf_of(1), hierarchy.leaf_of(2)
+        merged = path_state.merge_roots(a, b)
+        assert merged in path_state.roots
+        assert a not in path_state.roots
+        assert path_state.tree_h[merged] == 2
+        assert path_state.tree_height[merged] == 1
+        # The subedge between 1 and 2 became internal to the merged tree.
+        assert path_state.subedges_between(merged, merged) == 1
+        path_state.check_consistency()
+
+    def test_merge_requires_roots(self, path_state):
+        hierarchy = path_state.summary.hierarchy
+        a, b, c = (hierarchy.leaf_of(node) for node in (0, 1, 2))
+        path_state.merge_roots(a, b)
+        with pytest.raises(SummaryInvariantError):
+            path_state.merge_roots(a, c)
+
+    def test_merge_with_self_rejected(self, path_state):
+        leaf = path_state.summary.hierarchy.leaf_of(0)
+        with pytest.raises(SummaryInvariantError):
+            path_state.merge_roots(leaf, leaf)
+
+    def test_chained_merges_stay_consistent(self):
+        state = SluggerState(complete_graph(6))
+        hierarchy = state.summary.hierarchy
+        merged = state.merge_roots(hierarchy.leaf_of(0), hierarchy.leaf_of(1))
+        merged = state.merge_roots(merged, hierarchy.leaf_of(2))
+        state.merge_roots(hierarchy.leaf_of(3), hierarchy.leaf_of(4))
+        state.check_consistency()
+        assert state.tree_h[merged] == 4
+
+
+class TestSaving:
+    def test_pair_cost_estimate(self):
+        assert pair_cost_estimate(0, 10, 0) == 0
+        assert pair_cost_estimate(3, 10, 0) == 3
+        assert pair_cost_estimate(9, 10, 0) == 2
+        assert pair_cost_estimate(9, 10, 1) == 1
+
+    def test_saving_positive_for_twins(self):
+        # Two nodes with identical neighborhoods are the canonical good merge.
+        graph = complete_bipartite_graph(2, 6)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        value = saving(state, hierarchy.leaf_of(0), hierarchy.leaf_of(1))
+        assert value > 0.3
+
+    def test_saving_negative_for_distant_pair(self):
+        graph = path_graph(6)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        value = saving(state, hierarchy.leaf_of(0), hierarchy.leaf_of(5))
+        assert value < 0
+
+    def test_estimate_merged_cost_clique(self):
+        graph = complete_graph(4)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        estimate = estimate_merged_cost(state, hierarchy.leaf_of(0), hierarchy.leaf_of(1))
+        # Two h-edges, one p-edge inside, and at most one edge per outside node.
+        assert estimate <= 2 + 1 + 2
+
+    def test_best_partner_prefers_twin(self):
+        graph = complete_bipartite_graph(2, 5)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        left_a, left_b = hierarchy.leaf_of(0), hierarchy.leaf_of(1)
+        others = [hierarchy.leaf_of(node) for node in range(2, 7)]
+        value, partner = best_partner(state, left_a, [left_b] + others)
+        assert partner == left_b
+        assert value > 0
+
+    def test_best_partner_respects_height_bound(self):
+        graph = complete_graph(4)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        merged = state.merge_roots(hierarchy.leaf_of(0), hierarchy.leaf_of(1))
+        value, partner = best_partner(
+            state, merged, [hierarchy.leaf_of(2)], height_bound=1
+        )
+        assert partner == -1
+
+    def test_best_partner_skips_distant_candidates(self):
+        graph = path_graph(8)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        value, partner = best_partner(
+            state, hierarchy.leaf_of(0), [hierarchy.leaf_of(6), hierarchy.leaf_of(7)]
+        )
+        assert partner == -1

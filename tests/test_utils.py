@@ -1,0 +1,138 @@
+"""Unit tests for repro.utils (rng, validation, timing, stats)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.utils import (
+    Stopwatch,
+    ensure_rng,
+    linear_fit,
+    mean,
+    pearson_correlation,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+    spawn_seeds,
+    stdev,
+    time_call,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_ensure_rng_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_spawn_seeds(self):
+        seeds = spawn_seeds(3, 5)
+        assert len(seeds) == 5
+        assert seeds == spawn_seeds(3, 5)
+        assert spawn_seeds(4, 5) != seeds
+
+    def test_spawn_seeds_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestValidation:
+    def test_require_type(self):
+        assert require_type(3, int, "x") == 3
+        with pytest.raises(TypeError):
+            require_type("3", int, "x")
+        with pytest.raises(TypeError):
+            require_type(3, (str, list), "x")
+
+    def test_require_positive(self):
+        assert require_positive(2, "x") == 2
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(TypeError):
+            require_positive("1", "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+        with pytest.raises(TypeError):
+            require_probability(None, "p")
+
+
+class TestTiming:
+    def test_stopwatch_measures_elapsed(self):
+        watch = Stopwatch()
+        watch.start()
+        elapsed = watch.stop()
+        assert elapsed >= 0.0
+        assert watch.elapsed == elapsed
+
+    def test_stopwatch_stop_before_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_stopwatch_context_manager(self):
+        with Stopwatch() as watch:
+            _ = sum(range(100))
+        assert watch.elapsed >= 0.0
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestStats:
+    def test_mean_and_stdev(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert stdev([2.0, 2.0, 2.0]) == 0.0
+        assert math.isclose(stdev([1.0, 3.0]), 1.0)
+
+    def test_empty_sequences_raise(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            stdev([])
+
+    def test_linear_fit_exact_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0 * x + 1.0 for x in xs]
+        slope, intercept, r_squared = linear_fit(xs, ys)
+        assert math.isclose(slope, 2.0)
+        assert math.isclose(intercept, 1.0)
+        assert math.isclose(r_squared, 1.0)
+
+    def test_linear_fit_errors(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [2.0])
+
+    def test_pearson_correlation(self):
+        xs = [1.0, 2.0, 3.0]
+        assert math.isclose(pearson_correlation(xs, [2.0, 4.0, 6.0]), 1.0)
+        assert math.isclose(pearson_correlation(xs, [6.0, 4.0, 2.0]), -1.0)
+        with pytest.raises(ValueError):
+            pearson_correlation(xs, [1.0, 1.0, 1.0])
