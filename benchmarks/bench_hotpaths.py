@@ -1,0 +1,295 @@
+"""Microbenchmark for the SLUGGER hot paths.
+
+Times the three inner-loop stages that the hot-path overhaul targets —
+subnode-shingle computation, candidate generation, and one merge sweep —
+against inline replicas of the seed implementation (eager per-edge
+hashing, full per-round rehash, O(n) ``list.index`` partner replacement
+without partner-search short-circuits).  Both variants run on the same
+graphs with the same seeds, so the speedups are measured, not asserted
+from first principles, and the outputs are cross-checked for equality.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py          # full (10k-node ER)
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick  # CI smoke mode
+
+The full mode asserts the acceptance bar of the overhaul: candidate
+generation on a 10k-node Erdős–Rényi graph at least 2x faster than the
+seed, and ``summary.validate(graph)`` passing on every benchmark graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Sequence
+
+from repro.core import Slugger, SluggerConfig
+from repro.core.candidates import generate_candidate_sets
+from repro.core.merging import merge_and_update, process_candidate_set
+from repro.core.saving import saving, two_hop_roots
+from repro.core.shingles import ShingleCache, make_hash_function, subnode_shingles
+from repro.core.state import SluggerState
+from repro.graphs import caveman_graph, erdos_renyi_graph
+from repro.graphs.graph import Graph
+from repro.model.hierarchy import Hierarchy
+from repro.utils.rng import ensure_rng
+
+
+# ----------------------------------------------------------------------
+# Seed-implementation replicas (the "before" side of the comparison)
+# ----------------------------------------------------------------------
+def seed_subnode_shingles(graph: Graph, hash_function) -> Dict:
+    """Seed shingle computation: re-invokes the hash closure per edge endpoint."""
+    shingles = {}
+    for node in graph.nodes():
+        best = hash_function(node)
+        for neighbor in graph.neighbor_set(node):
+            value = hash_function(neighbor)
+            if value < best:
+                best = value
+        shingles[node] = best
+    return shingles
+
+
+def seed_leaf_subnodes(hierarchy: Hierarchy, supernode: int) -> List:
+    """Seed leaf lookup: walks the subtree on every call (no memoized leaf index)."""
+    leaves = []
+    stack = [supernode]
+    children = hierarchy._children
+    leaf_subnode = hierarchy._leaf_subnode
+    while stack:
+        node = stack.pop()
+        if node in leaf_subnode:
+            leaves.append(leaf_subnode[node])
+        else:
+            stack.extend(children[node])
+    return leaves
+
+
+def seed_root_shingles(roots, hierarchy: Hierarchy, node_shingles: Dict) -> Dict:
+    result = {}
+    for root in roots:
+        best = None
+        for subnode in seed_leaf_subnodes(hierarchy, root):
+            value = node_shingles[subnode]
+            if best is None or value < best:
+                best = value
+        result[root] = best if best is not None else 0
+    return result
+
+
+def seed_generate_candidate_sets(
+    graph: Graph, hierarchy: Hierarchy, roots: Sequence[int], config: SluggerConfig, seed=None
+) -> List[List[int]]:
+    """Seed candidate generation: rehashes every graph node on every round."""
+    rng = ensure_rng(seed)
+    groups: List[List[int]] = [list(roots)]
+    finished: List[List[int]] = []
+    for _ in range(config.shingle_rounds):
+        oversized = [group for group in groups if len(group) > config.max_candidate_size]
+        finished.extend(group for group in groups if len(group) <= config.max_candidate_size)
+        if not oversized:
+            groups = []
+            break
+        hash_function = make_hash_function(rng.randrange(2**61))
+        node_shingles = seed_subnode_shingles(graph, hash_function)
+        groups = []
+        for group in oversized:
+            shingles = seed_root_shingles(group, hierarchy, node_shingles)
+            buckets: Dict[int, List[int]] = {}
+            for root in group:
+                buckets.setdefault(shingles[root], []).append(root)
+            if len(buckets) == 1:
+                groups.append(group)
+            else:
+                groups.extend(buckets.values())
+    for group in groups:
+        if len(group) <= config.max_candidate_size:
+            finished.append(group)
+        else:
+            shuffled = list(group)
+            rng.shuffle(shuffled)
+            for start in range(0, len(shuffled), config.max_candidate_size):
+                finished.append(shuffled[start:start + config.max_candidate_size])
+    candidate_sets = [group for group in finished if len(group) >= 2]
+    rng.shuffle(candidate_sets)
+    return candidate_sets
+
+
+def seed_best_partner(state: SluggerState, root: int, candidates, height_bound=None):
+    """Seed partner search: full two-hop set per call, no estimate short-circuit."""
+    admissible = two_hop_roots(state, root)
+    best_value = float("-inf")
+    best_root = -1
+    for other in candidates:
+        if other == root or other not in admissible:
+            continue
+        if height_bound is not None:
+            new_height = 1 + max(state.tree_height[root], state.tree_height[other])
+            if new_height > height_bound:
+                continue
+        value = saving(state, root, other)
+        if value > best_value:
+            best_value = value
+            best_root = other
+    return best_value, best_root
+
+
+class SeedState(SluggerState):
+    """State with the seed's O(|pn_edges|) bucket scan on every merge."""
+
+    def _rekey_pn_edges(self, root_a: int, root_b: int, merged: int) -> None:
+        affected = [pair for pair in self.pn_edges if root_a in pair or root_b in pair]
+        for pair in affected:
+            records = self.pn_edges.pop(pair)
+            first, second = pair
+            new_first = merged if first in (root_a, root_b) else first
+            new_second = merged if second in (root_a, root_b) else second
+            new_pair = (new_first, new_second) if new_first <= new_second else (new_second, new_first)
+            self.pn_edges.setdefault(new_pair, set()).update(records)
+
+
+def seed_process_candidate_set(
+    state: SluggerState, candidate_set, threshold: float, config: SluggerConfig, seed=None
+) -> int:
+    """Seed merge loop: O(n) ``queue.index`` scan to replace the merged partner."""
+    rng = ensure_rng(seed)
+    queue: List[int] = [root for root in candidate_set if root in state.roots]
+    merges = 0
+    while len(queue) > 1:
+        index = rng.randrange(len(queue))
+        root_a = queue[index]
+        queue[index] = queue[-1]
+        queue.pop()
+        value, root_b = seed_best_partner(
+            state, root_a, queue, height_bound=config.height_bound
+        )
+        if root_b < 0 or value < threshold:
+            continue
+        merged = merge_and_update(state, root_a, root_b, config)
+        queue[queue.index(root_b)] = merged
+        merges += 1
+    return merges
+
+
+# ----------------------------------------------------------------------
+# Timing harness
+# ----------------------------------------------------------------------
+def best_of(repeats: int, callback: Callable[[], object]) -> float:
+    """Minimum wall time over ``repeats`` invocations of ``callback``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callback()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_shingles(graph: Graph, repeats: int) -> Dict[str, float]:
+    before = best_of(repeats, lambda: seed_subnode_shingles(graph, make_hash_function(42)))
+    after = best_of(repeats, lambda: subnode_shingles(graph, make_hash_function(42)))
+    assert subnode_shingles(graph, make_hash_function(42)) == seed_subnode_shingles(
+        graph, make_hash_function(42)
+    )
+    return {"before": before, "after": after}
+
+
+def bench_candidates(graph: Graph, repeats: int) -> Dict[str, float]:
+    state = SluggerState(graph)
+    hierarchy = state.summary.hierarchy
+    roots = sorted(state.roots)
+    config = SluggerConfig(seed=0)
+    before = best_of(repeats, lambda: seed_generate_candidate_sets(graph, hierarchy, roots, config, seed=1))
+    after = best_of(repeats, lambda: generate_candidate_sets(graph, hierarchy, roots, config, seed=1))
+    assert generate_candidate_sets(graph, hierarchy, roots, config, seed=1) == \
+        seed_generate_candidate_sets(graph, hierarchy, roots, config, seed=1)
+    return {"before": before, "after": after}
+
+
+def bench_merge_sweep(graph: Graph) -> Dict[str, float]:
+    """One full merge sweep over all candidate sets at threshold 0.
+
+    Threshold 0 is the final-iteration regime, where most merges happen
+    and the per-merge bookkeeping (partner replacement, superedge-bucket
+    re-keying) dominates.
+    """
+    config = SluggerConfig(seed=0)
+    threshold = 0.0
+
+    def sweep(process, state_class):
+        rng = ensure_rng(7)
+        state = state_class(graph)
+        candidate_sets = generate_candidate_sets(
+            graph, state.summary.hierarchy, sorted(state.roots), config, seed=rng.randrange(2**61)
+        )
+        merges = 0
+        started = time.perf_counter()
+        for candidate_set in candidate_sets:
+            merges += process(state, candidate_set, threshold, config, seed=rng.randrange(2**61))
+        return time.perf_counter() - started, merges
+
+    before, merges_before = sweep(seed_process_candidate_set, SeedState)
+    after, merges_after = sweep(process_candidate_set, SluggerState)
+    assert merges_before == merges_after, "merge sweep diverged from the seed implementation"
+    return {"before": before, "after": after}
+
+
+def bench_validation(graph: Graph, iterations: int) -> float:
+    """Full run with per-iteration invariant checks; returns the final cost."""
+    result = Slugger(SluggerConfig(iterations=iterations, seed=0, check_invariants=graph.num_nodes <= 2000)).summarize(graph)
+    result.summary.validate(graph)
+    return result.cost()
+
+
+def report(label: str, timings: Dict[str, float]) -> float:
+    speedup = timings["before"] / timings["after"] if timings["after"] > 0 else float("inf")
+    print(f"  {label:<22} before={timings['before']:8.3f}s  "
+          f"after={timings['after']:8.3f}s  speedup={speedup:5.2f}x")
+    return speedup
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graphs, fewer repeats (CI smoke mode; no speedup assertions)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        graphs = [
+            ("er-1k", erdos_renyi_graph(1000, 0.01, seed=1)),
+            ("caveman-20x10", caveman_graph(20, 10, 0.05, seed=1)),
+        ]
+        repeats, iterations = 2, 2
+    else:
+        graphs = [
+            ("er-10k", erdos_renyi_graph(10000, 0.003, seed=1)),
+            ("caveman-100x20", caveman_graph(100, 20, 0.05, seed=1)),
+        ]
+        repeats, iterations = 3, 3
+
+    candidate_speedups: Dict[str, float] = {}
+    for name, graph in graphs:
+        print(f"{name}: n={graph.num_nodes} m={graph.num_edges}")
+        report("subnode shingles", bench_shingles(graph, repeats))
+        candidate_speedups[name] = report("candidate generation", bench_candidates(graph, repeats))
+        report("merge sweep", bench_merge_sweep(graph))
+        cost = bench_validation(graph, iterations)
+        print(f"  validation             lossless OK (cost={cost})")
+
+    if not args.quick:
+        er_speedup = candidate_speedups["er-10k"]
+        if er_speedup < 2.0:
+            print(f"FAIL: candidate generation on the 10k-node ER graph is only "
+                  f"{er_speedup:.2f}x faster than the seed (need >= 2x)")
+            return 1
+        print(f"PASS: candidate generation on the 10k-node ER graph is {er_speedup:.2f}x "
+              f"faster than the seed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,21 @@ roots that share a min-hash shingle (and therefore are likely to lie
 within distance 2 of each other — merging more distant pairs never helps,
 Lemma 1), splits oversized groups with further shingle rounds, and
 finally splits any group still above the cap at random.
+
+Lazy, cached shingle rounds
+---------------------------
+Each shingle round only has to split the groups that are still above the
+candidate-size cap, so shingles are computed *lazily* per oversized
+group: one :class:`~repro.core.shingles.ShingleCache` is created per
+round (keyed by the round's hash-function seed in a per-iteration cache
+dictionary), and only the leaf sets of the roots that still need
+splitting are hashed.  The first round typically covers the whole graph
+— the cache then bulk-hashes every node once up front so the per-edge
+minimum runs at C speed — while later rounds touch only the shrinking
+oversized remainder instead of rehashing all of ``graph.nodes()`` as the
+seed implementation did.  The produced candidate sets are bit-identical
+to the eager scheme for a fixed seed: laziness changes where the hashing
+work happens, not which shingle values are computed.
 """
 
 from __future__ import annotations
@@ -13,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.config import SluggerConfig
-from repro.core.shingles import make_hash_function, root_shingles, subnode_shingles
+from repro.core.shingles import ShingleCache
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 from repro.utils.rng import SeedLike, ensure_rng
@@ -36,6 +51,17 @@ def generate_candidate_sets(
     rng = ensure_rng(seed)
     groups: List[List[int]] = [list(roots)]
     finished: List[List[int]] = []
+    # Per-iteration shingle caches, keyed by hash-function seed: every
+    # round draws a fresh seed, and all groups split within that round
+    # share the round's lazily-filled cache.
+    shingle_caches: Dict[int, ShingleCache] = {}
+    # Leaf lists per root, shared by every round of this call (roots do
+    # not change while candidate sets are being generated).  Leaf roots —
+    # the entire first iteration, and stragglers later — resolve through
+    # a single dictionary probe instead.
+    root_leaves: Dict[int, List] = {}
+    leaf_map = hierarchy.leaf_subnode_map()
+    missing = object()
 
     for _ in range(config.shingle_rounds):
         oversized = [group for group in groups if len(group) > config.max_candidate_size]
@@ -43,14 +69,32 @@ def generate_candidate_sets(
         if not oversized:
             groups = []
             break
-        hash_function = make_hash_function(rng.randrange(2**61))
-        node_shingles = subnode_shingles(graph, hash_function)
+        round_seed = rng.randrange(2**61)
+        cache = shingle_caches.get(round_seed)
+        if cache is None:
+            cache = ShingleCache(graph, round_seed)
+            shingle_caches[round_seed] = cache
+        if 2 * sum(len(group) for group in oversized) >= len(roots):
+            # The round still covers most of the roots (always true for the
+            # first round), so its closed neighborhoods touch most of the
+            # graph: bulk-compute every shingle once so the per-edge minima
+            # and the per-root lookups below run at C speed.
+            shingle_of = cache.ensure_shingles().__getitem__
+        else:
+            shingle_of = cache.shingle
         groups = []
         for group in oversized:
-            shingles = root_shingles(group, hierarchy, node_shingles)
             buckets: Dict[int, List[int]] = {}
             for root in group:
-                buckets.setdefault(shingles[root], []).append(root)
+                subnode = leaf_map.get(root, missing)
+                if subnode is not missing:
+                    value = shingle_of(subnode)
+                else:
+                    leaves = root_leaves.get(root)
+                    if leaves is None:
+                        leaves = root_leaves[root] = hierarchy.leaf_subnodes(root)
+                    value = min(map(shingle_of, leaves))
+                buckets.setdefault(value, []).append(root)
             if len(buckets) == 1:
                 # The shingle could not separate the group; keep it whole and
                 # let the random splitting below handle it.

@@ -49,6 +49,11 @@ class SluggerConfig:
         When ``True`` the driver validates the final summary against the
         input graph and raises if losslessness was broken (cheap safety
         net for small graphs; disable for large runs).
+    check_invariants:
+        When ``True`` the driver runs ``SluggerState.check_consistency``
+        after every iteration, verifying the incremental indices (superedge
+        counters, adjacency counters, leaf-set cache) against the summary.
+        O(|summary|) per iteration — for tests and debugging only.
     """
 
     iterations: int = 20
@@ -61,6 +66,7 @@ class SluggerConfig:
     prune_rounds: int = 2
     seed: Optional[int] = None
     validate_output: bool = False
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

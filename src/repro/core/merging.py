@@ -17,7 +17,7 @@ search plus the work of counting/listing the affected subedges.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import SluggerConfig
 from repro.core.encoder import (
@@ -29,6 +29,7 @@ from repro.core.encoder import (
 )
 from repro.core.saving import best_partner
 from repro.core.state import SluggerState
+from repro.exceptions import SummaryInvariantError
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -107,21 +108,41 @@ def process_candidate_set(
     config: SluggerConfig,
     seed: SeedLike = None,
 ) -> int:
-    """Run Algorithm 2 on one candidate root set; returns the number of merges."""
+    """Run Algorithm 2 on one candidate root set; returns the number of merges.
+
+    A position map (root id → queue slot) mirrors the queue so replacing a
+    merged partner is O(1) instead of an O(n) ``list.index`` scan, and a
+    partner that is unexpectedly absent raises a clear invariant error
+    instead of ``ValueError``.
+    """
     rng = ensure_rng(seed)
-    queue: List[int] = [root for root in candidate_set if root in state.roots]
+    # dict.fromkeys dedups while keeping order: a duplicated root must get
+    # one queue slot, or the position map would go out of sync with it.
+    queue: List[int] = list(dict.fromkeys(
+        root for root in candidate_set if root in state.roots
+    ))
+    position: Dict[int, int] = {root: index for index, root in enumerate(queue)}
     merges = 0
     while len(queue) > 1:
         index = rng.randrange(len(queue))
         root_a = queue[index]
-        queue[index] = queue[-1]
-        queue.pop()
+        del position[root_a]
+        last = queue.pop()
+        if index < len(queue):
+            queue[index] = last
+            position[last] = index
         value, root_b = best_partner(
             state, root_a, queue, height_bound=config.height_bound
         )
         if root_b < 0 or value < threshold:
             continue
         merged = merge_and_update(state, root_a, root_b, config)
-        queue[queue.index(root_b)] = merged
+        slot = position.pop(root_b, None)
+        if slot is None:
+            raise SummaryInvariantError(
+                f"best_partner returned root {root_b}, which is not in the candidate queue"
+            )
+        queue[slot] = merged
+        position[merged] = slot
         merges += 1
     return merges

@@ -14,7 +14,7 @@ pairs that are actually merged.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.state import SluggerState
 
@@ -83,11 +83,32 @@ def estimate_merged_cost(state: SluggerState, root_a: int, root_b: int) -> int:
     return cost
 
 
-def saving(state: SluggerState, root_a: int, root_b: int) -> float:
-    """Saving(A, B, G) of Eq. 8; larger is better, values ≤ 0 mean "do not merge"."""
-    denominator = (
-        state.cost_of(root_a) + state.cost_of(root_b) - state.pn_cost_between(root_a, root_b)
-    )
+def pair_denominator(state: SluggerState, root_a: int, root_b: int, cost_a: Optional[int] = None) -> int:
+    """Denominator of Eq. 8: Cost_A + Cost_B - Cost^P_{A,B}.
+
+    ``cost_a`` optionally supplies a precomputed ``state.cost_of(root_a)``
+    so partner search does not recompute it for every candidate.
+    """
+    if cost_a is None:
+        cost_a = state.cost_of(root_a)
+    return cost_a + state.cost_of(root_b) - state.pn_cost_between(root_a, root_b)
+
+
+def saving(
+    state: SluggerState,
+    root_a: int,
+    root_b: int,
+    *,
+    cost_a: Optional[int] = None,
+    denominator: Optional[int] = None,
+) -> float:
+    """Saving(A, B, G) of Eq. 8; larger is better, values ≤ 0 mean "do not merge".
+
+    ``cost_a`` and ``denominator`` let partner search reuse its
+    precomputed values; both default to computing from scratch.
+    """
+    if denominator is None:
+        denominator = pair_denominator(state, root_a, root_b, cost_a)
     if denominator <= 0:
         return float("-inf")
     return 1.0 - estimate_merged_cost(state, root_a, root_b) / denominator
@@ -116,18 +137,46 @@ def best_partner(
     Returns ``(saving, partner)``; ``partner`` is ``-1`` when no candidate
     is admissible (e.g. all would exceed the height bound).  Candidates at
     distance 3 or more are skipped (Lemma 1).
+
+    Three exact short-circuits keep the inner loop cheap without changing
+    the selected partner:
+
+    * directly-adjacent candidates skip the two-hop admissibility set,
+      which is only materialized when a non-adjacent candidate shows up;
+    * ``Cost_A`` is computed once instead of per candidate;
+    * a candidate is skipped without running the O(degree) merged-cost
+      estimate when even the lower bound ``Cost_{A∪B} ≥ Cost^H_A +
+      Cost^H_B + 2`` (the merged tree keeps both trees' h-edges, from the
+      incrementally maintained leaf counts, plus two new ones) cannot
+      beat the best saving found so far.
     """
-    admissible = two_hop_roots(state, root)
+    direct = state.root_adj[root]
+    two_hop = None
+    tree_h = state.tree_h
+    cost_root = state.cost_of(root)
+    h_root = tree_h[root]
     best_value = float("-inf")
     best_root = -1
     for other in candidates:
-        if other == root or other not in admissible:
+        if other == root:
             continue
+        if other not in direct:
+            if two_hop is None:
+                two_hop = two_hop_roots(state, root)
+            if other not in two_hop:
+                continue
         if height_bound is not None:
             new_height = 1 + max(state.tree_height[root], state.tree_height[other])
             if new_height > height_bound:
                 continue
-        value = saving(state, root, other)
+        denominator = pair_denominator(state, root, other, cost_root)
+        if denominator <= 0:
+            continue
+        if 1.0 - (h_root + tree_h[other] + 2) / denominator <= best_value:
+            # Even the cheapest conceivable merged cost cannot strictly
+            # improve on the current best; skip the expensive estimate.
+            continue
+        value = saving(state, root, other, denominator=denominator)
         if value > best_value:
             best_value = value
             best_root = other

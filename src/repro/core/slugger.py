@@ -111,6 +111,8 @@ class Slugger:
                     "roots": float(len(state.roots)),
                     "cost": float(state.summary.cost()),
                 })
+                if config.check_invariants:
+                    state.check_consistency()
 
         prune_stats: Dict[str, int] = {}
         if config.prune:

@@ -12,6 +12,13 @@ bookkeeping that the merging step relies on:
   so a local re-encoding can remove them without scanning the summary;
 * ``tree_h`` / ``tree_height`` — per-root hierarchy-edge counts
   (``Cost^H_A`` of Eq. 3) and tree heights (for the ``H_b`` variant).
+
+Per-root leaf sets and leaf counts are maintained incrementally by the
+hierarchy itself (see :class:`~repro.model.hierarchy.Hierarchy`):
+``create_parent`` extends the memoized leaf index on every merge, so
+:meth:`leaf_count` and :meth:`leaf_subnodes` are O(1)/O(size) lookups
+rather than tree walks.  :meth:`check_consistency` cross-checks that
+index against a fresh traversal along with the superedge counters.
 """
 
 from __future__ import annotations
@@ -131,6 +138,14 @@ class SluggerState:
         neighbors.discard(root)
         return neighbors
 
+    def leaf_count(self, root: int) -> int:
+        """Number of subnodes in ``root``'s tree (O(1), maintained on merges)."""
+        return self.summary.hierarchy.size(root)
+
+    def leaf_subnodes(self, root: int) -> List[Subnode]:
+        """Subnodes of ``root``'s tree, served from the hierarchy's leaf index."""
+        return self.summary.hierarchy.leaf_subnodes(root)
+
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
@@ -187,12 +202,25 @@ class SluggerState:
         return combined
 
     def _rekey_pn_edges(self, root_a: int, root_b: int, merged: int) -> None:
-        """Move superedge buckets keyed by the old roots onto the merged root."""
-        affected: List[RootPair] = [
-            pair for pair in self.pn_edges if root_a in pair or root_b in pair
-        ]
-        for pair in affected:
-            records = self.pn_edges.pop(pair)
+        """Move superedge buckets keyed by the old roots onto the merged root.
+
+        The affected pairs are enumerated from the merged root's counter
+        map (already re-keyed by :meth:`_merge_counter_maps`), so this is
+        O(degree of the merged root) instead of a scan over every bucket.
+        """
+        candidates: List[RootPair] = []
+        for other in self.pn_count.get(merged, ()):
+            if other == merged:
+                candidates.append((root_a, root_a))
+                candidates.append((root_b, root_b))
+                candidates.append(_pair(root_a, root_b))
+            else:
+                candidates.append(_pair(root_a, other))
+                candidates.append(_pair(root_b, other))
+        for pair in candidates:
+            records = self.pn_edges.pop(pair, None)
+            if records is None:
+                continue
             first, second = pair
             new_first = merged if first in (root_a, root_b) else first
             new_second = merged if second in (root_a, root_b) else second
@@ -242,3 +270,21 @@ class SluggerState:
                 raise SummaryInvariantError(
                     f"root_adj for root pair {pair} is {stored}, expected {count}"
                 )
+        for pair, records in self.pn_edges.items():
+            if not records:
+                raise SummaryInvariantError(f"empty superedge bucket kept for root pair {pair}")
+            for x, y, _sign in records:
+                actual = _pair(hierarchy.root_of(x), hierarchy.root_of(y))
+                if actual != pair:
+                    raise SummaryInvariantError(
+                        f"superedge ({x}, {y}) filed under root pair {pair}, belongs to {actual}"
+                    )
+            stored = self.pn_count[pair[0]].get(pair[1], 0)
+            if stored != len(records):
+                raise SummaryInvariantError(
+                    f"pn_count for root pair {pair} is {stored}, "
+                    f"but its bucket holds {len(records)} superedges"
+                )
+        hierarchy.verify_leaf_cache()
+        if self.roots != set(hierarchy.roots()):
+            raise SummaryInvariantError("the root index disagrees with the hierarchy")

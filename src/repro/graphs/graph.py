@@ -138,6 +138,13 @@ class Graph:
         """Internal adjacency set of ``node`` (not copied; do not mutate)."""
         return self._adjacency[node]
 
+    def adjacency(self) -> Dict[Node, Set[Node]]:
+        """The internal node → neighbor-set mapping (not copied; do not mutate).
+
+        Hot paths iterate this directly to avoid a method call per node.
+        """
+        return self._adjacency
+
     def degree(self, node: Node) -> int:
         """Degree of ``node``."""
         if node not in self._adjacency:
@@ -170,8 +177,17 @@ class Graph:
         return clone
 
     def relabeled(self) -> Tuple["Graph", Dict[Node, int]]:
-        """Return a copy with nodes relabeled to ``0..n-1`` plus the mapping."""
-        mapping = {node: index for index, node in enumerate(sorted(self._adjacency, key=repr))}
+        """Return a copy with nodes relabeled to ``0..n-1`` plus the mapping.
+
+        Homogeneous comparable node sets (the common all-integer case) are
+        ordered by their natural sort — sorting by ``repr`` would place 10
+        before 2.  Mixed non-comparable types fall back to ``repr`` order.
+        """
+        try:
+            ordered = sorted(self._adjacency)
+        except TypeError:
+            ordered = sorted(self._adjacency, key=repr)
+        mapping = {node: index for index, node in enumerate(ordered)}
         relabeled = Graph(nodes=mapping.values())
         for u, v in self.edges():
             relabeled.add_edge(mapping[u], mapping[v])

@@ -10,7 +10,7 @@ supernode contributes exactly one h-edge (from its parent).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import SummaryInvariantError
 
@@ -37,6 +37,16 @@ class Hierarchy:
         self._leaf_subnode: Dict[int, Subnode] = {}
         self._leaf_of_subnode: Dict[Subnode, int] = {}
         self._size: Dict[int, int] = {}
+        # Memoized leaf-id tuples per supernode.  A supernode's leaf set is
+        # fixed at creation time (children are only ever attached when the
+        # supernode is created, and ``splice_out`` reattaches children to
+        # the parent without changing any surviving leaf set), so entries
+        # never go stale — they are only dropped when their supernode is
+        # removed.  ``create_parent`` extends the cache incrementally by
+        # concatenating the children's tuples, which is what keeps
+        # shingle rounds, panel statistics, and saving evaluation from
+        # re-walking trees on the SLUGGER hot path.
+        self._leaf_cache: Dict[int, Tuple[int, ...]] = {}
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -53,6 +63,7 @@ class Hierarchy:
         self._leaf_subnode[node_id] = subnode
         self._leaf_of_subnode[subnode] = node_id
         self._size[node_id] = 1
+        self._leaf_cache[node_id] = (node_id,)
         return node_id
 
     def create_parent(self, children: Iterable[int]) -> int:
@@ -78,6 +89,14 @@ class Hierarchy:
         self._size[node_id] = sum(self._size[child] for child in child_list)
         for child in child_list:
             self._parent[child] = node_id
+        child_caches = [self._leaf_cache.get(child) for child in child_list]
+        if all(cached is not None for cached in child_caches):
+            # Incremental update: the merged leaf set is the concatenation
+            # of the children's (immutable) leaf sets.
+            combined: List[int] = []
+            for cached in child_caches:
+                combined.extend(cached)  # type: ignore[arg-type]
+            self._leaf_cache[node_id] = tuple(combined)
         return node_id
 
     def splice_out(self, supernode: int) -> None:
@@ -102,6 +121,10 @@ class Hierarchy:
         del self._parent[supernode]
         del self._children[supernode]
         del self._size[supernode]
+        # Leaf sets of the surviving supernodes are unchanged (the children
+        # keep their subtrees and the parent keeps the same leaves); only
+        # the removed supernode's cache entry must go.
+        self._leaf_cache.pop(supernode, None)
 
     # ------------------------------------------------------------------
     # Queries
@@ -161,6 +184,14 @@ class Hierarchy:
         """The leaf supernode id for ``subnode``."""
         return self._leaf_of_subnode[subnode]
 
+    def leaf_subnode_map(self) -> Dict[int, Subnode]:
+        """The internal leaf-id → subnode mapping (not copied; do not mutate).
+
+        Hot paths use this to resolve leaf roots to their subnode with a
+        single dictionary probe instead of a subtree walk per root.
+        """
+        return self._leaf_subnode
+
     def subnodes(self) -> List[Subnode]:
         """All registered subnodes."""
         return list(self._leaf_of_subnode)
@@ -200,20 +231,68 @@ class Hierarchy:
             stack.extend(self._children.get(node, ()))
 
     def leaf_ids(self, supernode: int) -> List[int]:
-        """Leaf supernode ids contained in ``supernode``'s subtree."""
-        leaves: List[int] = []
-        stack = [supernode]
-        while stack:
-            node = stack.pop()
-            if node in self._leaf_subnode:
-                leaves.append(node)
-            else:
-                stack.extend(self._children[node])
-        return leaves
+        """Leaf supernode ids contained in ``supernode``'s subtree (memoized)."""
+        return list(self._cached_leaf_ids(supernode))
+
+    def _cached_leaf_ids(self, supernode: int) -> Tuple[int, ...]:
+        """Leaf-id tuple of one supernode, filled in lazily from child caches."""
+        cached = self._leaf_cache.get(supernode)
+        if cached is not None:
+            return cached
+        if supernode in self._leaf_subnode:
+            result: Tuple[int, ...] = (supernode,)
+        else:
+            cache = self._leaf_cache
+            leaf_subnode = self._leaf_subnode
+            collected: List[int] = []
+            stack = [supernode]
+            while stack:
+                node = stack.pop()
+                hit = cache.get(node)
+                if hit is not None:
+                    collected.extend(hit)
+                elif node in leaf_subnode:
+                    collected.append(node)
+                else:
+                    stack.extend(self._children[node])
+            result = tuple(collected)
+        self._leaf_cache[supernode] = result
+        return result
 
     def leaf_subnodes(self, supernode: int) -> List[Subnode]:
         """Subnodes contained in ``supernode``'s subtree."""
-        return [self._leaf_subnode[leaf] for leaf in self.leaf_ids(supernode)]
+        leaf_subnode = self._leaf_subnode
+        return [leaf_subnode[leaf] for leaf in self._cached_leaf_ids(supernode)]
+
+    def verify_leaf_cache(self) -> None:
+        """Check every memoized leaf set against a fresh tree walk.
+
+        Raises :class:`SummaryInvariantError` on any drift.  O(total cache
+        size); meant for tests and :meth:`SluggerState.check_consistency`.
+        """
+        for supernode, cached in self._leaf_cache.items():
+            if supernode not in self._parent:
+                raise SummaryInvariantError(
+                    f"leaf cache holds entry for removed supernode {supernode}"
+                )
+            actual: List[int] = []
+            stack = [supernode]
+            while stack:
+                node = stack.pop()
+                if node in self._leaf_subnode:
+                    actual.append(node)
+                else:
+                    stack.extend(self._children[node])
+            if sorted(cached) != sorted(actual):
+                raise SummaryInvariantError(
+                    f"leaf cache for supernode {supernode} is stale: "
+                    f"cached {len(cached)} leaves, actual {len(actual)}"
+                )
+            if len(cached) != self._size[supernode]:
+                raise SummaryInvariantError(
+                    f"size bookkeeping for supernode {supernode} is {self._size[supernode]}, "
+                    f"but it has {len(cached)} leaves"
+                )
 
     def contains_subnode(self, supernode: int, subnode: Subnode) -> bool:
         """Whether ``subnode`` belongs to ``supernode`` (walks up from the leaf)."""
@@ -283,6 +362,7 @@ class Hierarchy:
         clone._leaf_subnode = dict(self._leaf_subnode)
         clone._leaf_of_subnode = dict(self._leaf_of_subnode)
         clone._size = dict(self._size)
+        clone._leaf_cache = dict(self._leaf_cache)
         clone._next_id = self._next_id
         return clone
 

@@ -126,6 +126,20 @@ class TestGraphQueries:
         assert set(mapping.values()) == {0, 1, 2}
         assert relabeled.has_edge(mapping["x"], mapping["y"])
 
+    def test_relabeled_sorts_integer_ids_numerically(self):
+        # Regression: sorting by repr put 10 before 2, scrambling the
+        # contiguous relabeling of integer node sets.
+        graph = Graph(edges=[(10, 2), (2, 1), (10, 30)])
+        _, mapping = graph.relabeled()
+        assert mapping == {1: 0, 2: 1, 10: 2, 30: 3}
+
+    def test_relabeled_mixed_types_fall_back_to_repr(self):
+        graph = Graph(edges=[("a", 1), (1, "b")])
+        relabeled, mapping = graph.relabeled()
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabeled.has_edge(mapping["a"], mapping[1])
+        assert relabeled.has_edge(mapping[1], mapping["b"])
+
     def test_repr_mentions_sizes(self):
         graph = Graph(edges=[(0, 1)])
         assert "num_nodes=2" in repr(graph)

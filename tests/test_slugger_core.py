@@ -8,7 +8,12 @@ from repro.core import Slugger, SluggerConfig, summarize
 from repro.core.candidates import generate_candidate_sets
 from repro.core.config import SluggerConfig as Config
 from repro.core.merging import merge_and_update, process_candidate_set
-from repro.core.shingles import make_hash_function, root_shingles, subnode_shingles
+from repro.core.shingles import (
+    ShingleCache,
+    make_hash_function,
+    root_shingles,
+    subnode_shingles,
+)
 from repro.core.state import SluggerState
 from repro.exceptions import ConfigurationError
 from repro.graphs import (
@@ -83,6 +88,43 @@ class TestShingles:
         values = root_shingles([merged], hierarchy, node_shingles)
         assert values[merged] == min(node_shingles[0], node_shingles[1])
 
+    def test_hash_function_distinguishes_ids_near_mask_boundary(self):
+        # Regression: the old 61-bit pre-mask collided x with x + 2**61 and
+        # conflated distinct negative hash() values with large positives.
+        hash_function = make_hash_function(5)
+        boundary_ids = [2**61 - 2, 2**61 - 1, 2**61, 2**61 + 1, 2**62 + 3]
+        values = [hash_function(x) for x in boundary_ids]
+        assert len(set(values)) == len(values)
+        for x in (7, 123456):
+            assert hash_function(x) != hash_function(x + 2**61)
+        assert hash_function(-1) != hash_function(2**61 - 1)
+
+    def test_shingle_cache_matches_eager_computation(self):
+        graph = erdos_renyi_graph(50, 0.15, seed=9)
+        eager = subnode_shingles(graph, make_hash_function(13))
+        lazy = ShingleCache(graph, 13)
+        assert all(lazy.shingle(node) == eager[node] for node in graph.nodes())
+        bulk = ShingleCache(graph, 13)
+        assert bulk.ensure_shingles() == eager
+
+    def test_shingle_cache_is_lazy(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=9)
+        cache = ShingleCache(graph, 13)
+        node = graph.nodes()[0]
+        cache.shingle(node)
+        # Only the requested closed neighborhood was hashed.
+        assert len(cache._values) <= graph.degree(node) + 1
+
+    def test_shingle_cache_agrees_with_root_shingles_on_merged_roots(self):
+        graph = complete_graph(4)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        merged = state.merge_roots(hierarchy.leaf_of(2), hierarchy.leaf_of(3))
+        cache = ShingleCache(graph, 2)
+        eager = root_shingles([merged], hierarchy, subnode_shingles(graph, make_hash_function(2)))
+        lazy = min(cache.shingle(subnode) for subnode in hierarchy.leaf_subnodes(merged))
+        assert lazy == eager[merged]
+
 
 class TestCandidates:
     def test_all_roots_covered_at_most_once(self):
@@ -154,6 +196,46 @@ class TestMergingStep:
         merges = process_candidate_set(state, sorted(state.roots), 1.1, config, seed=3)
         assert merges == 0
         assert state.summary.cost() == graph.num_edges
+
+    def test_process_candidate_set_handles_multiple_merges(self):
+        # Several merges inside one candidate set: each merged root must
+        # replace its partner in the queue (position-map bookkeeping), and
+        # merged roots must stay mergeable with one another.
+        graph = caveman_graph(3, 4, seed=0)
+        for seed in range(5):
+            state = SluggerState(graph)
+            config = SluggerConfig(seed=0)
+            merges = process_candidate_set(state, sorted(state.roots), 0.0, config, seed=seed)
+            assert merges >= 2
+            state.check_consistency()
+            state.summary.validate(graph)
+            # Every merge removed one root from play.
+            assert len(state.roots) == graph.num_nodes - merges
+
+    def test_process_candidate_set_tolerates_duplicate_roots(self):
+        graph = complete_graph(6)
+        for seed in range(4):
+            state = SluggerState(graph)
+            config = SluggerConfig(seed=0)
+            roots = sorted(state.roots)
+            merges = process_candidate_set(state, roots + roots[:3], 0.0, config, seed=seed)
+            assert merges >= 1
+            state.check_consistency()
+            state.summary.validate(graph)
+
+    def test_process_candidate_set_skips_non_root_candidates(self):
+        graph = complete_graph(6)
+        state = SluggerState(graph)
+        hierarchy = state.summary.hierarchy
+        config = SluggerConfig(seed=0)
+        merged = state.merge_roots(hierarchy.leaf_of(0), hierarchy.leaf_of(1))
+        stale = [hierarchy.leaf_of(0), hierarchy.leaf_of(1)]  # no longer roots
+        candidate_set = stale + sorted(state.roots)
+        merges = process_candidate_set(state, candidate_set, 0.0, config, seed=1)
+        assert merges >= 1
+        assert merged not in stale
+        state.check_consistency()
+        state.summary.validate(graph)
 
 
 class TestDriver:
