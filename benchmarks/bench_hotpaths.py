@@ -1,4 +1,4 @@
-"""Microbenchmark for the SLUGGER hot paths.
+"""Microbenchmark for the SLUGGER hot paths and the dense substrate.
 
 Times the three inner-loop stages that the hot-path overhaul targets —
 subnode-shingle computation, candidate generation, and one merge sweep —
@@ -8,19 +8,35 @@ without partner-search short-circuits).  Both variants run on the same
 graphs with the same seeds, so the speedups are measured, not asserted
 from first principles, and the outputs are cross-checked for equality.
 
+On top of the stage benches, two substrate comparisons track the dense
+integer-graph layer:
+
+* an *end-to-end* comparison: the full SLUGGER driver built from the
+  seed replicas versus the current implementation (same seeds, costs
+  cross-checked equal);
+* a *representation* comparison: dict-of-sets adjacency versus
+  :class:`DenseAdjacency` versus the frozen CSR view, in both shingle
+  sweep time and approximate memory.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py          # full (10k-node ER)
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick  # CI smoke mode
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --json out.json
 
-The full mode asserts the acceptance bar of the overhaul: candidate
-generation on a 10k-node Erdős–Rényi graph at least 2x faster than the
-seed, and ``summary.validate(graph)`` passing on every benchmark graph.
+``--json`` writes a machine-readable record (timings, speedups, memory,
+peak RSS) so the perf trajectory is tracked across PRs.  The full mode
+asserts the acceptance bars: candidate generation on the 10k-node
+Erdős–Rényi graph at least 2x faster than the seed, and the substrate
+either >= 1.3x faster end-to-end or >= 30% smaller in adjacency memory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
+import resource
 import sys
 import time
 from typing import Callable, Dict, List, Sequence
@@ -28,10 +44,17 @@ from typing import Callable, Dict, List, Sequence
 from repro.core import Slugger, SluggerConfig
 from repro.core.candidates import generate_candidate_sets
 from repro.core.merging import merge_and_update, process_candidate_set
+from repro.core.pruning import prune
 from repro.core.saving import saving, two_hop_roots
-from repro.core.shingles import ShingleCache, make_hash_function, subnode_shingles
+from repro.core.shingles import (
+    ShingleCache,
+    dense_subnode_shingles,
+    make_hash_function,
+    subnode_shingles,
+)
 from repro.core.state import SluggerState
 from repro.graphs import caveman_graph, erdos_renyi_graph
+from repro.graphs.dense import DenseAdjacency, graph_adjacency_bytes
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 from repro.utils.rng import ensure_rng
@@ -140,6 +163,10 @@ def seed_best_partner(state: SluggerState, root: int, candidates, height_bound=N
 class SeedState(SluggerState):
     """State with the seed's O(|pn_edges|) bucket scan on every merge."""
 
+    def __init__(self, graph: Graph) -> None:
+        # The seed had no dense substrate; exercise the label paths.
+        super().__init__(graph, build_dense=False)
+
     def _rekey_pn_edges(self, root_a: int, root_b: int, merged: int) -> None:
         affected = [pair for pair in self.pn_edges if root_a in pair or root_b in pair]
         for pair in affected:
@@ -245,6 +272,76 @@ def bench_validation(graph: Graph, iterations: int) -> float:
     return result.cost()
 
 
+# ----------------------------------------------------------------------
+# End-to-end and substrate comparisons
+# ----------------------------------------------------------------------
+def seed_full_run(graph: Graph, config: SluggerConfig) -> int:
+    """The full SLUGGER driver built from the seed replicas; returns the cost.
+
+    Candidate generation, partner search, and the state bookkeeping are
+    the seed's (eager rehash, no short-circuits, bucket scans, label
+    adjacency); the merge re-encoding itself is shared with the current
+    implementation, so the measured end-to-end speedup is conservative.
+    The RNG protocol matches ``Slugger.summarize`` exactly, so the final
+    cost must equal the current implementation's.
+    """
+    rng = ensure_rng(config.seed)
+    state = SeedState(graph)
+    for iteration in range(1, config.iterations + 1):
+        threshold = config.threshold(iteration)
+        candidate_sets = seed_generate_candidate_sets(
+            graph, state.summary.hierarchy, sorted(state.roots), config,
+            seed=rng.randrange(2**61),
+        )
+        for candidate_set in candidate_sets:
+            seed_process_candidate_set(
+                state, candidate_set, threshold, config, seed=rng.randrange(2**61)
+            )
+    if config.prune:
+        prune(graph, state.summary, rounds=config.prune_rounds)
+    return state.summary.cost()
+
+
+def bench_full_run(graph: Graph, iterations: int) -> Dict[str, float]:
+    """End-to-end: seed-replica driver versus the current implementation."""
+    config = SluggerConfig(iterations=iterations, seed=0)
+    started = time.perf_counter()
+    cost_before = seed_full_run(graph, config)
+    before = time.perf_counter() - started
+    started = time.perf_counter()
+    cost_after = Slugger(config).summarize(graph).cost()
+    after = time.perf_counter() - started
+    assert cost_before == cost_after, (
+        f"full run diverged from the seed replica: {cost_before} != {cost_after}"
+    )
+    return {"before": before, "after": after}
+
+
+def bench_substrate(graph: Graph, repeats: int) -> Dict[str, float]:
+    """Adjacency-representation comparison: dict-of-sets vs dense vs CSR.
+
+    Times a whole-graph shingle sweep (the canonical read-only pass) on
+    the label substrate and on the dense substrate, and reports the
+    approximate adjacency memory of all three representations.
+    """
+    dense = DenseAdjacency.from_graph(graph)
+    csr = dense.freeze()
+    label_time = best_of(repeats, lambda: subnode_shingles(graph, make_hash_function(42)))
+    dense_time = best_of(repeats, lambda: dense_subnode_shingles(dense, make_hash_function(42)))
+    # Cross-check: identical shingle values, just list- instead of dict-keyed.
+    labels = dense.index.labels()
+    dense_values = dense_subnode_shingles(dense, make_hash_function(42))
+    label_values = subnode_shingles(graph, make_hash_function(42))
+    assert all(label_values[labels[i]] == dense_values[i] for i in range(len(labels)))
+    return {
+        "label_sweep_seconds": label_time,
+        "dense_sweep_seconds": dense_time,
+        "dict_bytes": float(graph_adjacency_bytes(graph)),
+        "dense_bytes": float(dense.approx_bytes()),
+        "csr_bytes": float(csr.approx_bytes()),
+    }
+
+
 def report(label: str, timings: Dict[str, float]) -> float:
     speedup = timings["before"] / timings["after"] if timings["after"] > 0 else float("inf")
     print(f"  {label:<22} before={timings['before']:8.3f}s  "
@@ -256,6 +353,8 @@ def main(argv: Sequence[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small graphs, fewer repeats (CI smoke mode; no speedup assertions)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable BENCH_*.json-style record to PATH")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -271,23 +370,74 @@ def main(argv: Sequence[str] = None) -> int:
         ]
         repeats, iterations = 3, 3
 
+    record: Dict[str, object] = {
+        "bench": "hotpaths",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "graphs": {},
+    }
     candidate_speedups: Dict[str, float] = {}
+    full_run_speedups: Dict[str, float] = {}
+    memory_reductions: Dict[str, float] = {}
     for name, graph in graphs:
         print(f"{name}: n={graph.num_nodes} m={graph.num_edges}")
-        report("subnode shingles", bench_shingles(graph, repeats))
-        candidate_speedups[name] = report("candidate generation", bench_candidates(graph, repeats))
-        report("merge sweep", bench_merge_sweep(graph))
+        graph_record: Dict[str, object] = {
+            "num_nodes": graph.num_nodes, "num_edges": graph.num_edges,
+        }
+        timings = bench_shingles(graph, repeats)
+        graph_record["shingles"] = {**timings, "speedup": report("subnode shingles", timings)}
+        timings = bench_candidates(graph, repeats)
+        candidate_speedups[name] = report("candidate generation", timings)
+        graph_record["candidates"] = {**timings, "speedup": candidate_speedups[name]}
+        timings = bench_merge_sweep(graph)
+        graph_record["merge_sweep"] = {**timings, "speedup": report("merge sweep", timings)}
+        timings = bench_full_run(graph, iterations)
+        full_run_speedups[name] = report("full run (end-to-end)", timings)
+        graph_record["full_run"] = {**timings, "speedup": full_run_speedups[name]}
+        substrate = bench_substrate(graph, repeats)
+        memory_reductions[name] = 1.0 - substrate["csr_bytes"] / substrate["dict_bytes"]
+        substrate["csr_memory_reduction"] = memory_reductions[name]
+        graph_record["substrate"] = substrate
+        print(f"  substrate sweep        label={substrate['label_sweep_seconds']:8.3f}s  "
+              f"dense={substrate['dense_sweep_seconds']:8.3f}s")
+        print(f"  adjacency memory       dict={substrate['dict_bytes']/1024:.0f}KiB  "
+              f"dense={substrate['dense_bytes']/1024:.0f}KiB  "
+              f"csr={substrate['csr_bytes']/1024:.0f}KiB  "
+              f"(csr {memory_reductions[name]:.0%} smaller than dict)")
         cost = bench_validation(graph, iterations)
+        graph_record["cost"] = cost
         print(f"  validation             lossless OK (cost={cost})")
+        record["graphs"][name] = graph_record  # type: ignore[index]
+
+    record["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json record written to {args.json}")
 
     if not args.quick:
+        failures: List[str] = []
         er_speedup = candidate_speedups["er-10k"]
         if er_speedup < 2.0:
-            print(f"FAIL: candidate generation on the 10k-node ER graph is only "
-                  f"{er_speedup:.2f}x faster than the seed (need >= 2x)")
+            failures.append(f"candidate generation on the 10k-node ER graph is only "
+                            f"{er_speedup:.2f}x faster than the seed (need >= 2x)")
+        else:
+            print(f"PASS: candidate generation on the 10k-node ER graph is {er_speedup:.2f}x "
+                  f"faster than the seed")
+        er_full = full_run_speedups["er-10k"]
+        er_memory = memory_reductions["er-10k"]
+        if er_full < 1.3 and er_memory < 0.30:
+            failures.append(f"substrate shows neither >= 1.3x end-to-end speedup "
+                            f"(got {er_full:.2f}x) nor >= 30% adjacency-memory reduction "
+                            f"(got {er_memory:.0%}) on the 10k-node ER run")
+        else:
+            print(f"PASS: 10k-node ER full run {er_full:.2f}x faster end-to-end; "
+                  f"CSR adjacency {er_memory:.0%} smaller than dict-of-sets")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
             return 1
-        print(f"PASS: candidate generation on the 10k-node ER graph is {er_speedup:.2f}x "
-              f"faster than the seed")
     return 0
 
 

@@ -20,23 +20,37 @@ Package map
 ``repro.model``         hierarchical and flat summarization models
 ``repro.core``          the SLUGGER algorithm
 ``repro.baselines``     Randomized, Greedy, SWeG, SAGS, MoSSo
+``repro.engine``        the summarizer protocol + registry (one API for all)
 ``repro.algorithms``    BFS/DFS/PageRank/Dijkstra/triangles on summaries
 ``repro.analysis``      compression metrics and method comparison
 ``repro.experiments``   harness regenerating the paper's tables and figures
 """
 
+from repro import engine
 from repro.core import Slugger, SluggerConfig, SluggerResult, summarize
-from repro.graphs import Graph, load_dataset, read_edge_list, write_edge_list
+from repro.graphs import (
+    CSRAdjacency,
+    DenseAdjacency,
+    Graph,
+    NodeIndex,
+    load_dataset,
+    read_edge_list,
+    write_edge_list,
+)
 from repro.model import FlatSummary, HierarchicalSummary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Slugger",
     "SluggerConfig",
     "SluggerResult",
     "summarize",
+    "engine",
     "Graph",
+    "NodeIndex",
+    "DenseAdjacency",
+    "CSRAdjacency",
     "load_dataset",
     "read_edge_list",
     "write_edge_list",

@@ -1,31 +1,27 @@
 """Side-by-side comparison of summarization methods on one or more graphs.
 
 This is the programmatic backbone of Fig. 1(a), Fig. 5(a), and Fig. 5(b):
-given a graph (or a dataset key) and a set of methods, run every method,
-validate losslessness, and collect relative sizes and runtimes into
-uniform records.
+given a graph and a set of methods, run every method, validate
+losslessness, and collect relative sizes and runtimes into uniform
+records.  Methods are resolved through the :mod:`repro.engine` registry —
+a name, a configured :class:`~repro.engine.base.Summarizer`, or (for
+backwards compatibility) a plain ``(graph, seed) -> summary`` callable
+all work, with no per-method branching anywhere in the harness.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro import engine
 from repro.analysis.metrics import compression_report
-from repro.baselines import (
-    mosso_summarize,
-    randomized_summarize,
-    sags_summarize,
-    sweg_summarize,
-)
-from repro.core import Slugger, SluggerConfig
+from repro.engine.base import AnySummary, EngineResult, Summarizer
 from repro.graphs.graph import Graph
-from repro.model.flat import FlatSummary
-from repro.model.summary import HierarchicalSummary
 
-AnySummary = Union[HierarchicalSummary, FlatSummary]
 MethodFunction = Callable[[Graph, int], AnySummary]
+MethodSpec = Union[str, Summarizer, MethodFunction]
 
 
 @dataclass
@@ -36,6 +32,7 @@ class MethodResult:
     summary: AnySummary
     runtime_seconds: float
     report: Dict[str, float]
+    history: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def relative_size(self) -> float:
@@ -43,52 +40,72 @@ class MethodResult:
         return self.report["relative_size"]
 
 
-def _run_slugger(graph: Graph, seed: int, iterations: int) -> AnySummary:
-    config = SluggerConfig(iterations=iterations, seed=seed)
-    return Slugger(config).summarize(graph).summary
-
-
-def default_methods(iterations: int = 10) -> Dict[str, MethodFunction]:
+def default_methods(iterations: int = 10) -> Dict[str, Summarizer]:
     """The five methods compared throughout the paper's evaluation.
 
-    ``iterations`` applies to the iterative methods (SLUGGER and SWeG);
-    the paper uses 20, the benches default to a smaller value so the full
-    16-dataset sweep stays fast in pure Python.
+    Resolved from the :mod:`repro.engine` registry; ``iterations``
+    applies to the iterative methods (SLUGGER and SWeG).  The paper uses
+    20, the benches default to a smaller value so the full 16-dataset
+    sweep stays fast in pure Python.
     """
-    return {
-        "slugger": lambda graph, seed: _run_slugger(graph, seed, iterations),
-        "sweg": lambda graph, seed: sweg_summarize(graph, iterations=iterations, seed=seed),
-        "mosso": lambda graph, seed: mosso_summarize(graph, seed=seed),
-        "randomized": lambda graph, seed: randomized_summarize(graph, seed=seed),
-        "sags": lambda graph, seed: sags_summarize(graph, seed=seed),
-    }
+    return engine.default_suite(iterations=iterations)
+
+
+def _resolve(methods: Optional[Union[Mapping[str, MethodSpec], Sequence[str]]]
+             ) -> Dict[str, MethodSpec]:
+    if methods is None:
+        return dict(default_methods())
+    if isinstance(methods, Mapping):
+        return dict(methods)
+    # A sequence of registry names: configure them exactly like the
+    # default suite (same iteration default), so spelling the method
+    # list out never changes the configs being compared.
+    return dict(engine.default_suite(methods=methods))
+
+
+def _run_spec(name: str, spec: MethodSpec, graph: Graph, seed: int) -> EngineResult:
+    if isinstance(spec, str):
+        spec = engine.create(spec)
+    if isinstance(spec, Summarizer):
+        return spec.summarize(graph, seed=seed)
+    # Legacy plain callable: wrap its output into an EngineResult so the
+    # rest of the harness sees one shape.
+    started = time.perf_counter()
+    summary = spec(graph, seed)
+    return EngineResult(
+        method=name,
+        summary=summary,
+        runtime_seconds=time.perf_counter() - started,
+    )
 
 
 def compare_methods(
     graph: Graph,
-    methods: Optional[Dict[str, MethodFunction]] = None,
+    methods: Optional[Union[Mapping[str, MethodSpec], Sequence[str]]] = None,
     seed: int = 0,
     validate: bool = True,
 ) -> List[MethodResult]:
     """Run every method on ``graph`` and return per-method results.
 
-    Results are ordered by ascending relative size (best compression
-    first), which makes the winner immediately visible in reports.
+    ``methods`` may be a mapping of display name → method spec, a
+    sequence of registry names, or ``None`` for the paper's default
+    suite.  Results are ordered by ascending relative size (best
+    compression first), which makes the winner immediately visible in
+    reports.
     """
-    methods = methods if methods is not None else default_methods()
+    resolved = _resolve(methods)
     results: List[MethodResult] = []
-    for name, function in methods.items():
-        started = time.perf_counter()
-        summary = function(graph, seed)
-        elapsed = time.perf_counter() - started
+    for name, spec in resolved.items():
+        outcome = _run_spec(name, spec, graph, seed)
         if validate:
-            summary.validate(graph)
+            outcome.summary.validate(graph)
         results.append(
             MethodResult(
                 method=name,
-                summary=summary,
-                runtime_seconds=elapsed,
-                report=compression_report(summary, graph),
+                summary=outcome.summary,
+                runtime_seconds=outcome.runtime_seconds,
+                report=compression_report(outcome.summary, graph),
+                history=outcome.history,
             )
         )
     results.sort(key=lambda result: result.relative_size)

@@ -12,17 +12,25 @@ Every baseline maintains a partition of the graph's nodes into groups
 :class:`FlatGroupingState` provides both on top of per-group superneighbor
 counters, so the baselines stay O(degree) per decision just like the
 original algorithms.
+
+Dense substrate
+---------------
+The state works on the dense integer-id substrate
+(:class:`~repro.graphs.dense.DenseAdjacency`): members and node arguments
+are contiguous node *ids* (assigned in graph node-insertion order, so for
+the common 0..n-1 integer-labelled graphs id == label), the node → group
+mapping is a plain list, and neighbor reads index the dense adjacency.
+Original labels reappear only at the :meth:`to_summary` boundary.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.exceptions import SummaryInvariantError
+from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
-
-Subnode = Hashable
 
 
 def pair_encoding_cost(subedges: int, possible: int) -> int:
@@ -33,28 +41,25 @@ def pair_encoding_cost(subedges: int, possible: int) -> int:
 
 
 class FlatGroupingState:
-    """A mutable partition of graph nodes with superneighbor bookkeeping.
+    """A mutable partition of dense node ids with superneighbor bookkeeping.
 
     The state tracks, for every group, the number of subedges to every
     other group (and within itself), which is all the flat model needs to
     evaluate encoding costs and merge savings.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, dense: Optional[DenseAdjacency] = None) -> None:
         self.graph = graph
-        self.members: Dict[int, Set[Subnode]] = {}
-        self.group_of: Dict[Subnode, int] = {}
-        self.group_adj: Dict[int, Dict[int, int]] = {}
-        self._next_id = 0
-        for node in graph.nodes():
-            group_id = self._next_id
-            self._next_id += 1
-            self.members[group_id] = {node}
-            self.group_of[node] = group_id
-            self.group_adj[group_id] = {}
-        for u, v in graph.edges():
-            gu, gv = self.group_of[u], self.group_of[v]
-            self._bump(gu, gv, 1)
+        self.dense = dense if dense is not None else DenseAdjacency.from_graph(graph)
+        self.index = self.dense.index
+        num_nodes = self.dense.num_nodes
+        # Initially group id i == node id i, one singleton per node.
+        self.members: Dict[int, Set[int]] = {node: {node} for node in range(num_nodes)}
+        self.group_of: List[int] = list(range(num_nodes))
+        self.group_adj: Dict[int, Dict[int, int]] = {node: {} for node in range(num_nodes)}
+        self._next_id = num_nodes
+        for u, v in self.dense.edge_ids():
+            self._bump(u, v, 1)
 
     def _bump(self, group_a: int, group_b: int, delta: int) -> None:
         adj_a = self.group_adj[group_a]
@@ -132,8 +137,29 @@ class FlatGroupingState:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def add_singleton(self, node: int) -> int:
+        """Register a fresh singleton group for a (new) node id."""
+        group_id = self._next_id
+        self._next_id += 1
+        self.members[group_id] = {node}
+        while node >= len(self.group_of):
+            self.group_of.append(-1)
+        self.group_of[node] = group_id
+        self.group_adj[group_id] = {}
+        return group_id
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Record a new graph edge ``(u, v)`` (ids) in substrate and counters."""
+        self.dense.add_edge(u, v)
+        self._bump(self.group_of[u], self.group_of[v], 1)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove the graph edge ``(u, v)`` (ids) from substrate and counters."""
+        self.dense.remove_edge(u, v)
+        self._bump(self.group_of[u], self.group_of[v], -1)
+
     def merge(self, group_a: int, group_b: int) -> int:
-        """Merge two groups; returns the id of the surviving group (``group_a``)."""
+        """Merge two groups; returns the id of the surviving (larger) group."""
         if group_a == group_b:
             raise SummaryInvariantError("cannot merge a group with itself")
         if group_a not in self.members or group_b not in self.members:
@@ -143,8 +169,9 @@ class FlatGroupingState:
             group_a, group_b = group_b, group_a
         members_b = self.members.pop(group_b)
         self.members[group_a].update(members_b)
+        group_of = self.group_of
         for node in members_b:
-            self.group_of[node] = group_a
+            group_of[node] = group_a
 
         adj_a = self.group_adj[group_a]
         adj_b = self.group_adj.pop(group_b)
@@ -162,8 +189,8 @@ class FlatGroupingState:
             other_adj[group_a] = adj_a[other]
         return group_a
 
-    def move(self, node: Subnode, target_group: Optional[int]) -> int:
-        """Move ``node`` into ``target_group`` (or a fresh singleton when ``None``).
+    def move(self, node: int, target_group: Optional[int]) -> int:
+        """Move node id ``node`` into ``target_group`` (or a fresh singleton when ``None``).
 
         Returns the id of the group the node ends up in.  Used by the
         incremental baseline (MoSSo), which relocates individual nodes
@@ -175,18 +202,19 @@ class FlatGroupingState:
         if target_group is not None and target_group not in self.members:
             raise SummaryInvariantError(f"unknown target group {target_group}")
         # Detach from the source group.
+        group_of = self.group_of
         self.members[source].discard(node)
-        for neighbor in self.graph.neighbor_set(node):
-            self._bump(source, self.group_of[neighbor], -1)
+        for neighbor in self.dense.neighbors[node]:
+            self._bump(source, group_of[neighbor], -1)
         if target_group is None:
             target_group = self._next_id
             self._next_id += 1
             self.members[target_group] = set()
             self.group_adj[target_group] = {}
         self.members[target_group].add(node)
-        self.group_of[node] = target_group
-        for neighbor in self.graph.neighbor_set(node):
-            self._bump(target_group, self.group_of[neighbor], 1)
+        group_of[node] = target_group
+        for neighbor in self.dense.neighbors[node]:
+            self._bump(target_group, group_of[neighbor], 1)
         if not self.members[source]:
             del self.members[source]
             leftovers = self.group_adj.pop(source)
@@ -208,5 +236,13 @@ class FlatGroupingState:
         return total
 
     def to_summary(self) -> FlatSummary:
-        """Freeze the current grouping into an optimally encoded :class:`FlatSummary`."""
-        return FlatSummary.from_grouping(self.graph, self.members.values())
+        """Freeze the current grouping into an optimally encoded :class:`FlatSummary`.
+
+        This is the boundary where dense ids are mapped back to the
+        original node labels.
+        """
+        labels = self.index.labels()
+        return FlatSummary.from_grouping(
+            self.graph,
+            ([labels[node] for node in group] for group in self.members.values()),
+        )

@@ -70,27 +70,39 @@ class MoSSo:
         """The graph accumulated from the stream so far."""
         return self._graph
 
+    @property
+    def substrate(self):
+        """The dense integer-id adjacency mirroring the stream (or ``None``).
+
+        The grouping state maintains it incrementally — one
+        :class:`~repro.graphs.dense.DenseAdjacency` update per event —
+        so downstream consumers (checkpoint analytics, the streaming
+        bench) can read array-backed adjacency without rebuilding it.
+        """
+        return self._state.dense if self._state is not None else None
+
     def add_edge(self, u: Subnode, v: Subnode) -> None:
-        """Process the insertion of edge ``(u, v)``."""
+        """Process the insertion of edge ``(u, v)`` (node labels)."""
         if u == v or self._graph.has_edge(u, v):
             return
         # Build the grouping state from the graph *before* the new edge so
-        # the counter update below is applied exactly once.
+        # the substrate/counter update below is applied exactly once.
         self._ensure_state()
         assert self._state is not None
+        state = self._state
         self._graph.add_edge(u, v)
         for node in (u, v):
-            if node not in self._state.group_of:
-                self._register_singleton(node)
-        self._refresh_counts(u, v, +1)
+            if node not in state.index:
+                state.add_singleton(state.dense.add_node(node))
+        state.insert_edge(state.index.id_of(u), state.index.id_of(v))
         self._corrective_moves(u, v)
 
     def remove_edge(self, u: Subnode, v: Subnode) -> None:
         """Process the deletion of edge ``(u, v)`` (a no-op if absent)."""
         if self._state is None or not self._graph.has_edge(u, v):
             return
-        # Update counters before the structural change so the deltas match.
-        self._refresh_counts(u, v, -1)
+        state = self._state
+        state.delete_edge(state.index.id_of(u), state.index.id_of(v))
         self._graph.remove_edge(u, v)
         self._corrective_moves(u, v)
 
@@ -103,24 +115,13 @@ class MoSSo:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    # Candidate *sampling* stays on the label graph: the sampled neighbor
+    # lists (and therefore the RNG consumption) are exactly those of the
+    # original algorithm, keeping outputs bit-identical for fixed seeds.
+    # All grouping-state reads and writes go through dense ids.
     def _ensure_state(self) -> None:
         if self._state is None:
             self._state = FlatGroupingState(self._graph)
-
-    def _register_singleton(self, node: Subnode) -> int:
-        assert self._state is not None
-        state = self._state
-        group_id = state._next_id
-        state._next_id += 1
-        state.members[group_id] = {node}
-        state.group_of[node] = group_id
-        state.group_adj[group_id] = {}
-        return group_id
-
-    def _refresh_counts(self, u: Subnode, v: Subnode, delta: int) -> None:
-        assert self._state is not None
-        state = self._state
-        state._bump(state.group_of[u], state.group_of[v], delta)
 
     def _corrective_moves(self, u: Subnode, v: Subnode) -> None:
         """Give a few sampled nodes around the update a chance to relocate."""
@@ -138,7 +139,9 @@ class MoSSo:
         """Move ``node`` to the best of {stay, escape to singleton, join a neighbor's group}."""
         assert self._state is not None
         state = self._state
-        current_group = state.group_of[node]
+        id_of = state.index.id_of
+        node_id = id_of(node)
+        current_group = state.group_of[node_id]
         neighbors = list(self._graph.neighbor_set(node))
         if not neighbors:
             return False
@@ -149,7 +152,8 @@ class MoSSo:
         sample = neighbors
         if len(sample) > self.config.moves_per_update:
             sample = self._rng.sample(sample, self.config.moves_per_update)
-        target_groups = {state.group_of[neighbor] for neighbor in sample}
+        group_of = state.group_of
+        target_groups = {group_of[id_of(neighbor)] for neighbor in sample}
         target_groups.discard(current_group)
         consider_escape = (
             len(state.members[current_group]) > 1
@@ -160,31 +164,31 @@ class MoSSo:
 
         involved = target_groups | {current_group}
         context = self._evaluation_context(node, involved)
-        baseline = self._placement_cost(node, involved, context)
+        baseline = self._placement_cost(node_id, involved, context)
 
         stay = object()  # Sentinel: group ids can change when the node's
         best_target: object = stay  # original group is emptied and re-created.
         best_cost = baseline
         if consider_escape:
-            escaped = state.move(node, None)
-            cost = self._placement_cost(node, involved | {escaped}, context)
+            escaped = state.move(node_id, None)
+            cost = self._placement_cost(node_id, involved | {escaped}, context)
             if cost < best_cost:
                 best_cost = cost
                 best_target = None
-            current_group = self._restore(node, current_group)
+            current_group = self._restore(node_id, current_group)
         for target in target_groups:
-            state.move(node, target)
-            cost = self._placement_cost(node, involved, context)
+            state.move(node_id, target)
+            cost = self._placement_cost(node_id, involved, context)
             if cost < best_cost:
                 best_cost = cost
                 best_target = target
-            current_group = self._restore(node, current_group)
+            current_group = self._restore(node_id, current_group)
         if best_target is stay:
             return False
-        state.move(node, best_target if best_target is None else int(best_target))
+        state.move(node_id, best_target if best_target is None else int(best_target))
         return True
 
-    def _restore(self, node: Subnode, original_group: int) -> int:
+    def _restore(self, node: int, original_group: int) -> int:
         """Put ``node`` back into its original group after a trial move.
 
         If the trial move emptied (and therefore deleted) the original
@@ -210,11 +214,13 @@ class MoSSo:
         neighbors = list(self._graph.neighbor_set(node))
         if len(neighbors) > self.config.sample_size:
             neighbors = sorted(neighbors, key=repr)[: self.config.sample_size]
+        group_of = state.group_of
+        id_of = state.index.id_of
         for neighbor in neighbors:
-            groups.add(state.group_of[neighbor])
+            groups.add(group_of[id_of(neighbor)])
         return sorted(groups)
 
-    def _placement_cost(self, node: Subnode, involved, context: List[int]) -> int:
+    def _placement_cost(self, node: int, involved, context: List[int]) -> int:
         """Cost of every pair touching the involved groups, for the current placement.
 
         ``involved`` are the groups whose content differs between trial

@@ -54,13 +54,13 @@ def sags_summarize(graph: Graph, config: Optional[SagsConfig] = None, **override
     if graph.num_edges == 0:
         return state.to_summary()
 
-    signatures = _minhash_signatures(graph, config, rng)
+    signatures = _minhash_signatures(state.dense, config, rng)
     rows_per_band = config.signature_length // config.bands
 
     for band in range(config.bands):
         start = band * rows_per_band
-        buckets: Dict[Tuple[int, ...], List[Subnode]] = {}
-        for node, signature in signatures.items():
+        buckets: Dict[Tuple[int, ...], List[int]] = {}
+        for node, signature in enumerate(signatures):
             key = tuple(signature[start:start + rows_per_band])
             buckets.setdefault(key, []).append(node)
         for colliding in buckets.values():
@@ -79,16 +79,24 @@ def sags_summarize(graph: Graph, config: Optional[SagsConfig] = None, **override
     return state.to_summary()
 
 
-def _minhash_signatures(graph: Graph, config: SagsConfig, rng) -> Dict[Subnode, List[int]]:
-    """Min-hash signature of every node's closed neighborhood."""
-    hash_functions = [
-        make_hash_function(rng.randrange(2**61)) for _ in range(config.signature_length)
-    ]
-    signatures: Dict[Subnode, List[int]] = {}
-    for node in graph.nodes():
-        closed_neighborhood = [node] + list(graph.neighbor_set(node))
-        signatures[node] = [
-            min(hash_function(member) for member in closed_neighborhood)
-            for hash_function in hash_functions
-        ]
+def _minhash_signatures(dense, config: SagsConfig, rng) -> List[List[int]]:
+    """Min-hash signature of every node id's closed neighborhood.
+
+    Each hash function is evaluated once per node over the original
+    labels (``signature_length * n`` invocations, shared across closed
+    neighborhoods through per-function value rows), instead of once per
+    (function, neighborhood member) pair as the naive scheme would — the
+    produced minima are identical.
+    """
+    labels = dense.index.labels()
+    value_rows: List[List[int]] = []
+    for _ in range(config.signature_length):
+        hash_function = make_hash_function(rng.randrange(2**61))
+        value_rows.append([hash_function(label) for label in labels])
+    signatures: List[List[int]] = []
+    for node, neighbors in enumerate(dense.neighbors):
+        closed_neighborhood = [node, *neighbors]
+        signatures.append([
+            min(map(row.__getitem__, closed_neighborhood)) for row in value_rows
+        ])
     return signatures

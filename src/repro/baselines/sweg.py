@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set
 
 from repro.baselines.common import FlatGroupingState
-from repro.core.shingles import make_hash_function, subnode_shingles
+from repro.core.shingles import dense_subnode_shingles, make_hash_function
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
@@ -69,7 +69,7 @@ def sweg_summarize(graph: Graph, config: Optional[SwegConfig] = None, **override
     if graph.num_edges > 0:
         for iteration in range(1, config.iterations + 1):
             threshold = config.threshold(iteration)
-            groups = _divide(graph, state, config, rng)
+            groups = _divide(state, config, rng)
             for group in groups:
                 _merge_within_group(state, group, threshold, rng)
 
@@ -83,7 +83,7 @@ def sweg_summarize(graph: Graph, config: Optional[SwegConfig] = None, **override
 # Dividing step
 # ----------------------------------------------------------------------
 def _divide(
-    graph: Graph, state: FlatGroupingState, config: SwegConfig, rng
+    state: FlatGroupingState, config: SwegConfig, rng
 ) -> List[List[int]]:
     """Split the current supernodes into shingle groups of bounded size."""
     pending: List[List[int]] = [state.groups()]
@@ -95,7 +95,9 @@ def _divide(
             pending = []
             break
         hash_function = make_hash_function(rng.randrange(2**61))
-        node_shingles = subnode_shingles(graph, hash_function)
+        # List-backed shingles over the dense substrate; group members are
+        # node ids, so the min-aggregation below is pure list indexing.
+        node_shingles = dense_subnode_shingles(state.dense, hash_function)
         pending = []
         for group in oversized:
             buckets: Dict[int, List[int]] = {}

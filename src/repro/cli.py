@@ -29,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro import engine
 from repro.analysis.comparison import compare_methods, default_methods
 from repro.compression.pipeline import compression_report
 from repro.core import Slugger, SluggerConfig
@@ -72,8 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare_source.add_argument("--dataset", help="built-in dataset analogue key")
     compare_parser.add_argument("--iterations", type=int, default=10)
     compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument(
+        "--method", action="append", default=None, metavar="NAME",
+        help="summarizer registry name to include (repeatable; default: the paper's suite; "
+             "see the 'methods' subcommand)",
+    )
 
     subparsers.add_parser("datasets", help="list the built-in dataset analogues")
+
+    subparsers.add_parser("methods", help="list the registered summarizers")
 
     compress_parser = subparsers.add_parser(
         "compress", help="measure the summarize-then-compress pipeline"
@@ -156,9 +164,10 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
 
 def _command_compare(arguments: argparse.Namespace) -> int:
     graph = _load_graph(arguments)
-    results = compare_methods(
-        graph, methods=default_methods(iterations=arguments.iterations), seed=arguments.seed
+    methods = engine.default_suite(
+        iterations=arguments.iterations, methods=arguments.method
     )
+    results = compare_methods(graph, methods=methods, seed=arguments.seed)
     rows = [
         {
             "method": result.method,
@@ -170,6 +179,20 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     ]
     print(format_table(rows, ["method", "relative_size", "cost", "seconds"],
                        title=f"nodes={graph.num_nodes} edges={graph.num_edges}"))
+    return 0
+
+
+def _command_methods(_arguments: argparse.Namespace) -> int:
+    rows = []
+    for name in engine.available_methods():
+        summarizer_cls = type(engine.create(name))
+        rows.append({
+            "method": name,
+            "iterations_knob": "yes" if summarizer_cls.iteration_controlled else "no",
+            "description": (summarizer_cls.__doc__ or "").strip().splitlines()[0],
+        })
+    print(format_table(rows, ["method", "iterations_knob", "description"],
+                       title=f"{len(rows)} registered summarizers"))
     return 0
 
 
@@ -252,6 +275,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "summarize": _command_summarize,
         "compare": _command_compare,
         "datasets": _command_datasets,
+        "methods": _command_methods,
         "compress": _command_compress,
         "stream": _command_stream,
         "lossy": _command_lossy,

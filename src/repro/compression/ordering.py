@@ -25,6 +25,7 @@ from collections import deque
 from typing import Callable, Dict, Hashable, List
 
 from repro.exceptions import CompressionError
+from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.utils.rng import ensure_rng
 from repro.utils.rng import SeedLike
@@ -46,7 +47,9 @@ def degree_ordering(graph: Graph, seed: SeedLike = None) -> Ordering:
     """Descending-degree ordering, ties broken by repr.
 
     Hubs receive small ids, which shortens the gaps of the many lists
-    that contain them.
+    that contain them.  A single sort over the existing adjacency is all
+    this needs — building a substrate just to read degrees would cost
+    more than the ordering itself.
     """
     nodes = sorted(_sorted_nodes(graph), key=lambda node: (-graph.degree(node), repr(node)))
     return {node: index for index, node in enumerate(nodes)}
@@ -57,22 +60,28 @@ def bfs_ordering(graph: Graph, seed: SeedLike = None) -> Ordering:
 
     Each component is entered at its highest-degree node; neighbors are
     expanded in descending degree so dense regions receive contiguous
-    ids (the BFS compression ordering of Apostolico & Drovandi).
+    ids (the BFS compression ordering of Apostolico & Drovandi).  The
+    traversal runs on dense integer ids; labels reappear in the returned
+    mapping only.
     """
+    dense = DenseAdjacency.from_graph(graph)
+    labels = dense.index.labels()
+    degrees = dense.degrees
+    neighbor_sets = dense.neighbors
     ordering: Ordering = {}
-    pending = set(graph.nodes())
+    pending = set(range(len(labels)))
     counter = 0
     while pending:
-        start = max(pending, key=lambda node: (graph.degree(node), repr(node)))
+        start = max(pending, key=lambda node_id: (degrees[node_id], repr(labels[node_id])))
         queue = deque([start])
         pending.discard(start)
         while queue:
-            node = queue.popleft()
-            ordering[node] = counter
+            node_id = queue.popleft()
+            ordering[labels[node_id]] = counter
             counter += 1
             neighbors = sorted(
-                (nbr for nbr in graph.neighbor_set(node) if nbr in pending),
-                key=lambda nbr: (-graph.degree(nbr), repr(nbr)),
+                (nbr for nbr in neighbor_sets[node_id] if nbr in pending),
+                key=lambda nbr: (-degrees[nbr], repr(labels[nbr])),
             )
             for neighbor in neighbors:
                 pending.discard(neighbor)
@@ -86,24 +95,30 @@ def shingle_ordering(graph: Graph, seed: SeedLike = 0) -> Ordering:
     Nodes whose neighborhoods share their minimum-hash member end up
     adjacent, which is the single-shingle ordering of Chierichetti et
     al. used for social-network compression — and the same primitive
-    SLUGGER/SWeG use for candidate generation.
+    SLUGGER/SWeG use for candidate generation.  Hash values are computed
+    once per node (from the original labels, so the ordering is
+    substrate-independent) and the per-edge minima run on dense ids.
     """
     rng = ensure_rng(seed)
     salt = rng.randrange(2**61)
-    node_hash: Dict[Node, int] = {
-        node: hash((salt, repr(node))) & 0x7FFFFFFFFFFFFFFF for node in graph.nodes()
-    }
+    dense = DenseAdjacency.from_graph(graph)
+    labels = dense.index.labels()
+    node_hash: List[int] = [
+        hash((salt, repr(label))) & 0x7FFFFFFFFFFFFFFF for label in labels
+    ]
 
-    def shingle(node: Node) -> int:
-        best = node_hash[node]
-        for neighbor in graph.neighbor_set(node):
-            value = node_hash[neighbor]
-            if value < best:
-                best = value
-        return best
+    shingles: List[int] = []
+    for node_id, neighbors in enumerate(dense.neighbors):
+        best = node_hash[node_id]
+        if neighbors:
+            smallest = min(map(node_hash.__getitem__, neighbors))
+            if smallest < best:
+                best = smallest
+        shingles.append(best)
 
-    nodes = sorted(_sorted_nodes(graph), key=lambda node: (shingle(node), node_hash[node]))
-    return {node: index for index, node in enumerate(nodes)}
+    ids = sorted(range(len(labels)), key=lambda node_id: repr(labels[node_id]))
+    ids.sort(key=lambda node_id: (shingles[node_id], node_hash[node_id]))
+    return {labels[node_id]: index for index, node_id in enumerate(ids)}
 
 
 _ORDERINGS: Dict[str, Callable[[Graph, SeedLike], Ordering]] = {

@@ -25,10 +25,11 @@ work happens, not which shingle values are computed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import SluggerConfig
-from repro.core.shingles import ShingleCache
+from repro.core.shingles import DenseShingleCache, ShingleCache
+from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 from repro.utils.rng import SeedLike, ensure_rng
@@ -40,6 +41,7 @@ def generate_candidate_sets(
     roots: Sequence[int],
     config: SluggerConfig,
     seed: SeedLike = None,
+    dense: Optional[DenseAdjacency] = None,
 ) -> List[List[int]]:
     """Split ``roots`` into candidate sets of at most ``config.max_candidate_size``.
 
@@ -47,6 +49,12 @@ def generate_candidate_sets(
     merge with one another.  Groups of size one are dropped because they
     offer nothing to merge.  A different ``seed`` per iteration varies the
     grouping so more root pairs get considered over time (Sect. III-B2).
+
+    With ``dense`` supplied (the driver passes the state's substrate),
+    the shingle rounds run entirely on integer ids: a leaf root *is* its
+    dense node id, internal roots aggregate over the hierarchy's memoized
+    leaf-id tuples, and per-node storage is list-backed.  The produced
+    candidate sets are bit-identical to the label path for a fixed seed.
     """
     rng = ensure_rng(seed)
     groups: List[List[int]] = [list(roots)]
@@ -54,12 +62,13 @@ def generate_candidate_sets(
     # Per-iteration shingle caches, keyed by hash-function seed: every
     # round draws a fresh seed, and all groups split within that round
     # share the round's lazily-filled cache.
-    shingle_caches: Dict[int, ShingleCache] = {}
+    use_dense = dense is not None
+    shingle_caches: Dict[int, Union[ShingleCache, DenseShingleCache]] = {}
     # Leaf lists per root, shared by every round of this call (roots do
     # not change while candidate sets are being generated).  Leaf roots —
     # the entire first iteration, and stragglers later — resolve through
-    # a single dictionary probe instead.
-    root_leaves: Dict[int, List] = {}
+    # a single probe instead.
+    root_leaves: Dict[int, Sequence] = {}
     leaf_map = hierarchy.leaf_subnode_map()
     missing = object()
 
@@ -72,7 +81,8 @@ def generate_candidate_sets(
         round_seed = rng.randrange(2**61)
         cache = shingle_caches.get(round_seed)
         if cache is None:
-            cache = ShingleCache(graph, round_seed)
+            cache = (DenseShingleCache(dense, round_seed) if use_dense
+                     else ShingleCache(graph, round_seed))
             shingle_caches[round_seed] = cache
         if 2 * sum(len(group) for group in oversized) >= len(roots):
             # The round still covers most of the roots (always true for the
@@ -86,14 +96,23 @@ def generate_candidate_sets(
         for group in oversized:
             buckets: Dict[int, List[int]] = {}
             for root in group:
-                subnode = leaf_map.get(root, missing)
-                if subnode is not missing:
-                    value = shingle_of(subnode)
+                if use_dense:
+                    if root in leaf_map:  # A leaf root is its own dense id.
+                        value = shingle_of(root)
+                    else:
+                        leaves = root_leaves.get(root)
+                        if leaves is None:
+                            leaves = root_leaves[root] = hierarchy.leaf_id_view(root)
+                        value = min(map(shingle_of, leaves))
                 else:
-                    leaves = root_leaves.get(root)
-                    if leaves is None:
-                        leaves = root_leaves[root] = hierarchy.leaf_subnodes(root)
-                    value = min(map(shingle_of, leaves))
+                    subnode = leaf_map.get(root, missing)
+                    if subnode is not missing:
+                        value = shingle_of(subnode)
+                    else:
+                        leaves = root_leaves.get(root)
+                        if leaves is None:
+                            leaves = root_leaves[root] = hierarchy.leaf_subnodes(root)
+                        value = min(map(shingle_of, leaves))
                 buckets.setdefault(value, []).append(root)
             if len(buckets) == 1:
                 # The shingle could not separate the group; keep it whole and

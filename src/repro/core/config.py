@@ -54,6 +54,13 @@ class SluggerConfig:
         after every iteration, verifying the incremental indices (superedge
         counters, adjacency counters, leaf-set cache) against the summary.
         O(|summary|) per iteration — for tests and debugging only.
+    use_dense_substrate:
+        When ``True`` (default) shingle rounds, candidate generation, and
+        the local encoder run on the dense integer-id substrate
+        (:class:`~repro.graphs.dense.DenseAdjacency`) instead of the
+        label-keyed adjacency.  Output is bit-identical either way; the
+        flag exists for the substrate benchmark and as a debugging
+        fallback.
     """
 
     iterations: int = 20
@@ -67,6 +74,7 @@ class SluggerConfig:
     seed: Optional[int] = None
     validate_output: bool = False
     check_invariants: bool = False
+    use_dense_substrate: bool = True
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

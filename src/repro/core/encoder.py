@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 
@@ -111,6 +112,43 @@ def _pattern_table(
     per panel *shape* and reused for every merge and every input graph.
     """
     return _solve_pattern_table(coverage_a, coverage_b, num_parts_a, num_parts_b)
+
+
+# A flattened cross-table entry: (targets, slot cost, assignment, flat
+# indices of the 1-blocks, flat indices of the 0-blocks).  The index
+# tuples are part of the per-shape memo so the per-merge cost evaluation
+# is a flat-list walk instead of a nested row/column scan.
+CrossEntry = Tuple[Tuple[Tuple[int, ...], ...], int, SlotAssignment,
+                   Tuple[int, ...], Tuple[int, ...]]
+
+
+def _enrich_cross_entries(
+    table: Dict[Tuple[Tuple[int, ...], ...], Tuple[int, SlotAssignment]],
+    num_parts_b: int,
+) -> List[CrossEntry]:
+    """Flatten a cross-pattern table for the per-merge cost evaluation."""
+    entries: List[CrossEntry] = []
+    for targets, (slot_cost, assignment) in table.items():
+        ones: List[int] = []
+        zeros: List[int] = []
+        for row_index, row in enumerate(targets):
+            base = row_index * num_parts_b
+            for col_index, value in enumerate(row):
+                (ones if value == 1 else zeros).append(base + col_index)
+        entries.append((targets, slot_cost, assignment, tuple(ones), tuple(zeros)))
+    return entries
+
+
+@lru_cache(maxsize=None)
+def _pattern_entries(
+    coverage_a: Tuple[Tuple[int, ...], ...],
+    coverage_b: Tuple[Tuple[int, ...], ...],
+    num_parts_a: int,
+    num_parts_b: int,
+) -> List[CrossEntry]:
+    """Memoized flattened view of :func:`_pattern_table` for one panel shape."""
+    table = _pattern_table(coverage_a, coverage_b, num_parts_a, num_parts_b)
+    return _enrich_cross_entries(table, num_parts_b)
 
 
 def _solve_pattern_table(
@@ -273,7 +311,106 @@ def _heuristic_intra_table(
 
 
 # ----------------------------------------------------------------------
-# Block statistics
+# Block statistics — dense integer-id fast paths
+# ----------------------------------------------------------------------
+# On the dense substrate a supernode's leaf ids double as node ids, so
+# block statistics reduce to set intersections between int-id neighbor
+# sets and memoized leaf-id tuples — no per-neighbor ancestor walks
+# (``contains_subnode``) and no label→leaf resolution on the way back.
+# The produced counts and (unordered) pair sets are identical to the
+# label path; only the representation of the work changes.
+
+def _dense_count_between(dense: DenseAdjacency, hierarchy: Hierarchy,
+                         first: int, second: int) -> int:
+    """Subedges between two disjoint supernodes, by leaf-id intersection."""
+    leaves_first = hierarchy.leaf_id_view(first)
+    leaves_second = hierarchy.leaf_id_view(second)
+    if len(leaves_first) > len(leaves_second):
+        leaves_first, leaves_second = leaves_second, leaves_first
+    second_set = set(leaves_second)
+    neighbors = dense.neighbors
+    count = 0
+    for u in leaves_first:
+        count += len(neighbors[u] & second_set)
+    return count
+
+
+def _dense_count_within(dense: DenseAdjacency, hierarchy: Hierarchy, supernode: int) -> int:
+    """Subedges inside one supernode, by leaf-id intersection."""
+    members = hierarchy.leaf_id_view(supernode)
+    member_set = set(members)
+    neighbors = dense.neighbors
+    count = 0
+    for u in members:
+        count += len(neighbors[u] & member_set)
+    return count // 2
+
+
+def _dense_present_pairs_between(
+    dense: DenseAdjacency, hierarchy: Hierarchy, first: int, second: int
+) -> List[Tuple[int, int]]:
+    """Actual subedges between two disjoint supernodes as leaf-id pairs."""
+    leaves_first = hierarchy.leaf_id_view(first)
+    leaves_second = hierarchy.leaf_id_view(second)
+    swapped = len(leaves_first) > len(leaves_second)
+    if swapped:
+        leaves_first, leaves_second = leaves_second, leaves_first
+    second_set = set(leaves_second)
+    neighbors = dense.neighbors
+    pairs: List[Tuple[int, int]] = []
+    for u in leaves_first:
+        for v in neighbors[u] & second_set:
+            pairs.append((v, u) if swapped else (u, v))
+    return pairs
+
+
+def _dense_missing_pairs_between(
+    dense: DenseAdjacency, hierarchy: Hierarchy, first: int, second: int
+) -> List[Tuple[int, int]]:
+    """Non-adjacent leaf-id pairs between two disjoint supernodes."""
+    leaves_second = hierarchy.leaf_id_view(second)
+    neighbors = dense.neighbors
+    pairs: List[Tuple[int, int]] = []
+    for u in hierarchy.leaf_id_view(first):
+        neighbor_set = neighbors[u]
+        for v in leaves_second:
+            if v not in neighbor_set:
+                pairs.append((u, v))
+    return pairs
+
+
+def _dense_present_pairs_within(
+    dense: DenseAdjacency, hierarchy: Hierarchy, supernode: int
+) -> List[Tuple[int, int]]:
+    """Subedges inside one supernode as leaf-id pairs (each listed once)."""
+    members = hierarchy.leaf_id_view(supernode)
+    member_set = set(members)
+    neighbors = dense.neighbors
+    pairs: List[Tuple[int, int]] = []
+    for u in members:
+        for v in neighbors[u] & member_set:
+            if u < v:
+                pairs.append((u, v))
+    return pairs
+
+
+def _dense_missing_pairs_within(
+    dense: DenseAdjacency, hierarchy: Hierarchy, supernode: int
+) -> List[Tuple[int, int]]:
+    """Non-adjacent leaf-id pairs inside one supernode."""
+    members = hierarchy.leaf_id_view(supernode)
+    neighbors = dense.neighbors
+    pairs: List[Tuple[int, int]] = []
+    for i in range(len(members)):
+        neighbor_set = neighbors[members[i]]
+        for j in range(i + 1, len(members)):
+            if members[j] not in neighbor_set:
+                pairs.append((members[i], members[j]))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Block statistics — label paths
 # ----------------------------------------------------------------------
 def count_edges_between(graph: Graph, hierarchy: Hierarchy, first: int, second: int) -> int:
     """Number of subedges between the leaf sets of two disjoint supernodes."""
@@ -326,82 +463,95 @@ def plan_cross_encoding(
     panel_b: Panel,
     *,
     use_memo: bool = True,
+    dense: Optional[DenseAdjacency] = None,
 ) -> EncodingPlan:
     """Best local encoding of the subedges between two disjoint panels.
 
     The returned plan exactly reproduces the adjacency between the leaf
     sets of ``panel_a.top`` and ``panel_b.top`` when applied to a summary
     from which all existing superedges between the two trees have been
-    removed.
+    removed.  With ``dense`` supplied, block statistics run on leaf-id
+    set intersections instead of per-neighbor ancestor walks.
     """
-    present = [
-        [count_edges_between(graph, hierarchy, part_a, part_b) for part_b in panel_b.parts]
-        for part_a in panel_a.parts
-    ]
+    if dense is not None:
+        present = [
+            [_dense_count_between(dense, hierarchy, part_a, part_b)
+             for part_b in panel_b.parts]
+            for part_a in panel_a.parts
+        ]
+    else:
+        present = [
+            [count_edges_between(graph, hierarchy, part_a, part_b) for part_b in panel_b.parts]
+            for part_a in panel_a.parts
+        ]
     totals = [
         [size_a * size_b for size_b in panel_b.sizes]
         for size_a in panel_a.sizes
     ]
     coverage_a = tuple(panel_a.endpoint_coverage())
     coverage_b = tuple(panel_b.endpoint_coverage())
+    num_parts_b = len(panel_b.parts)
     num_slots = len(coverage_a) * len(coverage_b)
     if num_slots > _MAX_EXACT_SLOTS:
         # Too many blanket slots for the exhaustive search; fall back to the
         # structured candidate family (valid but possibly sub-optimal).
-        table = _heuristic_cross_table(panel_a, panel_b, present, totals)
-    elif use_memo:
-        table = _pattern_table(coverage_a, coverage_b, len(panel_a.parts), len(panel_b.parts))
-    else:
-        table = _solve_pattern_table(coverage_a, coverage_b, len(panel_a.parts), len(panel_b.parts))
-
-    endpoints_a = panel_a.endpoints()
-    endpoints_b = panel_b.endpoints()
-    best_plan: Optional[EncodingPlan] = None
-    for targets, (slot_cost, assignment) in table.items():
-        cost = slot_cost
-        for row in range(len(panel_a.parts)):
-            for col in range(len(panel_b.parts)):
-                if targets[row][col] == 1:
-                    cost += totals[row][col] - present[row][col]
-                else:
-                    cost += present[row][col]
-        if best_plan is not None and cost >= best_plan.cost:
-            continue
-        positive_blocks = [
-            (row, col)
-            for row in range(len(panel_a.parts))
-            for col in range(len(panel_b.parts))
-            if targets[row][col] == 0 and present[row][col] > 0
-        ]
-        negative_blocks = [
-            (row, col)
-            for row in range(len(panel_a.parts))
-            for col in range(len(panel_b.parts))
-            if targets[row][col] == 1 and totals[row][col] > present[row][col]
-        ]
-        best_plan = EncodingPlan(
-            cost=cost,
-            superedges=[
-                (endpoints_a[endpoint_a], endpoints_b[endpoint_b], sign)
-                for endpoint_a, endpoint_b, sign in assignment
-            ],
-            positive_blocks=positive_blocks,
-            negative_blocks=negative_blocks,
+        entries = _enrich_cross_entries(
+            _heuristic_cross_table(panel_a, panel_b, present, totals), num_parts_b
         )
-    if best_plan is None:
+    elif use_memo:
+        entries = _pattern_entries(
+            coverage_a, coverage_b, len(panel_a.parts), num_parts_b
+        )
+    else:
+        entries = _enrich_cross_entries(
+            _solve_pattern_table(coverage_a, coverage_b, len(panel_a.parts), num_parts_b),
+            num_parts_b,
+        )
+
+    present_flat = [value for row in present for value in row]
+    totals_flat = [value for row in totals for value in row]
+    best_entry: Optional[CrossEntry] = None
+    best_cost = 0
+    for entry in entries:
+        cost = entry[1]
+        for index in entry[3]:
+            cost += totals_flat[index] - present_flat[index]
+        for index in entry[4]:
+            cost += present_flat[index]
+        if best_entry is None or cost < best_cost:
+            best_entry = entry
+            best_cost = cost
+    if best_entry is None:
         # The all-zero pattern is always in the table, so this cannot happen;
         # kept as a defensive fallback for exotic panel shapes.
-        total_present = sum(sum(row) for row in present)
-        best_plan = EncodingPlan(
-            cost=total_present,
+        return EncodingPlan(
+            cost=sum(present_flat),
             positive_blocks=[
-                (row, col)
-                for row in range(len(panel_a.parts))
-                for col in range(len(panel_b.parts))
-                if present[row][col] > 0
+                (index // num_parts_b, index % num_parts_b)
+                for index, value in enumerate(present_flat)
+                if value > 0
             ],
         )
-    return best_plan
+    endpoints_a = panel_a.endpoints()
+    endpoints_b = panel_b.endpoints()
+    _targets, _slot_cost, assignment, ones_idx, zeros_idx = best_entry
+    return EncodingPlan(
+        cost=best_cost,
+        superedges=[
+            (endpoints_a[endpoint_a], endpoints_b[endpoint_b], sign)
+            for endpoint_a, endpoint_b, sign in assignment
+        ],
+        positive_blocks=[
+            (index // num_parts_b, index % num_parts_b)
+            for index in zeros_idx
+            if present_flat[index] > 0
+        ],
+        negative_blocks=[
+            (index // num_parts_b, index % num_parts_b)
+            for index in ones_idx
+            if totals_flat[index] > present_flat[index]
+        ],
+    )
 
 
 def apply_cross_plan(
@@ -411,15 +561,27 @@ def apply_cross_plan(
     panel_a: Panel,
     panel_b: Panel,
     add_superedge,
+    dense: Optional[DenseAdjacency] = None,
 ) -> None:
     """Materialize ``plan`` by calling ``add_superedge(x, y, sign)``.
 
     Blanket edges come first, then the per-block leaf corrections.  The
     caller is responsible for having removed every pre-existing superedge
-    between the two trees.
+    between the two trees.  On the dense path the correction pairs are
+    already leaf ids, so no label→leaf resolution happens here.
     """
     for x, y, sign in plan.superedges:
         add_superedge(x, y, sign)
+    if dense is not None:
+        for row, col in plan.positive_blocks:
+            for u, v in _dense_present_pairs_between(
+                    dense, hierarchy, panel_a.parts[row], panel_b.parts[col]):
+                add_superedge(u, v, POSITIVE)
+        for row, col in plan.negative_blocks:
+            for u, v in _dense_missing_pairs_between(
+                    dense, hierarchy, panel_a.parts[row], panel_b.parts[col]):
+                add_superedge(u, v, NEGATIVE)
+        return
     for row, col in plan.positive_blocks:
         for u, v in present_pairs_between(graph, hierarchy, panel_a.parts[row], panel_b.parts[col]):
             add_superedge(hierarchy.leaf_of(u), hierarchy.leaf_of(v), POSITIVE)
@@ -469,6 +631,29 @@ def _intra_pattern_table(
 def _intra_blocks(num_parts: int) -> List[Tuple[int, int]]:
     """Unordered part pairs (diagonal included) in a fixed order."""
     return [(i, j) for i in range(num_parts) for j in range(i, num_parts)]
+
+
+# A flattened intra-table entry: (slot cost, assignment, indices of the
+# 1-blocks, indices of the 0-blocks) over the :func:`_intra_blocks` order.
+IntraEntry = Tuple[int, SlotAssignment, Tuple[int, ...], Tuple[int, ...]]
+
+
+def _enrich_intra_entries(
+    table: Dict[Tuple[int, ...], Tuple[int, SlotAssignment]]
+) -> List[IntraEntry]:
+    """Flatten an intra-pattern table for the per-merge cost evaluation."""
+    entries: List[IntraEntry] = []
+    for targets, (slot_cost, assignment) in table.items():
+        ones = tuple(index for index, value in enumerate(targets) if value == 1)
+        zeros = tuple(index for index, value in enumerate(targets) if value != 1)
+        entries.append((slot_cost, assignment, ones, zeros))
+    return entries
+
+
+@lru_cache(maxsize=None)
+def _intra_pattern_entries(num_parts: int) -> List[IntraEntry]:
+    """Memoized flattened view of :func:`_intra_pattern_table`."""
+    return _enrich_intra_entries(_intra_pattern_table(num_parts))
 
 
 def count_edges_within(graph: Graph, hierarchy: Hierarchy, supernode: int) -> int:
@@ -538,6 +723,7 @@ def plan_intra_encoding(
     panel: Panel,
     *,
     use_memo: bool = True,
+    dense: Optional[DenseAdjacency] = None,
 ) -> IntraEncodingPlan:
     """Best wholesale re-encoding of the subedges inside ``merged``.
 
@@ -553,56 +739,61 @@ def plan_intra_encoding(
     for i, j in blocks:
         if i == j:
             size = panel.sizes[i]
-            present[(i, j)] = count_edges_within(graph, hierarchy, parts[i])
+            if dense is not None:
+                present[(i, j)] = _dense_count_within(dense, hierarchy, parts[i])
+            else:
+                present[(i, j)] = count_edges_within(graph, hierarchy, parts[i])
             totals[(i, j)] = size * (size - 1) // 2
         else:
-            present[(i, j)] = count_edges_between(graph, hierarchy, parts[i], parts[j])
+            if dense is not None:
+                present[(i, j)] = _dense_count_between(dense, hierarchy, parts[i], parts[j])
+            else:
+                present[(i, j)] = count_edges_between(graph, hierarchy, parts[i], parts[j])
             totals[(i, j)] = panel.sizes[i] * panel.sizes[j]
 
     if 1 + len(blocks) > _MAX_EXACT_SLOTS:
         # Merged supernodes with many direct children have too many block
         # endpoints for the exhaustive table; use the candidate family.
-        table = _heuristic_intra_table(blocks, present, totals)
+        entries = _enrich_intra_entries(_heuristic_intra_table(blocks, present, totals))
     elif use_memo:
-        table = _intra_pattern_table(len(parts))
+        entries = _intra_pattern_entries(len(parts))
     else:
-        table = _intra_pattern_table.__wrapped__(len(parts))
+        entries = _enrich_intra_entries(_intra_pattern_table.__wrapped__(len(parts)))
+
+    present_flat = [present[block] for block in blocks]
+    totals_flat = [totals[block] for block in blocks]
+    best_entry: Optional[IntraEntry] = None
+    best_cost = 0
+    for entry in entries:
+        cost = entry[0]
+        for index in entry[2]:
+            cost += totals_flat[index] - present_flat[index]
+        for index in entry[3]:
+            cost += present_flat[index]
+        if best_entry is None or cost < best_cost:
+            best_entry = entry
+            best_cost = cost
+    if best_entry is None:
+        return IntraEncodingPlan(cost=sum(present_flat),
+                                 positive_blocks=[b for b in blocks if present[b] > 0])
 
     endpoints: List[Tuple[int, int]] = [(merged, merged)]
     for i, j in blocks:
         endpoints.append((parts[i], parts[j]))
-
-    best: Optional[IntraEncodingPlan] = None
-    for targets, (slot_cost, assignment) in table.items():
-        cost = slot_cost
-        for index, block in enumerate(blocks):
-            if targets[index] == 1:
-                cost += totals[block] - present[block]
-            else:
-                cost += present[block]
-        if best is not None and cost >= best.cost:
-            continue
-        positive_blocks = [
-            block for index, block in enumerate(blocks)
-            if targets[index] == 0 and present[block] > 0
-        ]
-        negative_blocks = [
-            block for index, block in enumerate(blocks)
-            if targets[index] == 1 and totals[block] > present[block]
-        ]
-        best = IntraEncodingPlan(
-            cost=cost,
-            superedges=[
-                (endpoints[endpoint_index][0], endpoints[endpoint_index][1], sign)
-                for endpoint_index, _unused, sign in assignment
-            ],
-            positive_blocks=positive_blocks,
-            negative_blocks=negative_blocks,
-        )
-    if best is None:
-        best = IntraEncodingPlan(cost=sum(present.values()),
-                                 positive_blocks=[b for b in blocks if present[b] > 0])
-    return best
+    _slot_cost, assignment, ones_idx, zeros_idx = best_entry
+    return IntraEncodingPlan(
+        cost=best_cost,
+        superedges=[
+            (endpoints[endpoint_index][0], endpoints[endpoint_index][1], sign)
+            for endpoint_index, _unused, sign in assignment
+        ],
+        positive_blocks=[
+            blocks[index] for index in zeros_idx if present_flat[index] > 0
+        ],
+        negative_blocks=[
+            blocks[index] for index in ones_idx if totals_flat[index] > present_flat[index]
+        ],
+    )
 
 
 def apply_intra_plan(
@@ -611,10 +802,29 @@ def apply_intra_plan(
     hierarchy: Hierarchy,
     panel: Panel,
     add_superedge,
+    dense: Optional[DenseAdjacency] = None,
 ) -> None:
     """Materialize an intra-supernode plan via ``add_superedge(x, y, sign)``."""
     for x, y, sign in plan.superedges:
         add_superedge(x, y, sign)
+    if dense is not None:
+        for i, j in plan.positive_blocks:
+            if i == j:
+                id_pairs = _dense_present_pairs_within(dense, hierarchy, panel.parts[i])
+            else:
+                id_pairs = _dense_present_pairs_between(
+                    dense, hierarchy, panel.parts[i], panel.parts[j])
+            for u, v in id_pairs:
+                add_superedge(u, v, POSITIVE)
+        for i, j in plan.negative_blocks:
+            if i == j:
+                id_pairs = _dense_missing_pairs_within(dense, hierarchy, panel.parts[i])
+            else:
+                id_pairs = _dense_missing_pairs_between(
+                    dense, hierarchy, panel.parts[i], panel.parts[j])
+            for u, v in id_pairs:
+                add_superedge(u, v, NEGATIVE)
+        return
     for i, j in plan.positive_blocks:
         if i == j:
             pairs = present_pairs_within(graph, hierarchy, panel.parts[i])

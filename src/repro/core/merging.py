@@ -45,6 +45,7 @@ def merge_and_update(
     graph = state.graph
     hierarchy = state.summary.hierarchy
     use_memo = config.use_memoized_encoder
+    dense = state.dense
 
     # Case 1: re-encode the subedges between the two trees being merged,
     # while they are still separate roots (the panel endpoints are the two
@@ -54,12 +55,14 @@ def merge_and_update(
     if cross_current > 0:
         panel_a = Panel(hierarchy, root_a)
         panel_b = Panel(hierarchy, root_b)
-        plan = plan_cross_encoding(graph, hierarchy, panel_a, panel_b, use_memo=use_memo)
+        plan = plan_cross_encoding(graph, hierarchy, panel_a, panel_b,
+                                   use_memo=use_memo, dense=dense)
         if plan.cost < cross_current:
             state.remove_all_between(root_a, root_b)
             apply_cross_plan(
                 plan, graph, hierarchy, panel_a, panel_b,
                 lambda x, y, sign: state.add_superedge(root_a, root_b, x, y, sign),
+                dense=dense,
             )
 
     merged = state.merge_roots(root_a, root_b)
@@ -71,13 +74,14 @@ def merge_and_update(
     if intra_current > 1:
         panel_merged = Panel(hierarchy, merged)
         intra_plan = plan_intra_encoding(
-            graph, hierarchy, merged, panel_merged, use_memo=use_memo
+            graph, hierarchy, merged, panel_merged, use_memo=use_memo, dense=dense
         )
         if intra_plan.cost < intra_current:
             state.remove_all_between(merged, merged)
             apply_intra_plan(
                 intra_plan, graph, hierarchy, panel_merged,
                 lambda x, y, sign: state.add_superedge(merged, merged, x, y, sign),
+                dense=dense,
             )
 
     # Case 2: the new root can now act as a blanket endpoint towards every
@@ -91,12 +95,14 @@ def merge_and_update(
             # A pair already encoded with a single superedge cannot improve.
             continue
         panel_other = Panel(hierarchy, other)
-        plan = plan_cross_encoding(graph, hierarchy, panel_merged, panel_other, use_memo=use_memo)
+        plan = plan_cross_encoding(graph, hierarchy, panel_merged, panel_other,
+                                   use_memo=use_memo, dense=dense)
         if plan.cost < current:
             state.remove_all_between(merged, other)
             apply_cross_plan(
                 plan, graph, hierarchy, panel_merged, panel_other,
                 lambda x, y, sign: state.add_superedge(merged, other, x, y, sign),
+                dense=dense,
             )
     return merged
 

@@ -36,10 +36,21 @@ def pair_cost_estimate(subedges: int, possible: int, current: int) -> int:
 
 
 def estimate_merged_cost(state: SluggerState, root_a: int, root_b: int) -> int:
-    """Estimated Cost_{A∪B} after merging two root supernodes (numerator of Eq. 8)."""
-    hierarchy = state.summary.hierarchy
-    size_a = hierarchy.size(root_a)
-    size_b = hierarchy.size(root_b)
+    """Estimated Cost_{A∪B} after merging two root supernodes (numerator of Eq. 8).
+
+    This is the innermost loop of partner search (it runs once per
+    surviving candidate pair), so the per-neighbor arithmetic is inlined
+    and every mapping is bound to a local: the logic is exactly
+    :func:`pair_cost_estimate` over the merged counter maps, just without
+    a function call and four attribute lookups per adjacent root tree.
+    """
+    size_of = state.summary.hierarchy.size_map().__getitem__
+    size_a = size_of(root_a)
+    size_b = size_of(root_b)
+    adj_a = state.root_adj[root_a]
+    adj_b = state.root_adj[root_b]
+    pn_a = state.pn_count[root_a]
+    pn_b = state.pn_count[root_b]
 
     # Hierarchy edges: both old trees plus two new h-edges to the new root.
     cost = state.tree_h[root_a] + state.tree_h[root_b] + 2
@@ -47,18 +58,14 @@ def estimate_merged_cost(state: SluggerState, root_a: int, root_b: int) -> int:
     # Everything inside the merged tree: either keep the existing intra
     # encodings and (re-)encode only the cross part, or re-encode the whole
     # inside with a self-loop p-edge plus corrections (the clique case).
-    cross_subedges = state.subedges_between(root_a, root_b)
-    cross_current = state.pn_cost_between(root_a, root_b)
+    cross_subedges = adj_a.get(root_b, 0)
+    cross_current = pn_a.get(root_b, 0)
     keep_intra = (
-        state.pn_cost_between(root_a, root_a)
-        + state.pn_cost_between(root_b, root_b)
+        pn_a.get(root_a, 0)
+        + pn_b.get(root_b, 0)
         + pair_cost_estimate(cross_subedges, size_a * size_b, cross_current)
     )
-    intra_subedges = (
-        state.subedges_between(root_a, root_a)
-        + state.subedges_between(root_b, root_b)
-        + cross_subedges
-    )
+    intra_subedges = adj_a.get(root_a, 0) + adj_b.get(root_b, 0) + cross_subedges
     merged_pairs = (size_a + size_b) * (size_a + size_b - 1) // 2
     if intra_subedges > 0:
         self_loop = 1 + (merged_pairs - intra_subedges)
@@ -66,20 +73,38 @@ def estimate_merged_cost(state: SluggerState, root_a: int, root_b: int) -> int:
     else:
         cost += keep_intra
 
-    # Edges towards every other adjacent root tree C.
-    neighbors = state.neighbor_roots(root_a) | state.neighbor_roots(root_b)
-    neighbors.discard(root_a)
-    neighbors.discard(root_b)
+    # Edges towards every other adjacent root tree C.  Roots adjacent only
+    # through p/n-edges but with no subedges contribute 0 (the estimate
+    # ignores ``current`` when there is nothing to encode), so iterating
+    # the two adjacency maps covers every non-zero term without building
+    # a union set.
     merged_size = size_a + size_b
-    for other in neighbors:
-        subedges = (
-            state.root_adj[root_a].get(other, 0) + state.root_adj[root_b].get(other, 0)
-        )
-        current = (
-            state.pn_count[root_a].get(other, 0) + state.pn_count[root_b].get(other, 0)
-        )
-        possible = merged_size * hierarchy.size(other)
-        cost += pair_cost_estimate(subedges, possible, current)
+    adj_b_get = adj_b.get
+    pn_a_get = pn_a.get
+    pn_b_get = pn_b.get
+    for other, sub_a in adj_a.items():
+        if other == root_a or other == root_b:
+            continue
+        subedges = sub_a + adj_b_get(other, 0)
+        best = subedges
+        alternative = 1 + merged_size * size_of(other) - subedges
+        if alternative < best:
+            best = alternative
+        current = pn_a_get(other, 0) + pn_b_get(other, 0)
+        if 0 < current < best:
+            best = current
+        cost += best
+    for other, subedges in adj_b.items():
+        if other == root_a or other == root_b or other in adj_a:
+            continue
+        best = subedges
+        alternative = 1 + merged_size * size_of(other) - subedges
+        if alternative < best:
+            best = alternative
+        current = pn_a_get(other, 0) + pn_b_get(other, 0)
+        if 0 < current < best:
+            best = current
+        cost += best
     return cost
 
 

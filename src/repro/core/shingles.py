@@ -34,8 +34,9 @@ change where the work happens, never what is computed.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
+from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 from repro.utils.rng import SeedLike, ensure_rng
@@ -172,6 +173,113 @@ class ShingleCache:
                 value = values.get(neighbor)
                 if value is None:
                     value = values[neighbor] = hash_function(neighbor)
+                if value < best:
+                    best = value
+        shingles[node] = best
+        return best
+
+
+def dense_hash_values(dense: DenseAdjacency, hash_function: Callable[[Subnode], int]) -> List[int]:
+    """Per-id hash values over the dense substrate, hashing the *original* labels.
+
+    Hashing ``labels[id]`` rather than the id itself keeps every shingle
+    value bit-identical to the label-keyed path for any label type; for
+    the common contiguous-integer graphs the two coincide anyway.
+    """
+    return [hash_function(label) for label in dense.index.labels()]
+
+
+def dense_subnode_shingles(
+    dense: DenseAdjacency, hash_function: Callable[[Subnode], int]
+) -> List[int]:
+    """Shingle of every dense id: min hash over its closed neighborhood.
+
+    The list-backed counterpart of :func:`subnode_shingles` — values are
+    identical, storage and lookups are array reads instead of dictionary
+    probes.
+    """
+    values = dense_hash_values(dense, hash_function)
+    return dense_shingles_from_values(dense, values)
+
+
+def dense_shingles_from_values(dense: DenseAdjacency, values: List[int]) -> List[int]:
+    """Shingle of every dense id given precomputed per-id hash ``values``."""
+    lookup = values.__getitem__
+    shingles: List[int] = []
+    append = shingles.append
+    for node, neighbors in enumerate(dense.neighbors):
+        own = values[node]
+        if neighbors:
+            best = min(map(lookup, neighbors))
+            append(best if best < own else own)
+        else:
+            append(own)
+    return shingles
+
+
+class DenseShingleCache:
+    """Lazily computed, memoized shingles over a dense substrate.
+
+    The int-id counterpart of :class:`ShingleCache`: one instance per
+    hash-function ``seed``, per-id hash values and shingles live in plain
+    lists (``None`` marks "not yet computed"), and the bulk paths run the
+    per-edge minima through C-level ``min``/``map``.  Shingle *values*
+    are bit-identical to the label path because hashing goes through the
+    original labels (see :func:`dense_hash_values`).
+    """
+
+    __slots__ = ("seed", "_dense", "_hash", "_values", "_shingles",
+                 "_values_complete", "_shingles_complete")
+
+    def __init__(self, dense: DenseAdjacency, seed: SeedLike = None) -> None:
+        self.seed = seed
+        self._dense = dense
+        self._hash = make_hash_function(seed)
+        size = dense.num_nodes
+        self._values: List[Optional[int]] = [None] * size
+        self._shingles: List[Optional[int]] = [None] * size
+        self._values_complete = False
+        self._shingles_complete = False
+
+    def ensure_values(self) -> None:
+        """Precompute the hash value of every node (a no-op afterwards)."""
+        if not self._values_complete:
+            hash_function = self._hash
+            self._values = [hash_function(label) for label in self._dense.index.labels()]
+            self._values_complete = True
+
+    def ensure_shingles(self) -> List[Optional[int]]:
+        """Precompute every shingle; returns the full shingle list."""
+        if not self._shingles_complete:
+            self.ensure_values()
+            self._shingles = dense_shingles_from_values(self._dense, self._values)
+            self._shingles_complete = True
+        return self._shingles
+
+    def shingle(self, node: int) -> int:
+        """The (memoized) shingle of dense id ``node``."""
+        shingles = self._shingles
+        result = shingles[node]
+        if result is not None:
+            return result
+        values = self._values
+        neighbors = self._dense.neighbors[node]
+        if self._values_complete:
+            best = values[node]
+            if neighbors:
+                smallest = min(map(values.__getitem__, neighbors))
+                if smallest < best:
+                    best = smallest
+        else:
+            hash_function = self._hash
+            labels = self._dense.index.labels()
+            best = values[node]
+            if best is None:
+                best = values[node] = hash_function(labels[node])
+            for neighbor in neighbors:
+                value = values[neighbor]
+                if value is None:
+                    value = values[neighbor] = hash_function(labels[neighbor])
                 if value < best:
                     best = value
         shingles[node] = best

@@ -86,7 +86,7 @@ class Slugger:
         started = time.perf_counter()
         rng = ensure_rng(config.seed)
 
-        state = SluggerState(graph)
+        state = SluggerState(graph, build_dense=config.use_dense_substrate)
         history: List[Dict[str, float]] = []
 
         if graph.num_edges > 0:
@@ -98,6 +98,7 @@ class Slugger:
                     sorted(state.roots),
                     config,
                     seed=rng.randrange(2**61),
+                    dense=state.dense,
                 )
                 merges = 0
                 for candidate_set in candidate_sets:

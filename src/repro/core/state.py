@@ -23,9 +23,10 @@ index against a fresh traversal along with the superedge counters.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import SummaryInvariantError
+from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.summary import HierarchicalSummary
 
@@ -38,25 +39,48 @@ def _pair(a: int, b: int) -> RootPair:
 
 
 class SluggerState:
-    """All mutable data SLUGGER needs while merging root supernodes."""
+    """All mutable data SLUGGER needs while merging root supernodes.
 
-    def __init__(self, graph: Graph) -> None:
+    With ``build_dense=True`` (default) the state also mirrors the input
+    graph onto the dense integer-id substrate.  Because
+    :meth:`HierarchicalSummary.from_graph` numbers leaf supernodes
+    ``0..n-1`` in graph order — the same order
+    :meth:`DenseAdjacency.from_graph` assigns node ids — *dense node id
+    == leaf supernode id*, so shingle rounds, candidate generation, and
+    the local encoder work directly on leaf ids with no label lookups.
+    """
+
+    def __init__(self, graph: Graph, build_dense: bool = True) -> None:
         self.graph = graph
         self.summary = HierarchicalSummary.from_graph(graph)
         hierarchy = self.summary.hierarchy
+        self.dense: Optional[DenseAdjacency] = (
+            DenseAdjacency.from_graph(graph) if build_dense else None
+        )
 
         self.roots: Set[int] = set(hierarchy.roots())
         self.root_adj: Dict[int, Dict[int, int]] = {root: {} for root in self.roots}
         self.pn_count: Dict[int, Dict[int, int]] = {root: {} for root in self.roots}
+        # Incrementally maintained Cost^P_A per root (the sum of the
+        # root's pn_count map), so saving evaluation reads it in O(1)
+        # instead of re-summing a dict per candidate pair.
+        self.pn_total: Dict[int, int] = {root: 0 for root in self.roots}
         self.pn_edges: Dict[RootPair, Set[Tuple[int, int, int]]] = {}
         self.tree_h: Dict[int, int] = {root: 0 for root in self.roots}
         self.tree_height: Dict[int, int] = {root: 0 for root in self.roots}
 
-        for u, v in graph.edges():
-            leaf_u = hierarchy.leaf_of(u)
-            leaf_v = hierarchy.leaf_of(v)
-            self._bump_adj(leaf_u, leaf_v, 1)
-            self._register_superedge(leaf_u, leaf_v, leaf_u, leaf_v, 1, delta=1)
+        if self.dense is not None:
+            # Node id == leaf id, so the initial superedges and adjacency
+            # counters can be registered without any label resolution.
+            for leaf_u, leaf_v in self.dense.edge_ids():
+                self._bump_adj(leaf_u, leaf_v, 1)
+                self._register_superedge(leaf_u, leaf_v, leaf_u, leaf_v, 1, delta=1)
+        else:
+            for u, v in graph.edges():
+                leaf_u = hierarchy.leaf_of(u)
+                leaf_v = hierarchy.leaf_of(v)
+                self._bump_adj(leaf_u, leaf_v, 1)
+                self._register_superedge(leaf_u, leaf_v, leaf_u, leaf_v, 1, delta=1)
 
     # ------------------------------------------------------------------
     # Internal index maintenance
@@ -71,11 +95,13 @@ class SluggerState:
         counts_a[root_b] = counts_a.get(root_b, 0) + delta
         if counts_a[root_b] == 0:
             del counts_a[root_b]
+        self.pn_total[root_a] += delta
         if root_a != root_b:
             counts_b = self.pn_count[root_b]
             counts_b[root_a] = counts_b.get(root_a, 0) + delta
             if counts_b[root_a] == 0:
                 del counts_b[root_a]
+            self.pn_total[root_b] += delta
 
     def _register_superedge(
         self, root_a: int, root_b: int, x: int, y: int, sign: int, delta: int
@@ -125,12 +151,12 @@ class SluggerState:
         return self.pn_count[root_a].get(root_b, 0)
 
     def pn_cost_of(self, root: int) -> int:
-        """Cost^P_A: p/n-edges incident to any supernode of the root's tree."""
-        return sum(self.pn_count[root].values())
+        """Cost^P_A: p/n-edges incident to any supernode of the root's tree (O(1))."""
+        return self.pn_total[root]
 
     def cost_of(self, root: int) -> int:
         """Cost_A = Cost^H_A + Cost^P_A (Eq. 6)."""
-        return self.tree_h[root] + self.pn_cost_of(root)
+        return self.tree_h[root] + self.pn_total[root]
 
     def neighbor_roots(self, root: int) -> Set[int]:
         """Roots whose trees share a subedge or a superedge with ``root``'s tree."""
@@ -174,6 +200,9 @@ class SluggerState:
 
         self.root_adj[merged] = self._merge_counter_maps(self.root_adj, root_a, root_b, merged)
         self.pn_count[merged] = self._merge_counter_maps(self.pn_count, root_a, root_b, merged)
+        self.pn_total.pop(root_a)
+        self.pn_total.pop(root_b)
+        self.pn_total[merged] = sum(self.pn_count[merged].values())
         self._rekey_pn_edges(root_a, root_b, merged)
         return merged
 
@@ -258,6 +287,14 @@ class SluggerState:
                     raise SummaryInvariantError(
                         f"stale pn_count entry for root pair ({root_a}, {root_b})"
                     )
+        for root, counters in self.pn_count.items():
+            if self.pn_total.get(root) != sum(counters.values()):
+                raise SummaryInvariantError(
+                    f"pn_total for root {root} is {self.pn_total.get(root)}, "
+                    f"expected {sum(counters.values())}"
+                )
+        if set(self.pn_total) != set(self.pn_count):
+            raise SummaryInvariantError("pn_total keys drifted from pn_count keys")
         expected_adj: Dict[RootPair, int] = {}
         for u, v in self.graph.edges():
             pair = _pair(
@@ -288,3 +325,11 @@ class SluggerState:
         hierarchy.verify_leaf_cache()
         if self.roots != set(hierarchy.roots()):
             raise SummaryInvariantError("the root index disagrees with the hierarchy")
+        if self.dense is not None:
+            if self.dense.num_edges != self.graph.num_edges:
+                raise SummaryInvariantError("dense substrate edge count drifted from the graph")
+            for node_id, label in enumerate(self.dense.index.labels()):
+                if hierarchy.leaf_of(label) != node_id:
+                    raise SummaryInvariantError(
+                        f"dense id {node_id} (label {label!r}) does not match its leaf id"
+                    )

@@ -1,0 +1,40 @@
+"""Unified summarizer engine: protocol, registry, and adapters.
+
+``repro.engine`` gives every summarization method one API::
+
+    from repro import engine
+
+    engine.available_methods()                       # registry contents
+    result = engine.run("sweg", graph, seed=0, iterations=10)
+    result.summary.validate(graph)                   # lossless
+    result.cost(), result.runtime_seconds            # shared bookkeeping
+
+New methods plug in by subclassing :class:`Summarizer` and decorating
+with :func:`register`; the CLI, the comparison harness, and the
+experiment figures pick them up automatically.
+"""
+
+from repro.engine.base import AnySummary, EngineResult, Summarizer
+from repro.engine.registry import (
+    DEFAULT_SUITE,
+    available_methods,
+    create,
+    default_suite,
+    register,
+    run,
+)
+
+# Importing the adapters module registers the built-in methods.
+from repro.engine import adapters as _adapters  # noqa: F401
+
+__all__ = [
+    "AnySummary",
+    "EngineResult",
+    "Summarizer",
+    "DEFAULT_SUITE",
+    "available_methods",
+    "create",
+    "default_suite",
+    "register",
+    "run",
+]

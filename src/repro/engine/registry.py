@@ -1,0 +1,87 @@
+"""The summarizer registry: one lookup table for every method.
+
+The registry is the single place a summarization method is wired into
+the system.  ``cli.py compare``, :mod:`repro.analysis.comparison`, the
+experiment figures, and the examples all resolve methods by name here,
+so adding a scenario (a streaming variant, a lossy mode, a new baseline)
+means registering one :class:`~repro.engine.base.Summarizer` subclass —
+no per-method glue anywhere else.
+
+>>> from repro import engine
+>>> sorted(engine.available_methods())[:3]
+['greedy', 'mosso', 'randomized']
+>>> result = engine.run("slugger", some_graph, seed=0, iterations=5)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.engine.base import EngineResult, Summarizer
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike
+
+_REGISTRY: Dict[str, Type[Summarizer]] = {}
+
+#: Methods the paper's evaluation compares side by side (Fig. 1(a),
+#: Fig. 5); GREEDY is registered but excluded from the default suite
+#: because it is quadratic-ish and only used as an optimality reference.
+DEFAULT_SUITE = ("slugger", "sweg", "mosso", "randomized", "sags")
+
+
+def register(cls: Type[Summarizer]) -> Type[Summarizer]:
+    """Class decorator adding a :class:`Summarizer` subclass to the registry."""
+    if not cls.name:
+        raise ConfigurationError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"summarizer {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_methods() -> List[str]:
+    """Names of all registered summarizers, in registration order."""
+    return list(_REGISTRY)
+
+
+def create(method: str, **options: Any) -> Summarizer:
+    """Instantiate the summarizer registered under ``method``.
+
+    ``options`` are method-specific constructor arguments (e.g.
+    ``iterations`` for SLUGGER/SWeG, ``epsilon`` for lossy SWeG).
+    """
+    try:
+        cls = _REGISTRY[method]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown summarizer {method!r}; available: {', '.join(available_methods())}"
+        ) from None
+    return cls(**options)
+
+
+def run(method: str, graph: Graph, seed: SeedLike = None, **options: Any) -> EngineResult:
+    """One-shot dispatch: ``create(method, **options).summarize(graph, seed)``."""
+    return create(method, **options).summarize(graph, seed=seed)
+
+
+def default_suite(
+    iterations: int = 10, methods: Optional[Sequence[str]] = None
+) -> Dict[str, Summarizer]:
+    """Configured summarizers for a method comparison.
+
+    ``iterations`` is applied to every iteration-controlled method
+    (SLUGGER and SWeG); the rest take no iteration knob.  ``methods``
+    defaults to :data:`DEFAULT_SUITE`.
+    """
+    names = DEFAULT_SUITE if methods is None else tuple(methods)
+    suite: Dict[str, Summarizer] = {}
+    for name in names:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise ConfigurationError(
+                f"unknown summarizer {name!r}; available: {', '.join(available_methods())}"
+            )
+        options = {"iterations": iterations} if cls.iteration_controlled else {}
+        suite[name] = cls(**options)
+    return suite

@@ -11,17 +11,16 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import engine
 from repro.algorithms import bfs_order, count_triangles, dijkstra_distances, pagerank
 from repro.analysis.comparison import compare_methods, default_methods
 from repro.analysis.metrics import compression_report, edge_composition
-from repro.baselines import sweg_summarize
 from repro.core import Slugger, SluggerConfig
 from repro.experiments.runner import ExperimentRecord
 from repro.graphs.datasets import load_dataset
 from repro.graphs.generators import theorem1_graph
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import scalability_series
-from repro.model.flat import FlatSummary
 from repro.utils.rng import ensure_rng
 from repro.utils.stats import linear_fit, pearson_correlation
 
@@ -176,8 +175,10 @@ def decompression_experiment(
     latencies: List[float] = []
     for key in datasets:
         graph = load_dataset(key, seed=seed)
-        slugger_summary = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph).summary
-        sweg_summary = sweg_summarize(graph, iterations=iterations, seed=seed)
+        slugger_summary = engine.run(
+            "slugger", graph, seed=seed, iterations=iterations
+        ).summary
+        sweg_summary = engine.run("sweg", graph, seed=seed, iterations=iterations).summary
         nodes = graph.nodes()
         sample = [nodes[rng.randrange(len(nodes))] for _ in range(min(queries, len(nodes)))]
         slugger_latency = _mean_query_seconds(slugger_summary, sample)
@@ -281,17 +282,17 @@ def theorem1_experiment(
     records: List[ExperimentRecord] = []
     for n in sizes:
         graph = theorem1_graph(n, k)
-        slugger_result = Slugger(SluggerConfig(iterations=iterations, seed=seed)).summarize(graph)
-        sweg_result: FlatSummary = sweg_summarize(graph, iterations=iterations, seed=seed)
+        slugger_result = engine.run("slugger", graph, seed=seed, iterations=iterations)
+        sweg_result = engine.run("sweg", graph, seed=seed, iterations=iterations)
         records.append(ExperimentRecord(
             label=f"n={n}",
             parameters={"n": n, "k": k},
             values={
                 "num_edges": float(graph.num_edges),
                 "hierarchical_cost": float(slugger_result.cost()),
-                "flat_cost": float(sweg_result.cost_eq11()),
+                "flat_cost": float(sweg_result.cost()),
                 "flat_over_hierarchical": (
-                    sweg_result.cost_eq11() / slugger_result.cost()
+                    sweg_result.cost() / slugger_result.cost()
                     if slugger_result.cost() > 0 else 0.0
                 ),
             },

@@ -35,17 +35,31 @@ def run_repeated(
     The paper reports means over five runs with standard deviations; the
     harness makes the repetition count explicit so quick runs and full
     reproductions use the same code.
+
+    Aggregation runs over the *union* of the samples' metric keys (in
+    first-seen order), so a metric that only appears in some repetitions
+    — e.g. a counter a seed never triggers — is still reported instead of
+    being silently dropped.  Such partial metrics are surfaced explicitly
+    via a ``<key>_missing`` entry counting the repetitions that did not
+    report them; their mean/std are computed over the reporting samples.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     samples: List[Dict[str, float]] = [
         function(base_seed + repetition) for repetition in range(repetitions)
     ]
+    key_order: Dict[str, None] = {}
+    for sample in samples:
+        for key in sample:
+            key_order.setdefault(key, None)
     aggregated: Dict[str, float] = {}
-    for key in samples[0]:
-        values = [sample[key] for sample in samples]
+    for key in key_order:
+        values = [sample[key] for sample in samples if key in sample]
         aggregated[key] = mean(values)
         aggregated[f"{key}_std"] = stdev(values)
+        missing = repetitions - len(values)
+        if missing:
+            aggregated[f"{key}_missing"] = float(missing)
     aggregated["repetitions"] = float(repetitions)
     return aggregated
 

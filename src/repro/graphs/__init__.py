@@ -1,6 +1,8 @@
 """Graph substrate: data structure, I/O, generators, datasets, sampling."""
 
 from repro.graphs.graph import Graph
+from repro.graphs.index import NodeIndex
+from repro.graphs.dense import CSRAdjacency, DenseAdjacency
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.generators import (
     barabasi_albert_graph,
@@ -34,6 +36,9 @@ from repro.graphs.properties import (
 
 __all__ = [
     "Graph",
+    "NodeIndex",
+    "DenseAdjacency",
+    "CSRAdjacency",
     "read_edge_list",
     "write_edge_list",
     "barabasi_albert_graph",

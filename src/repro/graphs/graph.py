@@ -156,14 +156,30 @@ class Graph:
         return list(self._adjacency)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over each undirected edge exactly once, in canonical form."""
-        seen: Set[Edge] = set()
+        """Iterate over each undirected edge exactly once, in canonical form.
+
+        Each edge ``{u, v}`` is yielded from its canonical endpoint (the
+        one with ``u <= v``, falling back to ``repr`` order for mixed
+        non-comparable types), so the iteration needs no O(E) ``seen``
+        set: the reverse encounter is simply skipped.  Labels whose
+        ``<=`` is only a partial order (e.g. ``frozenset``) can be
+        incomparable in *both* directions without raising; those pairs
+        take the ``repr`` fallback as well, so the edge is still yielded
+        exactly once.
+        """
         for u, nbrs in self._adjacency.items():
             for v in nbrs:
-                edge = canonical_edge(u, v)
-                if edge not in seen:
-                    seen.add(edge)
-                    yield edge
+                try:
+                    if u <= v:  # type: ignore[operator]
+                        yield (u, v)
+                    elif not v <= u:  # type: ignore[operator]
+                        # Incomparable under a partial order: neither
+                        # endpoint wins by <=, so fall back to repr.
+                        if repr(u) <= repr(v):
+                            yield (u, v)
+                except TypeError:
+                    if repr(u) <= repr(v):
+                        yield (u, v)
 
     def edge_set(self) -> Set[Edge]:
         """All edges as a set of canonical pairs."""

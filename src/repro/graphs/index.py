@@ -1,0 +1,109 @@
+"""Label ↔ contiguous-integer-id mapping (the WebGraph-style node index).
+
+Every heavy phase of the library benefits from working on a dense id
+space ``0..n-1`` instead of arbitrary hashable labels: adjacency becomes
+array-indexable, per-node attributes become plain lists, and the hot
+loops stop paying dictionary hashing per access (Boldi & Vigna, *The
+WebGraph Framework I*, WWW'04).  :class:`NodeIndex` is the boundary
+object that owns the mapping: labels are *interned* once (in first-seen
+order, so an index built from a :class:`~repro.graphs.graph.Graph`
+assigns ids in the graph's node-insertion order), heavy computation runs
+on the ids, and results are mapped back to the original labels at the
+end.
+
+The id order is significant: :class:`~repro.model.hierarchy.Hierarchy`
+also numbers the leaf supernodes ``0..n-1`` in graph order, so an index
+built with :meth:`NodeIndex.from_graph` makes *node id == leaf supernode
+id*, which is what lets SLUGGER's merging layer drop every
+label→leaf-id dictionary probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
+
+Label = Hashable
+
+
+class NodeIndex:
+    """A bijection between arbitrary hashable labels and ids ``0..n-1``.
+
+    Ids are assigned in first-interned order and never change; the index
+    only grows (streaming consumers intern new labels as they arrive).
+
+    Examples
+    --------
+    >>> index = NodeIndex(["a", "b"])
+    >>> index.id_of("b")
+    1
+    >>> index.intern("c")
+    2
+    >>> index.label_of(0)
+    'a'
+    >>> len(index)
+    3
+    """
+
+    __slots__ = ("_labels", "_ids")
+
+    def __init__(self, labels: Iterable[Label] = ()) -> None:
+        self._labels: List[Label] = []
+        self._ids: Dict[Label, int] = {}
+        for label in labels:
+            self.intern(label)
+
+    @classmethod
+    def from_graph(cls, graph) -> "NodeIndex":
+        """An index over ``graph``'s nodes, ids in node-insertion order."""
+        return cls(graph.adjacency())
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def intern(self, label: Label) -> int:
+        """Return the id of ``label``, assigning the next free id if new."""
+        node_id = self._ids.get(label)
+        if node_id is None:
+            node_id = len(self._labels)
+            self._ids[label] = node_id
+            self._labels.append(label)
+        return node_id
+
+    def id_of(self, label: Label) -> int:
+        """The id of a known label (raises ``KeyError`` for unknown ones)."""
+        return self._ids[label]
+
+    def get(self, label: Label, default: Optional[int] = None) -> Optional[int]:
+        """The id of ``label``, or ``default`` when it is not interned."""
+        return self._ids.get(label, default)
+
+    def label_of(self, node_id: int) -> Label:
+        """The label owning ``node_id`` (raises ``IndexError`` if out of range)."""
+        return self._labels[node_id]
+
+    def labels(self) -> List[Label]:
+        """The internal id → label list (not copied; do not mutate).
+
+        ``labels()[i]`` is the label of id ``i``; hot paths index this
+        list directly instead of calling :meth:`label_of` per node.
+        """
+        return self._labels
+
+    def ids(self) -> Dict[Label, int]:
+        """The internal label → id mapping (not copied; do not mutate)."""
+        return self._ids
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._ids
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:
+        return f"NodeIndex(size={len(self._labels)})"

@@ -176,6 +176,14 @@ class Hierarchy:
         """Number of subnodes contained in ``supernode``'s subtree."""
         return self._size[supernode]
 
+    def size_map(self) -> Dict[int, int]:
+        """The internal supernode → subtree-size mapping (not copied; do not mutate).
+
+        Hot paths bind ``size_map().__getitem__`` once instead of paying a
+        method call per size lookup.
+        """
+        return self._size
+
     def subnode_of_leaf(self, leaf: int) -> Subnode:
         """The subnode wrapped by a leaf supernode."""
         return self._leaf_subnode[leaf]
@@ -233,6 +241,18 @@ class Hierarchy:
     def leaf_ids(self, supernode: int) -> List[int]:
         """Leaf supernode ids contained in ``supernode``'s subtree (memoized)."""
         return list(self._cached_leaf_ids(supernode))
+
+    def leaf_id_view(self, supernode: int) -> Tuple[int, ...]:
+        """The memoized leaf-id tuple of ``supernode`` (not copied).
+
+        When the hierarchy was built over a graph by
+        :meth:`~repro.model.summary.HierarchicalSummary.from_graph`, leaf
+        ids coincide with the dense node ids of a
+        :class:`~repro.graphs.index.NodeIndex` built from the same graph,
+        so this view is what the int-id fast paths iterate instead of
+        resolving subnode labels.
+        """
+        return self._cached_leaf_ids(supernode)
 
     def _cached_leaf_ids(self, supernode: int) -> Tuple[int, ...]:
         """Leaf-id tuple of one supernode, filled in lazily from child caches."""

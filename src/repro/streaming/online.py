@@ -74,6 +74,16 @@ class OnlineSummarizer:
         return self._dynamic.graph
 
     @property
+    def substrate(self):
+        """The summarizer's dense integer-id adjacency (or ``None`` before any event).
+
+        Maintained incrementally by the grouping state, so streaming
+        consumers get the array-backed substrate for free instead of
+        rebuilding adjacency per checkpoint.
+        """
+        return self._mosso.substrate
+
+    @property
     def time(self) -> int:
         """Number of events applied so far."""
         return self._dynamic.time

@@ -113,6 +113,26 @@ class TestRunnerAndReporting:
         with pytest.raises(ValueError):
             run_repeated(lambda seed: {"value": 1.0}, repetitions=0)
 
+    def test_run_repeated_aggregates_union_of_keys(self):
+        def sample(seed):
+            values = {"always": float(seed)}
+            if seed >= 1:
+                values["late"] = float(seed * 10)
+            return values
+
+        aggregated = run_repeated(sample, repetitions=3, base_seed=0)
+        # "late" only appears in the 2nd and 3rd samples but must not be
+        # dropped; the missing repetition is surfaced explicitly.
+        assert aggregated["late"] == pytest.approx(15.0)
+        assert aggregated["late_missing"] == 1.0
+        assert "always_missing" not in aggregated
+        assert aggregated["always"] == pytest.approx(1.0)
+
+    def test_run_repeated_single_repetition_has_zero_std(self):
+        aggregated = run_repeated(lambda seed: {"value": 5.0}, repetitions=1)
+        assert aggregated["value"] == 5.0
+        assert aggregated["value_std"] == 0.0
+
     def test_sweep_records(self):
         records = sweep(lambda x, y: {"sum": float(x + y)}, "x", [1, 2, 3], y=10)
         assert [record.values["sum"] for record in records] == [11.0, 12.0, 13.0]

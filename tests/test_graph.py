@@ -93,6 +93,24 @@ class TestGraphQueries:
         assert len(edges) == 3
         assert len(set(edges)) == 3
 
+    def test_edges_with_partially_ordered_labels(self):
+        # frozenset.__le__ is a subset test: incomparable in both
+        # directions without raising; edges() must still yield each edge
+        # exactly once via the repr fallback.
+        a, b, c = frozenset({1}), frozenset({2}), frozenset({1, 2})
+        graph = Graph(edges=[(a, b), (a, c), (b, c)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert {frozenset(edge) for edge in edges} == {
+            frozenset((a, b)), frozenset((a, c)), frozenset((b, c))
+        }
+
+    def test_edges_with_mixed_incomparable_labels(self):
+        graph = Graph(edges=[(1, "x"), ("x", (2, 3))])
+        edges = list(graph.edges())
+        assert len(edges) == 2
+        assert graph.edge_set() == set(edges)
+
     def test_edge_set_canonical(self):
         graph = Graph(edges=[(2, 1)])
         assert graph.edge_set() == {(1, 2)}
