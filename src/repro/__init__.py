@@ -28,6 +28,7 @@ Package map
 
 from repro import engine
 from repro.core import Slugger, SluggerConfig, SluggerResult, summarize
+from repro.engine import ExecutionConfig
 from repro.graphs import (
     CSRAdjacency,
     DenseAdjacency,
@@ -45,6 +46,7 @@ __all__ = [
     "Slugger",
     "SluggerConfig",
     "SluggerResult",
+    "ExecutionConfig",
     "summarize",
     "engine",
     "Graph",

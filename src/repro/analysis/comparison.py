@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 from repro import engine
 from repro.analysis.metrics import compression_report
 from repro.engine.base import AnySummary, EngineResult, Summarizer
+from repro.engine.execution import ExecutionConfig
 from repro.graphs.graph import Graph
 
 MethodFunction = Callable[[Graph, int], AnySummary]
@@ -63,11 +64,17 @@ def _resolve(methods: Optional[Union[Mapping[str, MethodSpec], Sequence[str]]]
     return dict(engine.default_suite(methods=methods))
 
 
-def _run_spec(name: str, spec: MethodSpec, graph: Graph, seed: int) -> EngineResult:
+def _run_spec(
+    name: str,
+    spec: MethodSpec,
+    graph: Graph,
+    seed: int,
+    execution: Optional[ExecutionConfig] = None,
+) -> EngineResult:
     if isinstance(spec, str):
         spec = engine.create(spec)
     if isinstance(spec, Summarizer):
-        return spec.summarize(graph, seed=seed)
+        return spec.summarize(graph, seed=seed, execution=execution)
     # Legacy plain callable: wrap its output into an EngineResult so the
     # rest of the harness sees one shape.
     started = time.perf_counter()
@@ -84,19 +91,21 @@ def compare_methods(
     methods: Optional[Union[Mapping[str, MethodSpec], Sequence[str]]] = None,
     seed: int = 0,
     validate: bool = True,
+    execution: Optional[ExecutionConfig] = None,
 ) -> List[MethodResult]:
     """Run every method on ``graph`` and return per-method results.
 
     ``methods`` may be a mapping of display name → method spec, a
     sequence of registry names, or ``None`` for the paper's default
-    suite.  Results are ordered by ascending relative size (best
-    compression first), which makes the winner immediately visible in
-    reports.
+    suite.  ``execution`` is forwarded to parallel-capable methods
+    (SLUGGER, SWeG); it cannot change any result, only the wall time.
+    Results are ordered by ascending relative size (best compression
+    first), which makes the winner immediately visible in reports.
     """
     resolved = _resolve(methods)
     results: List[MethodResult] = []
     for name, spec in resolved.items():
-        outcome = _run_spec(name, spec, graph, seed)
+        outcome = _run_spec(name, spec, graph, seed, execution)
         if validate:
             outcome.summary.validate(graph)
         results.append(

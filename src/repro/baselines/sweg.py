@@ -18,7 +18,16 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set
 
 from repro.baselines.common import FlatGroupingState
-from repro.core.shingles import dense_subnode_shingles, make_hash_function
+from repro.core.shingles import (
+    dense_subnode_shingles,
+    make_hash_function,
+    sharded_shingles,
+)
+from repro.engine.execution import (
+    ExecutionConfig,
+    ProcessShardExecutor,
+    shard_bounds,
+)
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
@@ -52,12 +61,22 @@ class SwegConfig:
         return 1.0 / (1.0 + iteration)
 
 
-def sweg_summarize(graph: Graph, config: Optional[SwegConfig] = None, **overrides) -> FlatSummary:
+def sweg_summarize(
+    graph: Graph,
+    config: Optional[SwegConfig] = None,
+    execution: Optional[ExecutionConfig] = None,
+    **overrides,
+) -> FlatSummary:
     """Summarize ``graph`` with SWeG; returns a flat summary.
 
     With ``epsilon == 0`` (default) the output is lossless.  A positive
     ``epsilon`` additionally drops corrections within the per-node error
     budget, reproducing SWeG's lossy variant.
+
+    ``execution`` shards the divide step's per-round shingle sweeps over
+    worker processes (the graph adjacency is static for the whole run,
+    so one forked pool serves every round).  Shingle values — and hence
+    the summary — are bit-identical for a fixed seed at any worker count.
     """
     if config is None:
         config = SwegConfig(**overrides)
@@ -66,12 +85,16 @@ def sweg_summarize(graph: Graph, config: Optional[SwegConfig] = None, **override
     rng = ensure_rng(config.seed)
     state = FlatGroupingState(graph)
 
-    if graph.num_edges > 0:
-        for iteration in range(1, config.iterations + 1):
-            threshold = config.threshold(iteration)
-            groups = _divide(state, config, rng)
-            for group in groups:
-                _merge_within_group(state, group, threshold, rng)
+    shingler = _make_shingler(state, execution)
+    try:
+        if graph.num_edges > 0:
+            for iteration in range(1, config.iterations + 1):
+                threshold = config.threshold(iteration)
+                groups = _divide(state, config, rng, shingler)
+                for group in groups:
+                    _merge_within_group(state, group, threshold, rng)
+    finally:
+        shingler.close()
 
     summary = state.to_summary()
     if config.epsilon > 0:
@@ -82,10 +105,59 @@ def sweg_summarize(graph: Graph, config: Optional[SwegConfig] = None, **override
 # ----------------------------------------------------------------------
 # Dividing step
 # ----------------------------------------------------------------------
+class _SerialShingler:
+    """Per-round shingle sweeps computed inline (the reference path)."""
+
+    def __init__(self, state: FlatGroupingState) -> None:
+        self._dense = state.dense
+
+    def __call__(self, seed: int) -> List[int]:
+        return dense_subnode_shingles(self._dense, make_hash_function(seed))
+
+    def close(self) -> None:
+        pass
+
+
+class _ShardedShingler:
+    """Per-round shingle sweeps sharded over a persistent forked pool.
+
+    The pool is created once per SWeG run: the adjacency never changes,
+    so the workers' forked CSR snapshot stays valid across all rounds
+    and only ``(seed, start, stop)`` payloads cross the process boundary.
+    Values are bit-identical to :class:`_SerialShingler` — sharding only
+    moves where the minima are computed.
+    """
+
+    def __init__(self, state: FlatGroupingState, execution: ExecutionConfig) -> None:
+        csr = state.frozen_adjacency()
+        labels = state.index.labels()
+        self._bounds = shard_bounds(csr.num_nodes, execution.workers)
+        self._executor = ProcessShardExecutor(execution.workers, context=(csr, labels))
+
+    def __call__(self, seed: int) -> List[int]:
+        return sharded_shingles(self._executor, self._bounds, seed)
+
+    def close(self) -> None:
+        self._executor.close()
+
+
+def _make_shingler(state: FlatGroupingState, execution: Optional[ExecutionConfig]):
+    """Pick the shingle backend for this run (serial unless it can pay off)."""
+    if (
+        execution is not None
+        and execution.parallel
+        and state.dense.num_nodes >= execution.shingle_parallel_min_nodes
+    ):
+        return _ShardedShingler(state, execution)
+    return _SerialShingler(state)
+
+
 def _divide(
-    state: FlatGroupingState, config: SwegConfig, rng
+    state: FlatGroupingState, config: SwegConfig, rng, shingler=None
 ) -> List[List[int]]:
     """Split the current supernodes into shingle groups of bounded size."""
+    if shingler is None:
+        shingler = _SerialShingler(state)
     pending: List[List[int]] = [state.groups()]
     finished: List[List[int]] = []
     for _ in range(config.shingle_rounds):
@@ -94,10 +166,9 @@ def _divide(
         if not oversized:
             pending = []
             break
-        hash_function = make_hash_function(rng.randrange(2**61))
         # List-backed shingles over the dense substrate; group members are
         # node ids, so the min-aggregation below is pure list indexing.
-        node_shingles = dense_subnode_shingles(state.dense, hash_function)
+        node_shingles = shingler(rng.randrange(2**61))
         pending = []
         for group in oversized:
             buckets: Dict[int, List[int]] = {}

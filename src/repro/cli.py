@@ -66,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument(
         "--height-bound", type=int, default=None, help="optional bound H_b on hierarchy height"
     )
+    _add_workers_argument(summarize_parser)
 
     compare_parser = subparsers.add_parser("compare", help="compare SLUGGER with the baselines")
     compare_source = compare_parser.add_mutually_exclusive_group(required=True)
@@ -78,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarizer registry name to include (repeatable; default: the paper's suite; "
              "see the 'methods' subcommand)",
     )
+    _add_workers_argument(compare_parser)
 
     subparsers.add_parser("datasets", help="list the built-in dataset analogues")
 
@@ -95,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="gap code (unary, gamma, delta, rice2, rice4)")
     compress_parser.add_argument("--ordering", default="bfs",
                                  help="node ordering (natural, degree, bfs, shingle)")
+    _add_workers_argument(compress_parser)
 
     stream_parser = subparsers.add_parser(
         "stream", help="replay an edge stream through the online summarizer"
@@ -135,6 +138,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the parallel execution phases (default 1 = serial; "
+             "output is bit-identical for a fixed seed at any worker count)",
+    )
+
+
+def _execution_config(arguments: argparse.Namespace):
+    workers = getattr(arguments, "workers", 1)
+    if workers <= 1:
+        return None
+    return engine.ExecutionConfig(workers=workers)
+
+
 def _load_graph(arguments: argparse.Namespace):
     if arguments.input:
         return read_edge_list(arguments.input)
@@ -149,7 +167,7 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
         prune=not arguments.no_prune,
         height_bound=arguments.height_bound,
     )
-    result = Slugger(config).summarize(graph)
+    result = Slugger(config, execution=_execution_config(arguments)).summarize(graph)
     print(f"nodes={graph.num_nodes} edges={graph.num_edges}")
     print(
         f"cost={result.cost()} relative_size={result.relative_size(graph):.4f} "
@@ -167,7 +185,8 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     methods = engine.default_suite(
         iterations=arguments.iterations, methods=arguments.method
     )
-    results = compare_methods(graph, methods=methods, seed=arguments.seed)
+    results = compare_methods(graph, methods=methods, seed=arguments.seed,
+                              execution=_execution_config(arguments))
     rows = [
         {
             "method": result.method,
@@ -209,7 +228,7 @@ def _command_datasets(_arguments: argparse.Namespace) -> int:
 def _command_compress(arguments: argparse.Namespace) -> int:
     graph = _load_graph(arguments)
     config = SluggerConfig(iterations=arguments.iterations, seed=arguments.seed)
-    summary = Slugger(config).summarize(graph).summary
+    summary = Slugger(config, execution=_execution_config(arguments)).summarize(graph).summary
     report = compression_report(
         graph, summary, code=arguments.code, ordering=arguments.ordering, seed=arguments.seed
     )

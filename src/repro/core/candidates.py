@@ -42,6 +42,7 @@ def generate_candidate_sets(
     config: SluggerConfig,
     seed: SeedLike = None,
     dense: Optional[DenseAdjacency] = None,
+    shingle_caches: Optional[Dict[int, Union[ShingleCache, DenseShingleCache]]] = None,
 ) -> List[List[int]]:
     """Split ``roots`` into candidate sets of at most ``config.max_candidate_size``.
 
@@ -55,6 +56,13 @@ def generate_candidate_sets(
     dense node id, internal roots aggregate over the hierarchy's memoized
     leaf-id tuples, and per-node storage is list-backed.  The produced
     candidate sets are bit-identical to the label path for a fixed seed.
+
+    ``shingle_caches`` optionally seeds the per-iteration cache
+    dictionary (hash-function seed → cache).  The batch shingle phase
+    uses it to inject a pre-computed first-round cache: the cached values
+    are bit-identical to what the rounds below would compute, so the
+    produced candidate sets cannot depend on whether (or where) the
+    pre-computation ran.
     """
     rng = ensure_rng(seed)
     groups: List[List[int]] = [list(roots)]
@@ -63,7 +71,8 @@ def generate_candidate_sets(
     # round draws a fresh seed, and all groups split within that round
     # share the round's lazily-filled cache.
     use_dense = dense is not None
-    shingle_caches: Dict[int, Union[ShingleCache, DenseShingleCache]] = {}
+    if shingle_caches is None:
+        shingle_caches = {}
     # Leaf lists per root, shared by every round of this call (roots do
     # not change while candidate sets are being generated).  Leaf roots —
     # the entire first iteration, and stragglers later — resolve through

@@ -1,27 +1,69 @@
-"""The SLUGGER driver (Algorithm 1).
+"""The SLUGGER driver (Algorithm 1) as a staged phase pipeline.
 
-``Slugger.summarize`` alternates candidate generation and merging for
-``T`` iterations and finally prunes the summary.  The returned
-:class:`SluggerResult` carries the summary plus per-iteration history so
-experiments (Tables III-V, Fig. 6) can be produced without re-running the
-algorithm from scratch for every measurement.
+``Slugger.summarize`` runs ``T`` iterations, each an explicit pipeline of
+five phases over the shared :class:`IterationContext`:
+
+``shingle → group → decide-merges → apply-merges → recost``
+
+* **shingle** draws the iteration's candidate seed and (when a parallel
+  execution is configured) pre-computes the first shingle round's values
+  in contiguous id-range shards over the frozen CSR view;
+* **group** forms the candidate root sets (Sect. III-B2) and draws one
+  merge seed per set — the same RNG stream the serial reference consumes;
+* **decide-merges** optimistically computes each candidate set's merge
+  decisions in worker processes that were forked against the
+  iteration-start state (a copy-on-write snapshot: workers simulate
+  merges on their private image, the parent's state stays untouched),
+  returning compact merge *traces*;
+* **apply-merges** walks the candidate sets in canonical order and, per
+  set, either replays its trace (when a conflict check proves the
+  decisions match what the serial reference would have decided) or falls
+  back to processing the set serially; merges therefore mutate the real
+  state in exactly the serial order;
+* **recost** records the iteration history entry and optionally verifies
+  the incremental indices.
+
+Determinism guarantee
+---------------------
+The output is **bit-identical for a fixed seed regardless of worker
+count**.  The apply phase enforces this: a trace is replayed only when
+the set of roots the group read provably saw the same state the serial
+reference would have shown it (no earlier-applied merge and no
+worker-local simulation touched its footprint — see
+:meth:`~repro.core.state.SluggerState.group_footprint`); every other
+group is re-processed serially with its own seed, which *is* the serial
+reference computation.  Worker-count changes can therefore only move
+work between the replay and fallback paths, never change a decision.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.candidates import generate_candidate_sets
 from repro.core.config import SluggerConfig
-from repro.core.merging import process_candidate_set
+from repro.core.merging import apply_merge_trace, process_candidate_set
 from repro.core.pruning import prune
+from repro.core.shingles import DenseShingleCache, sharded_shingles
 from repro.core.state import SluggerState
+from repro.engine.execution import (
+    ExecutionConfig,
+    executor_for,
+    shard_bounds,
+    worker_context,
+)
 from repro.graphs.graph import Graph
 from repro.model.summary import HierarchicalSummary
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_type
+
+#: A recorded merge decision sequence for one candidate set (see
+#: :func:`~repro.core.merging.process_candidate_set` for the encoding).
+MergeTrace = List[Tuple[int, int]]
+
+PHASE_NAMES = ("shingle", "group", "decide", "apply", "recost")
 
 
 @dataclass
@@ -41,7 +83,15 @@ class SluggerResult:
     prune_stats:
         Per-substep change counters returned by the pruning step.
     runtime_seconds:
-        Wall-clock duration of the whole run.
+        Wall-clock duration of the whole run (monotonic clock).
+    phase_seconds:
+        Wall-clock seconds spent in each pipeline phase, accumulated
+        over all iterations (plus the final ``prune`` step).
+    execution_stats:
+        Counters of the parallel decide/apply machinery: how many
+        candidate groups were processed, how many decide traces were
+        replayed, and how many groups fell back to the serial path.
+        All zeros under pure serial execution.
     """
 
     summary: HierarchicalSummary
@@ -49,6 +99,8 @@ class SluggerResult:
     history: List[Dict[str, float]] = field(default_factory=list)
     prune_stats: Dict[str, int] = field(default_factory=dict)
     runtime_seconds: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    execution_stats: Dict[str, int] = field(default_factory=dict)
 
     def cost(self) -> int:
         """Encoding cost of the final summary (Eq. 1)."""
@@ -59,8 +111,349 @@ class SluggerResult:
         return self.summary.relative_size(graph)
 
 
+@dataclass
+class IterationContext:
+    """Everything one pipeline iteration reads and produces.
+
+    The driver creates one context per run and resets the per-iteration
+    slots before each pass; phases communicate exclusively through it,
+    which keeps every phase independently testable and replaceable.
+    """
+
+    graph: Graph
+    state: SluggerState
+    config: SluggerConfig
+    execution: Optional[ExecutionConfig]
+    rng: object  # random.Random: the run's single RNG stream
+    phase_seconds: Dict[str, float]
+    stats: Dict[str, int]
+    history: List[Dict[str, float]] = field(default_factory=list)
+    # Per-iteration slots, reset by the driver:
+    iteration: int = 0
+    threshold: float = 0.0
+    candidate_seed: Optional[int] = None
+    shingle_caches: Dict[int, DenseShingleCache] = field(default_factory=dict)
+    candidate_sets: List[List[int]] = field(default_factory=list)
+    merge_seeds: List[int] = field(default_factory=list)
+    decisions: Optional[Iterator[List[Optional[MergeTrace]]]] = None
+    executor: Optional[object] = None
+    merges: int = 0
+    # Run-lifetime (not reset per iteration): the shingle pool's context
+    # — the frozen CSR view and the label list — is immutable for the
+    # whole run, so one forked pool serves every iteration.
+    shingle_executor: Optional[object] = None
+
+    def begin_iteration(self, iteration: int) -> None:
+        self.iteration = iteration
+        self.threshold = self.config.threshold(iteration)
+        self.candidate_seed = None
+        self.shingle_caches = {}
+        self.candidate_sets = []
+        self.merge_seeds = []
+        self.decisions = None
+        self.merges = 0
+
+    def close_executor(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+
+    def close_run(self) -> None:
+        self.close_executor()
+        if self.shingle_executor is not None:
+            self.shingle_executor.close()
+            self.shingle_executor = None
+
+
+class _DecideContext:
+    """Worker-side context of the decide phase (inherited via fork).
+
+    ``local_dirty`` accumulates, per worker process, the footprints of
+    every group whose simulation performed at least one merge: the
+    worker's private state image has diverged from the iteration-start
+    snapshot on (at most) those roots, so later groups whose footprint
+    touches them must not trust this worker's simulation.
+    """
+
+    __slots__ = ("state", "candidate_sets", "threshold", "config", "seeds",
+                 "local_dirty")
+
+    def __init__(self, state: SluggerState, candidate_sets: List[List[int]],
+                 threshold: float, config: SluggerConfig, seeds: List[int]) -> None:
+        self.state = state
+        self.candidate_sets = candidate_sets
+        self.threshold = threshold
+        self.config = config
+        self.seeds = seeds
+        self.local_dirty: Set[int] = set()
+
+
+def _decide_shard(bounds: Tuple[int, int]) -> List[Optional[MergeTrace]]:
+    """Decide the merges of candidate sets ``bounds`` on this worker's image.
+
+    Returns one entry per group: the recorded merge trace, or ``None``
+    when the group is *tainted* — its footprint intersects state this
+    worker already mutated while simulating an earlier group, so its
+    decisions cannot be certified and the apply phase must fall back to
+    the serial path for it.
+    """
+    context: _DecideContext = worker_context()
+    state = context.state
+    candidate_sets = context.candidate_sets
+    local_dirty = context.local_dirty
+    results: List[Optional[MergeTrace]] = []
+    start, stop = bounds
+    for index in range(start, stop):
+        members = candidate_sets[index]
+        # The footprint must be taken *before* simulating: the group's
+        # writes re-key (and can delete) entries of exactly these roots.
+        footprint = state.group_footprint(members)
+        if local_dirty and not local_dirty.isdisjoint(footprint):
+            results.append(None)
+            continue
+        trace: MergeTrace = []
+        process_candidate_set(
+            state, members, context.threshold, context.config,
+            seed=context.seeds[index], trace=trace,
+        )
+        if trace:
+            local_dirty.update(footprint)
+        results.append(trace)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pipeline phases
+# ----------------------------------------------------------------------
+class ShinglePhase:
+    """Draw the candidate seed; batch-compute first-round shingles in shards.
+
+    The pre-computation runs only when it can pay for its dispatch: a
+    parallel execution is configured, the graph clears the size floor,
+    and the first shingle round is guaranteed to take the bulk path
+    (more roots than the candidate-size cap).  Injected or not, the
+    cache contents are bit-identical to what candidate generation would
+    compute on its own.
+    """
+
+    name = "shingle"
+
+    def run(self, ctx: IterationContext) -> None:
+        ctx.candidate_seed = ctx.rng.randrange(2**61)
+        execution = ctx.execution
+        state = ctx.state
+        if (
+            execution is None
+            or not execution.parallel
+            or state.dense is None
+            or state.dense.num_nodes < execution.shingle_parallel_min_nodes
+            or len(state.roots) <= ctx.config.max_candidate_size
+            or ctx.config.shingle_rounds < 1
+        ):
+            return
+        # The first in-function draw of generate_candidate_sets for this
+        # seed is the first round's hash-function seed; preview it so the
+        # pre-built cache lands under the right key.
+        first_round_seed = ensure_rng(ctx.candidate_seed).randrange(2**61)
+        bounds = shard_bounds(state.dense.num_nodes, execution.workers)
+        executor = ctx.shingle_executor
+        if executor is None:
+            # The context (frozen CSR + labels) is immutable for the whole
+            # run, so the pool is forked once and reused every iteration;
+            # the driver closes it when the run ends.
+            csr = state.csr_view()
+            labels = state.dense.index.labels()
+            executor = ctx.shingle_executor = executor_for(
+                execution, len(bounds), context=(csr, labels)
+            )
+        shingles = sharded_shingles(executor, bounds, first_round_seed)
+        ctx.shingle_caches[first_round_seed] = DenseShingleCache.from_shingles(
+            state.dense, first_round_seed, shingles
+        )
+
+
+class GroupPhase:
+    """Form candidate root sets and draw one merge seed per set.
+
+    Seeds are drawn up front in canonical set order — the exact sequence
+    the serial reference consumes interleaved with processing — so the
+    run's RNG stream is independent of how the later phases execute.
+    """
+
+    name = "group"
+
+    def run(self, ctx: IterationContext) -> None:
+        state = ctx.state
+        ctx.candidate_sets = generate_candidate_sets(
+            ctx.graph,
+            state.summary.hierarchy,
+            sorted(state.roots),
+            ctx.config,
+            seed=ctx.candidate_seed,
+            dense=state.dense,
+            shingle_caches=ctx.shingle_caches,
+        )
+        rng = ctx.rng
+        ctx.merge_seeds = [rng.randrange(2**61) for _ in ctx.candidate_sets]
+
+
+class DecidePhase:
+    """Fork workers against the iteration-start state and start deciding.
+
+    The phase only *launches* the shard computation (the result iterator
+    is lazy), so the apply phase can consume early chunks while later
+    ones are still running.  All worker processes are forked before this
+    phase returns, pinning their snapshot to the pre-apply state.  On
+    serial configurations — or zero-threshold iterations under the
+    ``serial_zero_threshold`` heuristic, where near-every group merges
+    and optimistic decisions would be discarded — the phase is a no-op
+    and the apply phase runs the serial reference loop directly.
+    """
+
+    name = "decide"
+
+    def run(self, ctx: IterationContext) -> None:
+        execution = ctx.execution
+        if execution is None or not execution.parallel:
+            return
+        if execution.serial_zero_threshold and ctx.threshold <= 0.0:
+            return
+        groups = len(ctx.candidate_sets)
+        if execution.effective_workers(groups) <= 1:
+            return
+        chunks = shard_bounds(groups, execution.workers * execution.chunks_per_worker)
+        context = _DecideContext(
+            ctx.state, ctx.candidate_sets, ctx.threshold, ctx.config, ctx.merge_seeds
+        )
+        ctx.executor = executor_for(execution, groups, context=context)
+        ctx.decisions = ctx.executor.map_shards(_decide_shard, chunks)
+
+
+class ApplyPhase:
+    """Apply merges serially in canonical group order.
+
+    Without decisions (serial mode) this is the reference loop: process
+    every candidate set with its pre-drawn seed.  With decisions, each
+    group's trace is replayed iff the conflict check certifies that the
+    worker decided it against state indistinguishable from what the
+    serial reference would have seen; otherwise the group is processed
+    serially, which is exactly the reference computation.  ``dirty``
+    tracks the footprints of all groups that merged anything — the roots
+    on which the real state has moved past the iteration-start snapshot.
+    """
+
+    name = "apply"
+
+    def run(self, ctx: IterationContext) -> None:
+        state = ctx.state
+        config = ctx.config
+        threshold = ctx.threshold
+        seeds = ctx.merge_seeds
+        candidate_sets = ctx.candidate_sets
+        if ctx.decisions is None:
+            merges = 0
+            for index, members in enumerate(candidate_sets):
+                merges += process_candidate_set(
+                    state, members, threshold, config, seed=seeds[index]
+                )
+            ctx.merges = merges
+            ctx.stats["groups"] += len(candidate_sets)
+            return
+
+        merges = 0
+        dirty: Set[int] = set()
+        index = 0
+        for chunk in ctx.decisions:
+            for trace in chunk:
+                members = candidate_sets[index]
+                footprint: Optional[Set[int]] = None
+                valid = trace is not None
+                if valid and dirty:
+                    # Live maps are safe to read here: if any member was
+                    # touched by an earlier merge it is itself in ``dirty``
+                    # (members are always part of a writer's footprint),
+                    # and members ⊆ footprint makes the single disjointness
+                    # test catch it before any re-keyed entry could be
+                    # misread.
+                    footprint = state.group_footprint(members)
+                    valid = dirty.isdisjoint(footprint)
+                if valid:
+                    ctx.stats["replayed"] += 1
+                    if trace:
+                        if footprint is None:
+                            footprint = state.group_footprint(members)
+                        merges += apply_merge_trace(state, trace, config)
+                        dirty.update(footprint)
+                else:
+                    ctx.stats["fallbacks"] += 1
+                    if footprint is None:
+                        footprint = state.group_footprint(members)
+                    fallback_trace: MergeTrace = []
+                    merges += process_candidate_set(
+                        state, members, threshold, config,
+                        seed=seeds[index], trace=fallback_trace,
+                    )
+                    if fallback_trace:
+                        dirty.update(footprint)
+                index += 1
+        ctx.merges = merges
+        ctx.stats["groups"] += len(candidate_sets)
+        ctx.stats["parallel_iterations"] += 1
+
+
+class RecostPhase:
+    """Record the iteration history entry; optionally verify invariants."""
+
+    name = "recost"
+
+    def run(self, ctx: IterationContext) -> None:
+        history_entry = {
+            "iteration": float(ctx.iteration),
+            "threshold": ctx.threshold,
+            "merges": float(ctx.merges),
+            "roots": float(len(ctx.state.roots)),
+            "cost": float(ctx.state.summary.cost()),
+        }
+        ctx.history.append(history_entry)
+        if ctx.config.check_invariants:
+            ctx.state.check_consistency()
+
+
+class IterationPipeline:
+    """The staged per-iteration pipeline SLUGGER's driver runs.
+
+    Phases execute in order against a shared :class:`IterationContext`;
+    per-phase wall time is accumulated into ``ctx.phase_seconds``.  The
+    executor opened by the decide phase is closed when the iteration
+    ends, successfully or not.
+    """
+
+    def __init__(self) -> None:
+        self.phases = (
+            ShinglePhase(), GroupPhase(), DecidePhase(), ApplyPhase(), RecostPhase()
+        )
+
+    def run_iteration(self, ctx: IterationContext, iteration: int) -> None:
+        ctx.begin_iteration(iteration)
+        try:
+            for phase in self.phases:
+                started = time.perf_counter()
+                phase.run(ctx)
+                ctx.phase_seconds[phase.name] = (
+                    ctx.phase_seconds.get(phase.name, 0.0)
+                    + time.perf_counter() - started
+                )
+        finally:
+            ctx.close_executor()
+
+
 class Slugger:
     """Scalable lossless summarization of graphs with hierarchy.
+
+    ``execution`` selects how the pipeline's parallelizable phases run
+    (see :class:`~repro.engine.execution.ExecutionConfig`); the default
+    keeps everything on the serial reference path.  For a fixed seed the
+    summary is bit-identical under every execution configuration.
 
     Examples
     --------
@@ -72,12 +465,19 @@ class Slugger:
     True
     """
 
-    def __init__(self, config: Optional[SluggerConfig] = None, **overrides) -> None:
+    def __init__(
+        self,
+        config: Optional[SluggerConfig] = None,
+        execution: Optional[ExecutionConfig] = None,
+        **overrides,
+    ) -> None:
         if config is None:
             config = SluggerConfig(**overrides)
         elif overrides:
             raise TypeError("pass either a config object or keyword overrides, not both")
         self.config = config
+        self.execution = execution
+        self.pipeline = IterationPipeline()
 
     def summarize(self, graph: Graph) -> SluggerResult:
         """Summarize ``graph`` under the hierarchical model (Problem 1)."""
@@ -88,36 +488,33 @@ class Slugger:
 
         state = SluggerState(graph, build_dense=config.use_dense_substrate)
         history: List[Dict[str, float]] = []
+        phase_seconds: Dict[str, float] = {}
+        stats: Dict[str, int] = {
+            "groups": 0, "replayed": 0, "fallbacks": 0, "parallel_iterations": 0,
+        }
 
         if graph.num_edges > 0:
-            for iteration in range(1, config.iterations + 1):
-                threshold = config.threshold(iteration)
-                candidate_sets = generate_candidate_sets(
-                    graph,
-                    state.summary.hierarchy,
-                    sorted(state.roots),
-                    config,
-                    seed=rng.randrange(2**61),
-                    dense=state.dense,
-                )
-                merges = 0
-                for candidate_set in candidate_sets:
-                    merges += process_candidate_set(
-                        state, candidate_set, threshold, config, seed=rng.randrange(2**61)
-                    )
-                history.append({
-                    "iteration": float(iteration),
-                    "threshold": threshold,
-                    "merges": float(merges),
-                    "roots": float(len(state.roots)),
-                    "cost": float(state.summary.cost()),
-                })
-                if config.check_invariants:
-                    state.check_consistency()
+            ctx = IterationContext(
+                graph=graph,
+                state=state,
+                config=config,
+                execution=self.execution,
+                rng=rng,
+                phase_seconds=phase_seconds,
+                stats=stats,
+                history=history,
+            )
+            try:
+                for iteration in range(1, config.iterations + 1):
+                    self.pipeline.run_iteration(ctx, iteration)
+            finally:
+                ctx.close_run()
 
         prune_stats: Dict[str, int] = {}
         if config.prune:
+            prune_started = time.perf_counter()
             prune_stats = prune(graph, state.summary, rounds=config.prune_rounds)
+            phase_seconds["prune"] = time.perf_counter() - prune_started
 
         if config.validate_output:
             state.summary.validate(graph)
@@ -128,9 +525,16 @@ class Slugger:
             history=history,
             prune_stats=prune_stats,
             runtime_seconds=time.perf_counter() - started,
+            phase_seconds=phase_seconds,
+            execution_stats=stats,
         )
 
 
-def summarize(graph: Graph, config: Optional[SluggerConfig] = None, **overrides) -> SluggerResult:
-    """Convenience wrapper: ``Slugger(config, **overrides).summarize(graph)``."""
-    return Slugger(config, **overrides).summarize(graph)
+def summarize(
+    graph: Graph,
+    config: Optional[SluggerConfig] = None,
+    execution: Optional[ExecutionConfig] = None,
+    **overrides,
+) -> SluggerResult:
+    """Convenience wrapper: ``Slugger(config, execution, **overrides).summarize(graph)``."""
+    return Slugger(config, execution=execution, **overrides).summarize(graph)

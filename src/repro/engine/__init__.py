@@ -1,20 +1,35 @@
-"""Unified summarizer engine: protocol, registry, and adapters.
+"""Unified summarizer engine: protocol, registry, adapters, execution.
 
 ``repro.engine`` gives every summarization method one API::
 
     from repro import engine
+    from repro.engine import ExecutionConfig
 
     engine.available_methods()                       # registry contents
     result = engine.run("sweg", graph, seed=0, iterations=10)
     result.summary.validate(graph)                   # lossless
     result.cost(), result.runtime_seconds            # shared bookkeeping
 
+    # Shard the parallelizable phases over 4 worker processes; the
+    # summary is bit-identical to the serial run for a fixed seed.
+    engine.run("slugger", graph, seed=0, execution=ExecutionConfig(workers=4))
+
 New methods plug in by subclassing :class:`Summarizer` and decorating
 with :func:`register`; the CLI, the comparison harness, and the
-experiment figures pick them up automatically.
+experiment figures pick them up automatically.  The built-in adapters
+are registered lazily on first registry use, which keeps the import
+graph acyclic (core drivers import the execution layer from this
+package; the adapters import the core drivers).
 """
 
 from repro.engine.base import AnySummary, EngineResult, Summarizer
+from repro.engine.execution import (
+    SERIAL_EXECUTION,
+    ExecutionConfig,
+    ProcessShardExecutor,
+    SerialExecutor,
+    process_execution_available,
+)
 from repro.engine.registry import (
     DEFAULT_SUITE,
     available_methods,
@@ -24,17 +39,19 @@ from repro.engine.registry import (
     run,
 )
 
-# Importing the adapters module registers the built-in methods.
-from repro.engine import adapters as _adapters  # noqa: F401
-
 __all__ = [
     "AnySummary",
     "EngineResult",
     "Summarizer",
     "DEFAULT_SUITE",
+    "SERIAL_EXECUTION",
+    "ExecutionConfig",
+    "ProcessShardExecutor",
+    "SerialExecutor",
     "available_methods",
     "create",
     "default_suite",
+    "process_execution_available",
     "register",
     "run",
 ]

@@ -11,7 +11,7 @@ seed, which the engine equivalence suite asserts.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.baselines.greedy import greedy_summarize
 from repro.baselines.mosso import mosso_summarize
@@ -21,6 +21,7 @@ from repro.baselines.sweg import sweg_summarize
 from repro.core.config import SluggerConfig
 from repro.core.slugger import Slugger
 from repro.engine.base import AnySummary, Summarizer
+from repro.engine.execution import ExecutionConfig
 from repro.engine.registry import register
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
@@ -34,16 +35,24 @@ class SluggerSummarizer(Summarizer):
 
     name = "slugger"
     iteration_controlled = True
+    supports_parallel = True
 
     def __init__(self, **options: Any) -> None:
         self.options = options
 
     def _run(self, graph: Graph, seed: SeedLike) -> RunOutput:
+        return self._run_with_execution(graph, seed, None)
+
+    def _run_with_execution(
+        self, graph: Graph, seed: SeedLike, execution: Optional[ExecutionConfig]
+    ) -> RunOutput:
         config = SluggerConfig(**{**self.options, "seed": seed})
-        result = Slugger(config).summarize(graph)
+        result = Slugger(config, execution=execution).summarize(graph)
         return result.summary, result.history, {
             "prune_stats": result.prune_stats,
             "config": config,
+            "phase_seconds": result.phase_seconds,
+            "execution_stats": result.execution_stats,
         }
 
 
@@ -53,12 +62,20 @@ class SwegSummarizer(Summarizer):
 
     name = "sweg"
     iteration_controlled = True
+    supports_parallel = True
 
     def __init__(self, **options: Any) -> None:
         self.options = options
 
     def _run(self, graph: Graph, seed: SeedLike) -> RunOutput:
-        summary = sweg_summarize(graph, **{**self.options, "seed": seed})
+        return self._run_with_execution(graph, seed, None)
+
+    def _run_with_execution(
+        self, graph: Graph, seed: SeedLike, execution: Optional[ExecutionConfig]
+    ) -> RunOutput:
+        summary = sweg_summarize(
+            graph, execution=execution, **{**self.options, "seed": seed}
+        )
         return summary, [], {}
 
 

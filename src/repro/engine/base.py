@@ -15,8 +15,9 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, List, Tuple, Union
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
 
+from repro.engine.execution import ExecutionConfig
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
@@ -79,13 +80,36 @@ class Summarizer(ABC):
     name: ClassVar[str] = ""
     #: Whether the method exposes an ``iterations`` knob (SLUGGER, SWeG).
     iteration_controlled: ClassVar[bool] = False
+    #: Whether the method honors an :class:`ExecutionConfig` (its phases
+    #: can shard across worker processes).  Methods without the
+    #: capability silently run serially; output never depends on it.
+    supports_parallel: ClassVar[bool] = False
 
-    def summarize(self, graph: Graph, seed: SeedLike = None) -> EngineResult:
-        """Run the method on ``graph`` with shared timing bookkeeping."""
+    def summarize(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        execution: Optional[ExecutionConfig] = None,
+    ) -> EngineResult:
+        """Run the method on ``graph`` with shared timing bookkeeping.
+
+        ``execution`` is forwarded to parallel-capable methods (see
+        :attr:`supports_parallel`); for a fixed seed the summary is
+        bit-identical regardless of the execution configuration.
+        """
         require_type(graph, Graph, "graph")
         started = time.perf_counter()
-        summary, history, details = self._run(graph, seed)
+        if self.supports_parallel:
+            summary, history, details = self._run_with_execution(graph, seed, execution)
+        else:
+            summary, history, details = self._run(graph, seed)
         elapsed = time.perf_counter() - started
+        if execution is not None:
+            details = dict(details)
+            details["execution"] = {
+                "workers": execution.workers,
+                "parallel_capable": self.supports_parallel,
+            }
         return EngineResult(
             method=self.name,
             summary=summary,
@@ -99,6 +123,16 @@ class Summarizer(ABC):
         self, graph: Graph, seed: SeedLike
     ) -> Tuple[AnySummary, List[Dict[str, float]], Dict[str, Any]]:
         """Produce ``(summary, history, details)`` for one graph."""
+
+    def _run_with_execution(
+        self, graph: Graph, seed: SeedLike, execution: Optional[ExecutionConfig]
+    ) -> Tuple[AnySummary, List[Dict[str, float]], Dict[str, Any]]:
+        """Execution-aware hook; parallel-capable adapters override this.
+
+        The default ignores ``execution`` so simple methods only have to
+        implement :meth:`_run`.
+        """
+        return self._run(graph, seed)
 
     def __call__(self, graph: Graph, seed: SeedLike = None) -> AnySummary:
         """Legacy ``MethodFunction`` protocol: return just the summary."""

@@ -1,0 +1,262 @@
+"""Pluggable execution layer: serial and process-sharded phase executors.
+
+Every parallelizable phase of the summarization stack (shingle sweeps,
+SLUGGER's decide-merges phase, SWeG's divide step) funnels through the
+same tiny abstraction defined here: an *executor* maps a worker function
+over a list of contiguous shard payloads and yields the results **in
+payload order**.  Two implementations exist:
+
+* :class:`SerialExecutor` runs the shards inline, one after the other —
+  the default, and the reference semantics every parallel run must
+  reproduce bit-for-bit;
+* :class:`ProcessShardExecutor` fans the shards out over a
+  ``concurrent.futures.ProcessPoolExecutor`` whose workers are created
+  with the ``fork`` start method, so they inherit the caller's in-memory
+  snapshot (graph, summarization state, frozen CSR views) as a cheap
+  copy-on-write image instead of pickling it through a pipe.
+
+Context hand-off
+----------------
+Shard payloads stay tiny (index ranges plus a seed); the heavyweight
+inputs travel through a module-level *worker context* that is installed
+immediately before the shards are mapped.  Forked workers read the
+context they inherited at fork time via :func:`worker_context`; the
+serial executor installs the same context in-process, so worker
+functions are oblivious to where they run.  Because a forked worker owns
+a private copy-on-write image, it may freely *mutate* the context (e.g.
+simulate merges on the summarization state) without the parent — or any
+sibling worker — observing the writes; the parent's objects act as the
+immutable snapshot the ISSUE-level determinism argument relies on.
+
+Determinism
+-----------
+Nothing in this module introduces ordering nondeterminism: results are
+yielded in payload order regardless of which worker computed them, and
+the phases built on top are designed so the final output is bit-identical
+for a fixed seed no matter how many workers are configured (see
+``core/slugger.py`` and the execution test suite).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Handed to worker functions: set right before shards are mapped so a
+#: forked pool inherits it, and read back through :func:`worker_context`.
+_WORKER_CONTEXT: Any = None
+
+
+def _install_context(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def worker_context() -> Any:
+    """The context object installed for the currently running shard."""
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError("no worker context is installed; shards must be "
+                           "run through an executor's map_shards")
+    return _WORKER_CONTEXT
+
+
+def process_execution_available() -> bool:
+    """Whether fork-based process sharding is usable on this platform.
+
+    The sharded executor relies on ``fork`` so workers inherit the
+    parent's state snapshot without pickling; platforms without it (e.g.
+    Windows) transparently fall back to serial execution.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def available_cpus() -> int:
+    """Number of CPUs the current process may actually run on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a summarizer run distributes its parallelizable phases.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes for the sharded phases.  ``1`` (the
+        default) keeps everything on the serial reference path.  Output
+        is bit-identical for a fixed seed regardless of this value.
+    chunks_per_worker:
+        Shard granularity of the decide-merges phase: candidate groups
+        are split into ``workers * chunks_per_worker`` contiguous chunks
+        so the apply phase can start consuming decisions while later
+        chunks are still being computed.
+    serial_zero_threshold:
+        Zero-threshold iterations (the final SLUGGER pass) merge almost
+        every candidate, so optimistic decide work would be thrown away
+        wholesale; with this flag (default) those iterations run on the
+        serial path directly.  Purely a performance heuristic — flipping
+        it cannot change the output.
+    min_parallel_items:
+        Smallest number of shardable items (candidate groups) worth
+        spinning up a process pool for; below it the phase runs serially.
+    shingle_parallel_min_nodes:
+        Smallest graph (node count) for which the batch shingle phase is
+        sharded across processes; below it the pool dispatch overhead
+        exceeds the hashing work.
+    """
+
+    workers: int = 1
+    chunks_per_worker: int = 4
+    serial_zero_threshold: bool = True
+    min_parallel_items: int = 2
+    shingle_parallel_min_nodes: int = 25000
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.chunks_per_worker < 1:
+            raise ConfigurationError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+        if self.min_parallel_items < 0:
+            raise ConfigurationError(
+                f"min_parallel_items must be >= 0, got {self.min_parallel_items}"
+            )
+        if self.shingle_parallel_min_nodes < 0:
+            raise ConfigurationError(
+                f"shingle_parallel_min_nodes must be >= 0, "
+                f"got {self.shingle_parallel_min_nodes}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this configuration can use process sharding at all."""
+        return self.workers > 1 and process_execution_available()
+
+    def effective_workers(self, items: int) -> int:
+        """Worker count actually used for ``items`` shardable work items."""
+        if not self.parallel or items < max(self.min_parallel_items, 2):
+            return 1
+        return min(self.workers, items)
+
+
+#: The default configuration: everything on the serial reference path.
+SERIAL_EXECUTION = ExecutionConfig()
+
+
+def shard_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous ranges.
+
+    Every range is non-empty and the concatenation covers ``0..total-1``
+    in order, so mapping a pure function over the shards and chaining the
+    results reproduces the unsharded computation exactly.
+    """
+    shards = max(1, min(shards, total))
+    bounds = []
+    for i in range(shards):
+        start = i * total // shards
+        stop = (i + 1) * total // shards
+        if stop > start:
+            bounds.append((start, stop))
+    return bounds
+
+
+class SerialExecutor:
+    """Run shards inline, in order — the reference executor."""
+
+    workers = 1
+
+    def __init__(self, context: Any = None) -> None:
+        self._context = context
+
+    def map_shards(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> Iterator[Any]:
+        """Yield ``fn(payload)`` for every payload, lazily and in order."""
+        def results() -> Iterator[Any]:
+            for payload in payloads:
+                _install_context(self._context)
+                yield fn(payload)
+        return results()
+
+    def close(self) -> None:
+        if _WORKER_CONTEXT is self._context:
+            _install_context(None)
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ProcessShardExecutor:
+    """Fan shards out over a fork-based ``ProcessPoolExecutor``.
+
+    The worker context is installed before any shard is submitted, so
+    the pool's processes — forked on first submission — inherit it as a
+    copy-on-write snapshot.  ``map_shards`` submits every payload up
+    front (forcing all workers to fork against the *current* snapshot,
+    before the caller starts mutating it) and returns a lazy, in-order
+    result iterator, which lets a consumer overlap downstream work with
+    still-running shards.
+    """
+
+    def __init__(self, workers: int, context: Any = None) -> None:
+        if not process_execution_available():
+            raise ConfigurationError(
+                "process execution requires the 'fork' start method; "
+                "use SerialExecutor on this platform"
+            )
+        self.workers = max(1, workers)
+        self._context = context
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def map_shards(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> Iterator[Any]:
+        """Submit all payloads and yield results in payload order."""
+        payloads = list(payloads)
+        _install_context(self._context)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, max(1, len(payloads))),
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        # ``map`` submits every payload immediately; with the fork start
+        # method all worker processes are created during this call, which
+        # pins their inherited snapshot to the state as of *now*.
+        return self._pool.map(fn, payloads)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if _WORKER_CONTEXT is self._context:
+            _install_context(None)
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def executor_for(config: Optional[ExecutionConfig], items: int, context: Any = None):
+    """The executor matching ``config`` for ``items`` shardable work items.
+
+    Falls back to :class:`SerialExecutor` when the configuration is
+    serial, the platform cannot fork, or the work is too small to be
+    worth a pool.  The choice can never affect results — only where the
+    work runs.
+    """
+    if config is None:
+        return SerialExecutor(context)
+    workers = config.effective_workers(items)
+    if workers <= 1:
+        return SerialExecutor(context)
+    return ProcessShardExecutor(workers, context)

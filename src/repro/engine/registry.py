@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.engine.base import EngineResult, Summarizer
+from repro.engine.execution import ExecutionConfig
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
@@ -29,9 +30,27 @@ _REGISTRY: Dict[str, Type[Summarizer]] = {}
 #: because it is quadratic-ish and only used as an optimality reference.
 DEFAULT_SUITE = ("slugger", "sweg", "mosso", "randomized", "sags")
 
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in adapters on first registry use.
+
+    Lazy loading keeps the import graph acyclic: the core drivers import
+    the execution layer from this package, and the adapters import the
+    core drivers — registering them at ``repro.engine`` import time would
+    close that loop.  The flag is set *before* the import because the
+    adapters call :func:`register` while their module body runs.
+    """
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from repro.engine import adapters  # noqa: F401 - registration side effect
+
 
 def register(cls: Type[Summarizer]) -> Type[Summarizer]:
     """Class decorator adding a :class:`Summarizer` subclass to the registry."""
+    _ensure_builtins()
     if not cls.name:
         raise ConfigurationError(f"{cls.__name__} must define a non-empty name")
     if cls.name in _REGISTRY:
@@ -42,6 +61,7 @@ def register(cls: Type[Summarizer]) -> Type[Summarizer]:
 
 def available_methods() -> List[str]:
     """Names of all registered summarizers, in registration order."""
+    _ensure_builtins()
     return list(_REGISTRY)
 
 
@@ -51,6 +71,7 @@ def create(method: str, **options: Any) -> Summarizer:
     ``options`` are method-specific constructor arguments (e.g.
     ``iterations`` for SLUGGER/SWeG, ``epsilon`` for lossy SWeG).
     """
+    _ensure_builtins()
     try:
         cls = _REGISTRY[method]
     except KeyError:
@@ -60,9 +81,20 @@ def create(method: str, **options: Any) -> Summarizer:
     return cls(**options)
 
 
-def run(method: str, graph: Graph, seed: SeedLike = None, **options: Any) -> EngineResult:
-    """One-shot dispatch: ``create(method, **options).summarize(graph, seed)``."""
-    return create(method, **options).summarize(graph, seed=seed)
+def run(
+    method: str,
+    graph: Graph,
+    seed: SeedLike = None,
+    execution: Optional["ExecutionConfig"] = None,
+    **options: Any,
+) -> EngineResult:
+    """One-shot dispatch: ``create(method, **options).summarize(graph, seed)``.
+
+    ``execution`` configures the parallel executor layer for methods that
+    support it (``supports_parallel``); other methods run serially and
+    ignore it.  Results are bit-identical either way for a fixed seed.
+    """
+    return create(method, **options).summarize(graph, seed=seed, execution=execution)
 
 
 def default_suite(
@@ -74,6 +106,7 @@ def default_suite(
     (SLUGGER and SWeG); the rest take no iteration knob.  ``methods``
     defaults to :data:`DEFAULT_SUITE`.
     """
+    _ensure_builtins()
     names = DEFAULT_SUITE if methods is None else tuple(methods)
     suite: Dict[str, Summarizer] = {}
     for name in names:
