@@ -21,14 +21,15 @@ Package map
 ``repro.core``          the SLUGGER algorithm
 ``repro.baselines``     Randomized, Greedy, SWeG, SAGS, MoSSo
 ``repro.engine``        the summarizer protocol + registry (one API for all)
+``repro.service``       long-lived serving: sessions, jobs, warm pools
 ``repro.algorithms``    BFS/DFS/PageRank/Dijkstra/triangles on summaries
 ``repro.analysis``      compression metrics and method comparison
 ``repro.experiments``   harness regenerating the paper's tables and figures
 """
 
-from repro import engine
+from repro import engine, service
 from repro.core import Slugger, SluggerConfig, SluggerResult, summarize
-from repro.engine import ExecutionConfig
+from repro.engine import ExecutionConfig, RunControl
 from repro.graphs import (
     CSRAdjacency,
     DenseAdjacency,
@@ -39,16 +40,25 @@ from repro.graphs import (
     write_edge_list,
 )
 from repro.model import FlatSummary, HierarchicalSummary
+from repro.service import (
+    JobState,
+    SummaryJob,
+    SummaryRequest,
+    SummaryService,
+    default_service,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Slugger",
     "SluggerConfig",
     "SluggerResult",
     "ExecutionConfig",
+    "RunControl",
     "summarize",
     "engine",
+    "service",
     "Graph",
     "NodeIndex",
     "DenseAdjacency",
@@ -58,5 +68,10 @@ __all__ = [
     "write_edge_list",
     "FlatSummary",
     "HierarchicalSummary",
+    "JobState",
+    "SummaryJob",
+    "SummaryRequest",
+    "SummaryService",
+    "default_service",
     "__version__",
 ]

@@ -13,16 +13,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import engine
 from repro.analysis.metrics import compression_report
 from repro.engine.base import AnySummary, EngineResult, Summarizer
 from repro.engine.execution import ExecutionConfig
+from repro.engine.hooks import RunControl
 from repro.graphs.graph import Graph
+
+__all__ = ["MethodResult", "compare_methods", "default_methods"]
 
 MethodFunction = Callable[[Graph, int], AnySummary]
 MethodSpec = Union[str, Summarizer, MethodFunction]
+
+#: Callback signature of ``compare_methods(..., on_progress=...)``:
+#: ``(method_name, event_dict)`` per pipeline progress event.
+ProgressCallback = Callable[[str, Dict[str, Any]], None]
 
 
 @dataclass
@@ -70,11 +77,30 @@ def _run_spec(
     graph: Graph,
     seed: int,
     execution: Optional[ExecutionConfig] = None,
+    service=None,
+    on_progress: Optional[ProgressCallback] = None,
 ) -> EngineResult:
-    if isinstance(spec, str):
-        spec = engine.create(spec)
-    if isinstance(spec, Summarizer):
-        return spec.summarize(graph, seed=seed, execution=execution)
+    if isinstance(spec, (str, Summarizer)):
+        # Registry names and configured summarizers run through the
+        # service layer: one interned substrate per graph across the
+        # whole comparison, identical output to a direct call.
+        from repro.service import SummaryRequest, default_service
+
+        request = SummaryRequest(
+            method=spec if isinstance(spec, str) else "",
+            summarizer=spec if isinstance(spec, Summarizer) else None,
+            graph=graph,
+            seed=seed,
+            execution=execution,
+        )
+        control = None
+        if on_progress is not None:
+            control = RunControl(
+                on_progress=lambda event, _name=name: on_progress(_name, event)
+            )
+        return (service if service is not None else default_service()).run(
+            request, control=control
+        )
     # Legacy plain callable: wrap its output into an EngineResult so the
     # rest of the harness sees one shape.
     started = time.perf_counter()
@@ -92,6 +118,8 @@ def compare_methods(
     seed: int = 0,
     validate: bool = True,
     execution: Optional[ExecutionConfig] = None,
+    service=None,
+    on_progress: Optional[ProgressCallback] = None,
 ) -> List[MethodResult]:
     """Run every method on ``graph`` and return per-method results.
 
@@ -101,11 +129,18 @@ def compare_methods(
     (SLUGGER, SWeG); it cannot change any result, only the wall time.
     Results are ordered by ascending relative size (best compression
     first), which makes the winner immediately visible in reports.
+
+    The harness is a thin shim over the service layer: runs go through
+    ``service`` (default: the process-wide default service), so every
+    method shares one interned substrate build for ``graph``.
+    ``on_progress`` optionally receives ``(method_name, event)`` for
+    each per-iteration pipeline event.  Results are bit-identical to
+    direct ``Summarizer.summarize`` calls for the same seeds.
     """
     resolved = _resolve(methods)
     results: List[MethodResult] = []
     for name, spec in resolved.items():
-        outcome = _run_spec(name, spec, graph, seed, execution)
+        outcome = _run_spec(name, spec, graph, seed, execution, service, on_progress)
         if validate:
             outcome.summary.validate(graph)
         results.append(

@@ -32,6 +32,8 @@ from repro.graphs.dense import CSRAdjacency, DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 
+__all__ = ["FlatGroupingState", "pair_encoding_cost"]
+
 
 def pair_encoding_cost(subedges: int, possible: int) -> int:
     """Optimal flat-model cost of one group pair: min(list edges, superedge + corrections)."""
@@ -50,6 +52,11 @@ class FlatGroupingState:
 
     def __init__(self, graph: Graph, dense: Optional[DenseAdjacency] = None) -> None:
         self.graph = graph
+        if dense is not None and dense.num_edges != graph.num_edges:
+            raise SummaryInvariantError(
+                "prebuilt dense substrate is stale: "
+                f"{dense.num_edges} edges vs the graph's {graph.num_edges}"
+            )
         self.dense = dense if dense is not None else DenseAdjacency.from_graph(graph)
         self.index = self.dense.index
         num_nodes = self.dense.num_nodes

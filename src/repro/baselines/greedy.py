@@ -10,14 +10,21 @@ heuristics.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.baselines.common import FlatGroupingState
+from repro.engine.hooks import GraphResources
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 
+__all__ = ["greedy_summarize"]
 
-def greedy_summarize(graph: Graph, max_merges: int = 10**9) -> FlatSummary:
+
+def greedy_summarize(
+    graph: Graph,
+    max_merges: int = 10**9,
+    resources: Optional[GraphResources] = None,
+) -> FlatSummary:
     """Summarize ``graph`` by repeatedly merging the best pair of supernodes.
 
     A lazy max-heap of candidate pairs is kept; entries are re-validated
@@ -25,7 +32,9 @@ def greedy_summarize(graph: Graph, max_merges: int = 10**9) -> FlatSummary:
     within distance two of each other are considered, since farther pairs
     can never have positive saving.
     """
-    state = FlatGroupingState(graph)
+    state = FlatGroupingState(
+        graph, dense=resources.dense() if resources is not None else None
+    )
     heap: List[Tuple[float, int, int]] = []
     alive: Set[int] = set(state.groups())
 

@@ -12,15 +12,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.baselines.common import FlatGroupingState
+from repro.engine.hooks import GraphResources
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["randomized_summarize"]
 
 
 def randomized_summarize(
     graph: Graph,
     seed: SeedLike = None,
     max_rounds: Optional[int] = None,
+    resources: Optional[GraphResources] = None,
 ) -> FlatSummary:
     """Summarize ``graph`` with the RANDOMIZED heuristic.
 
@@ -34,9 +38,14 @@ def randomized_summarize(
         Optional cap on the number of pick-and-merge rounds (useful in
         tests); ``None`` runs until every supernode is finished, as in the
         original algorithm.
+    resources:
+        Optional prebuilt substrate views (service graph-store interning);
+        cannot change the summary.
     """
     rng = ensure_rng(seed)
-    state = FlatGroupingState(graph)
+    state = FlatGroupingState(
+        graph, dense=resources.dense() if resources is not None else None
+    )
     unfinished = set(state.groups())
     rounds = 0
     while unfinished:

@@ -17,10 +17,13 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.baselines.common import FlatGroupingState
 from repro.core.shingles import make_hash_function
+from repro.engine.hooks import GraphResources
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.utils.rng import ensure_rng
+
+__all__ = ["SagsConfig", "sags_summarize"]
 
 Subnode = Hashable
 
@@ -43,14 +46,21 @@ class SagsConfig:
             raise ConfigurationError("acceptance_probability must be in (0, 1]")
 
 
-def sags_summarize(graph: Graph, config: Optional[SagsConfig] = None, **overrides) -> FlatSummary:
+def sags_summarize(
+    graph: Graph,
+    config: Optional[SagsConfig] = None,
+    resources: Optional["GraphResources"] = None,
+    **overrides,
+) -> FlatSummary:
     """Summarize ``graph`` with the SAGS LSH heuristic; returns a flat summary."""
     if config is None:
         config = SagsConfig(**overrides)
     elif overrides:
         raise TypeError("pass either a config object or keyword overrides, not both")
     rng = ensure_rng(config.seed)
-    state = FlatGroupingState(graph)
+    state = FlatGroupingState(
+        graph, dense=resources.dense() if resources is not None else None
+    )
     if graph.num_edges == 0:
         return state.to_summary()
 

@@ -28,10 +28,13 @@ from repro.engine.execution import (
     ProcessShardExecutor,
     shard_bounds,
 )
+from repro.engine.hooks import GraphResources, RunControl
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["SwegConfig", "drop_corrections", "sweg_summarize"]
 
 Subnode = Hashable
 
@@ -65,6 +68,8 @@ def sweg_summarize(
     graph: Graph,
     config: Optional[SwegConfig] = None,
     execution: Optional[ExecutionConfig] = None,
+    control: Optional[RunControl] = None,
+    resources: Optional[GraphResources] = None,
     **overrides,
 ) -> FlatSummary:
     """Summarize ``graph`` with SWeG; returns a flat summary.
@@ -74,25 +79,42 @@ def sweg_summarize(
     budget, reproducing SWeG's lossy variant.
 
     ``execution`` shards the divide step's per-round shingle sweeps over
-    worker processes (the graph adjacency is static for the whole run,
-    so one forked pool serves every round).  Shingle values — and hence
-    the summary — are bit-identical for a fixed seed at any worker count.
+    worker processes; the pool is either the caller's warm one
+    (``resources.shingle_executor``, shared across runs by the serving
+    layer) or a per-run fork.  Shingle values — and hence the summary —
+    are bit-identical for a fixed seed at any worker count.  ``control``
+    receives one progress event per iteration and its cancel token is
+    checked between iterations.
     """
     if config is None:
         config = SwegConfig(**overrides)
     elif overrides:
         raise TypeError("pass either a config object or keyword overrides, not both")
     rng = ensure_rng(config.seed)
-    state = FlatGroupingState(graph)
+    state = FlatGroupingState(
+        graph, dense=resources.dense() if resources is not None else None
+    )
 
-    shingler = _make_shingler(state, execution)
+    shingler = _make_shingler(state, execution, resources)
     try:
         if graph.num_edges > 0:
             for iteration in range(1, config.iterations + 1):
+                if control is not None:
+                    control.checkpoint()
                 threshold = config.threshold(iteration)
                 groups = _divide(state, config, rng, shingler)
+                merges = 0
                 for group in groups:
-                    _merge_within_group(state, group, threshold, rng)
+                    merges += _merge_within_group(state, group, threshold, rng)
+                if control is not None:
+                    control.emit(
+                        "iteration",
+                        iteration=iteration,
+                        iterations=config.iterations,
+                        threshold=threshold,
+                        merges=merges,
+                        groups=len(state.members),
+                    )
     finally:
         shingler.close()
 
@@ -121,34 +143,51 @@ class _SerialShingler:
 class _ShardedShingler:
     """Per-round shingle sweeps sharded over a persistent forked pool.
 
-    The pool is created once per SWeG run: the adjacency never changes,
-    so the workers' forked CSR snapshot stays valid across all rounds
-    and only ``(seed, start, stop)`` payloads cross the process boundary.
-    Values are bit-identical to :class:`_SerialShingler` — sharding only
-    moves where the minima are computed.
+    The pool lives at least as long as the SWeG run: the adjacency never
+    changes, so the workers' forked CSR snapshot stays valid across all
+    rounds and only ``(seed, start, stop)`` payloads cross the process
+    boundary.  With a *borrowed* pool (the serving layer's per-graph warm
+    pool) even the fork is amortized across runs — ``close()`` then
+    leaves the pool to its owner.  Values are bit-identical to
+    :class:`_SerialShingler` — sharding only moves where the minima are
+    computed.
     """
 
-    def __init__(self, state: FlatGroupingState, execution: ExecutionConfig) -> None:
-        csr = state.frozen_adjacency()
-        labels = state.index.labels()
-        self._bounds = shard_bounds(csr.num_nodes, execution.workers)
-        self._executor = ProcessShardExecutor(execution.workers, context=(csr, labels))
+    def __init__(
+        self,
+        state: FlatGroupingState,
+        execution: ExecutionConfig,
+        executor: Optional[ProcessShardExecutor] = None,
+    ) -> None:
+        self._bounds = shard_bounds(state.dense.num_nodes, execution.workers)
+        self._owned = executor is None
+        if executor is None:
+            csr = state.frozen_adjacency()
+            labels = state.index.labels()
+            executor = ProcessShardExecutor(execution.workers, context=(csr, labels))
+        self._executor = executor
 
     def __call__(self, seed: int) -> List[int]:
         return sharded_shingles(self._executor, self._bounds, seed)
 
     def close(self) -> None:
-        self._executor.close()
+        if self._owned:
+            self._executor.close()
 
 
-def _make_shingler(state: FlatGroupingState, execution: Optional[ExecutionConfig]):
+def _make_shingler(
+    state: FlatGroupingState,
+    execution: Optional[ExecutionConfig],
+    resources: Optional[GraphResources] = None,
+):
     """Pick the shingle backend for this run (serial unless it can pay off)."""
     if (
         execution is not None
         and execution.parallel
         and state.dense.num_nodes >= execution.shingle_parallel_min_nodes
     ):
-        return _ShardedShingler(state, execution)
+        warm = resources.shingle_executor(execution) if resources is not None else None
+        return _ShardedShingler(state, execution, executor=warm)
     return _SerialShingler(state)
 
 

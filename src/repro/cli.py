@@ -21,16 +21,26 @@ sweep the lossy error bound, or export the hierarchy::
     repro-slugger stream --dataset FA --mode dynamic --deletion-ratio 0.2
     repro-slugger lossy --dataset PR --epsilon 0.1 --epsilon 0.3
     repro-slugger export --dataset PR --format ascii
+
+Serve a batch of requests from a JSON file through one warm service
+(shared substrate builds, configurable in-flight concurrency), and watch
+per-iteration progress::
+
+    repro-slugger serve --batch requests.json --inflight 4 --progress
+    repro-slugger summarize --dataset PR --progress
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro import engine
 from repro.analysis.comparison import compare_methods, default_methods
+from repro.engine.hooks import RunControl
+from repro.service import SummaryRequest, SummaryService
 from repro.compression.pipeline import compression_report
 from repro.core import Slugger, SluggerConfig
 from repro.experiments.reporting import format_table
@@ -45,6 +55,8 @@ from repro.streaming.stream import (
     insertion_stream,
     sliding_window_stream,
 )
+
+__all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--height-bound", type=int, default=None, help="optional bound H_b on hierarchy height"
     )
     _add_workers_argument(summarize_parser)
+    _add_progress_argument(summarize_parser)
 
     compare_parser = subparsers.add_parser("compare", help="compare SLUGGER with the baselines")
     compare_source = compare_parser.add_mutually_exclusive_group(required=True)
@@ -80,6 +93,24 @@ def build_parser() -> argparse.ArgumentParser:
              "see the 'methods' subcommand)",
     )
     _add_workers_argument(compare_parser)
+    _add_progress_argument(compare_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run a batch file of requests through a warm SummaryService"
+    )
+    serve_parser.add_argument(
+        "--batch", required=True, metavar="PATH",
+        help="JSON file: a list of request records, each with 'method', a graph "
+             "reference ('dataset' key or 'input' edge-list path), and optional "
+             "'seed', 'options', 'workers', 'tag'",
+    )
+    serve_parser.add_argument("--inflight", type=int, default=2, metavar="N",
+                              help="jobs executed concurrently (default 2)")
+    serve_parser.add_argument("--mode", choices=("thread", "process"), default="thread",
+                              help="job execution mode (process = warm forked worker pool)")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for generating built-in dataset analogues")
+    _add_progress_argument(serve_parser)
 
     subparsers.add_parser("datasets", help="list the built-in dataset analogues")
 
@@ -146,11 +177,32 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_progress_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-iteration progress events while runs execute",
+    )
+
+
 def _execution_config(arguments: argparse.Namespace):
     workers = getattr(arguments, "workers", 1)
     if workers <= 1:
         return None
     return engine.ExecutionConfig(workers=workers)
+
+
+def _format_progress(label: str, event: Dict[str, Any]) -> str:
+    stage = event.get("stage", "progress")
+    if stage == "iteration":
+        detail = (f"iteration {event.get('iteration')}/{event.get('iterations')}"
+                  f"  merges={event.get('merges')}")
+        if "cost" in event:
+            detail += f"  cost={event.get('cost')}"
+    else:
+        extras = {k: v for k, v in event.items() if k != "stage"}
+        detail = stage + ("" if not extras else " " + " ".join(
+            f"{key}={value}" for key, value in extras.items()))
+    return f"[{label}] {detail}"
 
 
 def _load_graph(arguments: argparse.Namespace):
@@ -167,7 +219,14 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
         prune=not arguments.no_prune,
         height_bound=arguments.height_bound,
     )
-    result = Slugger(config, execution=_execution_config(arguments)).summarize(graph)
+    control = None
+    if arguments.progress:
+        control = RunControl(
+            on_progress=lambda event: print(_format_progress("slugger", event))
+        )
+    result = Slugger(config, execution=_execution_config(arguments)).summarize(
+        graph, control=control
+    )
     print(f"nodes={graph.num_nodes} edges={graph.num_edges}")
     print(
         f"cost={result.cost()} relative_size={result.relative_size(graph):.4f} "
@@ -185,8 +244,12 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     methods = engine.default_suite(
         iterations=arguments.iterations, methods=arguments.method
     )
+    on_progress = None
+    if arguments.progress:
+        on_progress = lambda name, event: print(_format_progress(name, event))  # noqa: E731
     results = compare_methods(graph, methods=methods, seed=arguments.seed,
-                              execution=_execution_config(arguments))
+                              execution=_execution_config(arguments),
+                              on_progress=on_progress)
     rows = [
         {
             "method": result.method,
@@ -199,6 +262,86 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     print(format_table(rows, ["method", "relative_size", "cost", "seconds"],
                        title=f"nodes={graph.num_nodes} edges={graph.num_edges}"))
     return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    """Batch-file serving: many requests, one warm service."""
+    with open(arguments.batch, "r", encoding="utf-8") as handle:
+        records = json.load(handle)
+    if isinstance(records, dict):
+        records = records.get("requests", [])
+    if not isinstance(records, list) or not records:
+        print(f"batch file {arguments.batch} holds no requests", file=sys.stderr)
+        return 1
+
+    with SummaryService(mode=arguments.mode, max_inflight=arguments.inflight) as service:
+        jobs = []
+        graphs: Dict[str, Any] = {}
+        for record in records:
+            record = dict(record)
+            dataset = record.pop("dataset", None)
+            input_path = record.pop("input", None)
+            if (dataset is None) == (input_path is None):
+                print(f"request {record} needs exactly one of 'dataset'/'input'",
+                      file=sys.stderr)
+                return 1
+            key = dataset if dataset is not None else input_path
+            workers = record.pop("workers", None)
+            if workers is not None and "execution" not in record:
+                record["execution"] = {"workers": workers}
+            if key not in graphs:
+                graph = (read_edge_list(input_path) if input_path is not None
+                         else load_dataset(dataset, seed=arguments.seed))
+                service.register_graph(key, graph)
+                graphs[key] = graph
+            record["graph_key"] = key
+            request = SummaryRequest.from_dict(record)
+            job = service.submit(request, block=True)
+            if arguments.progress:
+                label = f"job {job.id} {request.method}@{key}"
+                job.add_progress_listener(
+                    lambda event, _label=label: print(
+                        _format_progress(_label, {"stage": event.stage, **event.payload})
+                    )
+                )
+            jobs.append((job, key))
+
+        rows = []
+        failures = 0
+        for job, key in jobs:
+            job.wait()
+            row = {
+                "job": job.id,
+                "method": job.request.method,
+                "graph": key,
+                "state": job.state.value,
+                "cost": "-",
+                "relative_size": "-",
+                "seconds": "-",
+            }
+            if job.state.value == "done":
+                result = job.result()
+                # Read the graph from the local table, not store.get():
+                # the latter counts interning hits, and bookkeeping must
+                # not inflate the footer's cache-effectiveness figure.
+                graph = graphs[key]
+                row["cost"] = result.cost()
+                row["relative_size"] = round(result.relative_size(graph), 4)
+                row["seconds"] = round(result.runtime_seconds, 3)
+            else:
+                failures += 1
+                error = job.exception()
+                if error is not None:
+                    print(f"job {job.id} failed: {error!r}", file=sys.stderr)
+            rows.append(row)
+        stats = service.stats()
+        print(format_table(
+            rows, ["job", "method", "graph", "state", "cost", "relative_size", "seconds"],
+            title=f"served {len(rows)} requests (mode={stats['mode']}, "
+                  f"inflight={stats['max_inflight']}, substrate builds: "
+                  f"{stats['store']['misses']}, warm hits: {stats['store']['hits']})",
+        ))
+    return 1 if failures else 0
 
 
 def _command_methods(_arguments: argparse.Namespace) -> int:
@@ -293,6 +436,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "summarize": _command_summarize,
         "compare": _command_compare,
+        "serve": _command_serve,
         "datasets": _command_datasets,
         "methods": _command_methods,
         "compress": _command_compress,

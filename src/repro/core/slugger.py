@@ -54,10 +54,21 @@ from repro.engine.execution import (
     shard_bounds,
     worker_context,
 )
+from repro.engine.hooks import GraphResources, RunControl
 from repro.graphs.graph import Graph
 from repro.model.summary import HierarchicalSummary
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_type
+
+__all__ = [
+    "IterationContext",
+    "IterationPipeline",
+    "MergeTrace",
+    "PHASE_NAMES",
+    "Slugger",
+    "SluggerResult",
+    "summarize",
+]
 
 #: A recorded merge decision sequence for one candidate set (see
 #: :func:`~repro.core.merging.process_candidate_set` for the encoding).
@@ -140,8 +151,11 @@ class IterationContext:
     merges: int = 0
     # Run-lifetime (not reset per iteration): the shingle pool's context
     # — the frozen CSR view and the label list — is immutable for the
-    # whole run, so one forked pool serves every iteration.
+    # whole run, so one forked pool serves every iteration.  A warm pool
+    # borrowed from a service graph store outlives the run; the owner
+    # closes it, not this context (``owns_shingle_executor``).
     shingle_executor: Optional[object] = None
+    owns_shingle_executor: bool = True
 
     def begin_iteration(self, iteration: int) -> None:
         self.iteration = iteration
@@ -161,7 +175,8 @@ class IterationContext:
     def close_run(self) -> None:
         self.close_executor()
         if self.shingle_executor is not None:
-            self.shingle_executor.close()
+            if self.owns_shingle_executor:
+                self.shingle_executor.close()
             self.shingle_executor = None
 
 
@@ -479,14 +494,33 @@ class Slugger:
         self.execution = execution
         self.pipeline = IterationPipeline()
 
-    def summarize(self, graph: Graph) -> SluggerResult:
-        """Summarize ``graph`` under the hierarchical model (Problem 1)."""
+    def summarize(
+        self,
+        graph: Graph,
+        control: Optional[RunControl] = None,
+        resources: Optional[GraphResources] = None,
+    ) -> SluggerResult:
+        """Summarize ``graph`` under the hierarchical model (Problem 1).
+
+        ``control`` receives one progress event per iteration and its
+        cancel token is checked *between* iterations (a cancelled run
+        raises :class:`~repro.exceptions.JobCancelled`; no partial
+        summary escapes).  ``resources`` supplies prebuilt substrate
+        views and a warm shingle pool (service graph-store interning);
+        both default to ``None`` and cannot change the summary.
+        """
         require_type(graph, Graph, "graph")
         config = self.config
         started = time.perf_counter()
         rng = ensure_rng(config.seed)
 
-        state = SluggerState(graph, build_dense=config.use_dense_substrate)
+        use_resources = resources is not None and config.use_dense_substrate
+        state = SluggerState(
+            graph,
+            build_dense=config.use_dense_substrate,
+            dense=resources.dense() if use_resources else None,
+            csr=resources.csr() if use_resources else None,
+        )
         history: List[Dict[str, float]] = []
         phase_seconds: Dict[str, float] = {}
         stats: Dict[str, int] = {
@@ -504,17 +538,39 @@ class Slugger:
                 stats=stats,
                 history=history,
             )
+            if resources is not None:
+                warm_pool = resources.shingle_executor(self.execution)
+                if warm_pool is not None:
+                    ctx.shingle_executor = warm_pool
+                    ctx.owns_shingle_executor = False
             try:
                 for iteration in range(1, config.iterations + 1):
+                    if control is not None:
+                        control.checkpoint()
                     self.pipeline.run_iteration(ctx, iteration)
+                    if control is not None:
+                        entry = history[-1]
+                        control.emit(
+                            "iteration",
+                            iteration=iteration,
+                            iterations=config.iterations,
+                            threshold=entry["threshold"],
+                            merges=int(entry["merges"]),
+                            roots=int(entry["roots"]),
+                            cost=int(entry["cost"]),
+                        )
             finally:
                 ctx.close_run()
 
         prune_stats: Dict[str, int] = {}
         if config.prune:
+            if control is not None:
+                control.checkpoint()
             prune_started = time.perf_counter()
             prune_stats = prune(graph, state.summary, rounds=config.prune_rounds)
             phase_seconds["prune"] = time.perf_counter() - prune_started
+            if control is not None:
+                control.emit("prune", cost=int(state.summary.cost()))
 
         if config.validate_output:
             state.summary.validate(graph)
@@ -534,7 +590,11 @@ def summarize(
     graph: Graph,
     config: Optional[SluggerConfig] = None,
     execution: Optional[ExecutionConfig] = None,
+    control: Optional[RunControl] = None,
+    resources: Optional[GraphResources] = None,
     **overrides,
 ) -> SluggerResult:
     """Convenience wrapper: ``Slugger(config, execution, **overrides).summarize(graph)``."""
-    return Slugger(config, execution=execution, **overrides).summarize(graph)
+    return Slugger(config, execution=execution, **overrides).summarize(
+        graph, control=control, resources=resources
+    )

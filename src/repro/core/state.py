@@ -31,6 +31,8 @@ from repro.graphs.dense import CSRAdjacency, DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.summary import HierarchicalSummary
 
+__all__ = ["SluggerState", "StateSnapshot"]
+
 Subnode = Hashable
 RootPair = Tuple[int, int]
 
@@ -113,14 +115,30 @@ class SluggerState:
     the local encoder work directly on leaf ids with no label lookups.
     """
 
-    def __init__(self, graph: Graph, build_dense: bool = True) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        build_dense: bool = True,
+        dense: Optional[DenseAdjacency] = None,
+        csr: Optional[CSRAdjacency] = None,
+    ) -> None:
         self.graph = graph
         self.summary = HierarchicalSummary.from_graph(graph)
         hierarchy = self.summary.hierarchy
+        if dense is not None and dense.num_edges != graph.num_edges:
+            raise SummaryInvariantError(
+                "prebuilt dense substrate is stale: "
+                f"{dense.num_edges} edges vs the graph's {graph.num_edges}"
+            )
+        # A prebuilt substrate (service graph-store interning) is used as
+        # is; its construction is deterministic in the graph, so injected
+        # and self-built runs are bit-identical.
         self.dense: Optional[DenseAdjacency] = (
-            DenseAdjacency.from_graph(graph) if build_dense else None
+            dense if dense is not None
+            else DenseAdjacency.from_graph(graph) if build_dense
+            else None
         )
-        self._csr: Optional[CSRAdjacency] = None
+        self._csr: Optional[CSRAdjacency] = csr if self.dense is not None else None
 
         self.roots: Set[int] = set(hierarchy.roots())
         self.root_adj: Dict[int, Dict[int, int]] = {root: {} for root in self.roots}

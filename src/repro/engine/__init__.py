@@ -20,6 +20,14 @@ experiment figures pick them up automatically.  The built-in adapters
 are registered lazily on first registry use, which keeps the import
 graph acyclic (core drivers import the execution layer from this
 package; the adapters import the core drivers).
+
+Serving
+-------
+``engine.run`` is a thin shim over the default
+:class:`repro.service.SummaryService`: repeated calls on the same graph
+share one interned substrate build.  Workloads that queue many requests
+— with progress, cancellation, concurrency, and warm worker pools —
+should use the service layer directly (see :mod:`repro.service`).
 """
 
 from repro.engine.base import AnySummary, EngineResult, Summarizer
@@ -30,6 +38,7 @@ from repro.engine.execution import (
     SerialExecutor,
     process_execution_available,
 )
+from repro.engine.hooks import GraphResources, RunControl
 from repro.engine.registry import (
     DEFAULT_SUITE,
     available_methods,
@@ -42,6 +51,8 @@ from repro.engine.registry import (
 __all__ = [
     "AnySummary",
     "EngineResult",
+    "GraphResources",
+    "RunControl",
     "Summarizer",
     "DEFAULT_SUITE",
     "SERIAL_EXECUTION",

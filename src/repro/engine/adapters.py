@@ -22,9 +22,19 @@ from repro.core.config import SluggerConfig
 from repro.core.slugger import Slugger
 from repro.engine.base import AnySummary, Summarizer
 from repro.engine.execution import ExecutionConfig
+from repro.engine.hooks import GraphResources, RunControl
 from repro.engine.registry import register
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
+
+__all__ = [
+    "GreedySummarizer",
+    "MossoSummarizer",
+    "RandomizedSummarizer",
+    "SagsSummarizer",
+    "SluggerSummarizer",
+    "SwegSummarizer",
+]
 
 RunOutput = Tuple[AnySummary, List[Dict[str, float]], Dict[str, Any]]
 
@@ -46,8 +56,20 @@ class SluggerSummarizer(Summarizer):
     def _run_with_execution(
         self, graph: Graph, seed: SeedLike, execution: Optional[ExecutionConfig]
     ) -> RunOutput:
+        return self._dispatch(graph, seed, execution, None, None)
+
+    def _dispatch(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        execution: Optional[ExecutionConfig],
+        control: Optional[RunControl],
+        resources: Optional[GraphResources],
+    ) -> RunOutput:
         config = SluggerConfig(**{**self.options, "seed": seed})
-        result = Slugger(config, execution=execution).summarize(graph)
+        result = Slugger(config, execution=execution).summarize(
+            graph, control=control, resources=resources
+        )
         return result.summary, result.history, {
             "prune_stats": result.prune_stats,
             "config": config,
@@ -73,8 +95,19 @@ class SwegSummarizer(Summarizer):
     def _run_with_execution(
         self, graph: Graph, seed: SeedLike, execution: Optional[ExecutionConfig]
     ) -> RunOutput:
+        return self._dispatch(graph, seed, execution, None, None)
+
+    def _dispatch(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        execution: Optional[ExecutionConfig],
+        control: Optional[RunControl],
+        resources: Optional[GraphResources],
+    ) -> RunOutput:
         summary = sweg_summarize(
-            graph, execution=execution, **{**self.options, "seed": seed}
+            graph, execution=execution, control=control, resources=resources,
+            **{**self.options, "seed": seed},
         )
         return summary, [], {}
 
@@ -106,6 +139,12 @@ class RandomizedSummarizer(Summarizer):
         summary = randomized_summarize(graph, seed=seed, **self.options)
         return summary, [], {}
 
+    def _dispatch(self, graph, seed, execution, control, resources) -> RunOutput:
+        summary = randomized_summarize(
+            graph, seed=seed, resources=resources, **self.options
+        )
+        return summary, [], {}
+
 
 @register
 class SagsSummarizer(Summarizer):
@@ -120,6 +159,12 @@ class SagsSummarizer(Summarizer):
         summary = sags_summarize(graph, **{**self.options, "seed": seed})
         return summary, [], {}
 
+    def _dispatch(self, graph, seed, execution, control, resources) -> RunOutput:
+        summary = sags_summarize(
+            graph, resources=resources, **{**self.options, "seed": seed}
+        )
+        return summary, [], {}
+
 
 @register
 class GreedySummarizer(Summarizer):
@@ -132,4 +177,8 @@ class GreedySummarizer(Summarizer):
 
     def _run(self, graph: Graph, seed: SeedLike) -> RunOutput:
         summary = greedy_summarize(graph, **self.options)
+        return summary, [], {}
+
+    def _dispatch(self, graph, seed, execution, control, resources) -> RunOutput:
+        summary = greedy_summarize(graph, resources=resources, **self.options)
         return summary, [], {}

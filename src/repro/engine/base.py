@@ -18,11 +18,14 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro.engine.execution import ExecutionConfig
+from repro.engine.hooks import GraphResources, RunControl
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
 from repro.utils.rng import SeedLike
 from repro.utils.validation import require_type
+
+__all__ = ["AnySummary", "EngineResult", "Summarizer"]
 
 AnySummary = Union[HierarchicalSummary, FlatSummary]
 
@@ -90,19 +93,24 @@ class Summarizer(ABC):
         graph: Graph,
         seed: SeedLike = None,
         execution: Optional[ExecutionConfig] = None,
+        control: Optional[RunControl] = None,
+        resources: Optional[GraphResources] = None,
     ) -> EngineResult:
         """Run the method on ``graph`` with shared timing bookkeeping.
 
         ``execution`` is forwarded to parallel-capable methods (see
         :attr:`supports_parallel`); for a fixed seed the summary is
         bit-identical regardless of the execution configuration.
+        ``control`` (progress/cancel) and ``resources`` (shared
+        substrate views) are honored by methods that override
+        :meth:`_dispatch` — SLUGGER and SWeG — and are inert no-ops for
+        the rest; neither can change the summary.
         """
         require_type(graph, Graph, "graph")
         started = time.perf_counter()
-        if self.supports_parallel:
-            summary, history, details = self._run_with_execution(graph, seed, execution)
-        else:
-            summary, history, details = self._run(graph, seed)
+        summary, history, details = self._dispatch(
+            graph, seed, execution, control, resources
+        )
         elapsed = time.perf_counter() - started
         if execution is not None:
             details = dict(details)
@@ -132,6 +140,26 @@ class Summarizer(ABC):
         The default ignores ``execution`` so simple methods only have to
         implement :meth:`_run`.
         """
+        return self._run(graph, seed)
+
+    def _dispatch(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        execution: Optional[ExecutionConfig],
+        control: Optional[RunControl],
+        resources: Optional[GraphResources],
+    ) -> Tuple[AnySummary, List[Dict[str, float]], Dict[str, Any]]:
+        """Full-surface hook: execution + progress/cancel + shared substrate.
+
+        The default preserves the historical routing (``execution`` to
+        parallel-capable methods, everything else to :meth:`_run`) and
+        ignores ``control`` and ``resources``, so existing adapters and
+        user subclasses keep working unchanged.  Adapters that support
+        the service hooks override this method.
+        """
+        if self.supports_parallel:
+            return self._run_with_execution(graph, seed, execution)
         return self._run(graph, seed)
 
     def __call__(self, graph: Graph, seed: SeedLike = None) -> AnySummary:

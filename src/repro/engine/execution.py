@@ -18,15 +18,19 @@ payload order**.  Two implementations exist:
 Context hand-off
 ----------------
 Shard payloads stay tiny (index ranges plus a seed); the heavyweight
-inputs travel through a module-level *worker context* that is installed
-immediately before the shards are mapped.  Forked workers read the
-context they inherited at fork time via :func:`worker_context`; the
-serial executor installs the same context in-process, so worker
-functions are oblivious to where they run.  Because a forked worker owns
-a private copy-on-write image, it may freely *mutate* the context (e.g.
+inputs travel through a *worker context*.  Each executor registers its
+context under a unique token in a module-level registry; shards are
+dispatched through :func:`_run_shard`, which resolves the token against
+the registry and pins the context for the duration of the shard, where
+worker functions read it back via :func:`worker_context`.  Forked
+workers inherit the registry (and therefore the context object) as part
+of the copy-on-write image — nothing is pickled in.  Because the current
+context is tracked per *thread* in the parent, any number of serial
+executions (e.g. concurrent service jobs) can run simultaneously without
+observing each other's contexts; a forked worker owns a private
+copy-on-write image, so it may freely *mutate* its context (e.g.
 simulate merges on the summarization state) without the parent — or any
-sibling worker — observing the writes; the parent's objects act as the
-immutable snapshot the ISSUE-level determinism argument relies on.
+sibling worker — observing the writes.
 
 Determinism
 -----------
@@ -35,34 +39,92 @@ yielded in payload order regardless of which worker computed them, and
 the phases built on top are designed so the final output is bit-identical
 for a fixed seed no matter how many workers are configured (see
 ``core/slugger.py`` and the execution test suite).
+
+Teardown guarantee
+------------------
+Both executors are context managers, ``close()`` is idempotent, and
+live process pools are tracked in a module-level set with an ``atexit``
+sweep — an exception anywhere between pool creation and the normal
+``close()`` call can no longer leak forked workers past interpreter
+shutdown.  The long-lived serving layer (:mod:`repro.service`) keeps
+warm pools open across requests and relies on the same hooks for clean
+shutdown and restart.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
 import os
+import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 
-#: Handed to worker functions: set right before shards are mapped so a
-#: forked pool inherits it, and read back through :func:`worker_context`.
-_WORKER_CONTEXT: Any = None
+__all__ = [
+    "ExecutionConfig",
+    "ProcessShardExecutor",
+    "SerialExecutor",
+    "SERIAL_EXECUTION",
+    "available_cpus",
+    "executor_for",
+    "process_execution_available",
+    "shard_bounds",
+    "worker_context",
+]
+
+#: Token → context registry.  Registered before a pool's workers fork, so
+#: the forked copy-on-write image contains every context its shards will
+#: resolve; read back through :func:`worker_context`.
+_CONTEXTS: Dict[int, Any] = {}
+_CONTEXTS_LOCK = threading.Lock()
+_TOKENS = itertools.count(1)
+
+#: The context pinned for the shard currently running on this thread.
+#: Thread-local in the parent (concurrent serial runs stay isolated);
+#: a forked pool worker is single-threaded, so its slot is private too.
+_CURRENT = threading.local()
 
 
-def _install_context(context: Any) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
+def _register_context(context: Any) -> int:
+    token = next(_TOKENS)
+    with _CONTEXTS_LOCK:
+        _CONTEXTS[token] = context
+    return token
+
+
+def _release_context(token: int) -> None:
+    with _CONTEXTS_LOCK:
+        _CONTEXTS.pop(token, None)
+
+
+def _run_shard(token: int, fn: Callable[[Any], Any], payload: Any) -> Any:
+    """Resolve ``token``, pin its context for this thread, run ``fn``.
+
+    Runs inline for :class:`SerialExecutor` and inside the forked worker
+    process for :class:`ProcessShardExecutor` (the registry entry was
+    inherited at fork time).
+    """
+    previous = getattr(_CURRENT, "context", None)
+    _CURRENT.context = _CONTEXTS.get(token)
+    try:
+        return fn(payload)
+    finally:
+        _CURRENT.context = previous
 
 
 def worker_context() -> Any:
     """The context object installed for the currently running shard."""
-    if _WORKER_CONTEXT is None:
+    context = getattr(_CURRENT, "context", None)
+    if context is None:
         raise RuntimeError("no worker context is installed; shards must be "
                            "run through an executor's map_shards")
-    return _WORKER_CONTEXT
+    return context
 
 
 def process_execution_available() -> bool:
@@ -176,18 +238,21 @@ class SerialExecutor:
 
     def __init__(self, context: Any = None) -> None:
         self._context = context
+        self._token = _register_context(context) if context is not None else 0
 
     def map_shards(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> Iterator[Any]:
         """Yield ``fn(payload)`` for every payload, lazily and in order."""
+        token = self._token
+
         def results() -> Iterator[Any]:
             for payload in payloads:
-                _install_context(self._context)
-                yield fn(payload)
+                yield _run_shard(token, fn, payload)
         return results()
 
     def close(self) -> None:
-        if _WORKER_CONTEXT is self._context:
-            _install_context(None)
+        if self._token:
+            _release_context(self._token)
+            self._token = 0
 
     def __enter__(self) -> "SerialExecutor":
         return self
@@ -196,16 +261,39 @@ class SerialExecutor:
         self.close()
 
 
+#: Live process pools, swept at interpreter exit so forked workers never
+#: outlive the parent even when an exception skipped the normal close().
+_LIVE_EXECUTORS: "weakref.WeakSet[ProcessShardExecutor]" = weakref.WeakSet()
+
+
+def _shutdown_live_executors() -> None:  # pragma: no cover - interpreter exit
+    for executor in list(_LIVE_EXECUTORS):
+        try:
+            executor.close()
+        except Exception:
+            pass
+
+
+atexit.register(_shutdown_live_executors)
+
+
 class ProcessShardExecutor:
     """Fan shards out over a fork-based ``ProcessPoolExecutor``.
 
-    The worker context is installed before any shard is submitted, so
-    the pool's processes — forked on first submission — inherit it as a
+    The worker context is registered at construction, so the pool's
+    processes — forked on first submission — inherit it as part of their
     copy-on-write snapshot.  ``map_shards`` submits every payload up
     front (forcing all workers to fork against the *current* snapshot,
     before the caller starts mutating it) and returns a lazy, in-order
     result iterator, which lets a consumer overlap downstream work with
     still-running shards.
+
+    The executor is a context manager; ``close()`` is idempotent, safe
+    on every exception path, and additionally guaranteed by an atexit
+    sweep over all live pools, so an error mid-run cannot leak forked
+    workers.  Long-lived owners (the serving layer's warm pools) may
+    call :meth:`restart` to drop the forked snapshot and re-fork against
+    fresh state on the next submission.
     """
 
     def __init__(self, workers: int, context: Any = None) -> None:
@@ -216,28 +304,78 @@ class ProcessShardExecutor:
             )
         self.workers = max(1, workers)
         self._context = context
+        self._token = _register_context(context) if context is not None else 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        # Warm executors are shared across service dispatcher threads;
+        # pool creation, submission, restart, and close serialize here so
+        # two racing first-submissions cannot each fork a pool (orphaning
+        # one) and a close cannot interleave with a submit.
+        self._sync = threading.Lock()
+        _LIVE_EXECUTORS.add(self)
+
+    def prestart(self) -> None:
+        """Create the pool at full width before the first submission.
+
+        Long-lived owners that feed the pool one payload at a time (the
+        serving layer's job pool) call this so the pool is not sized by
+        the first batch's length.
+        """
+        with self._sync:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
 
     def map_shards(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> Iterator[Any]:
         """Submit all payloads and yield results in payload order."""
         payloads = list(payloads)
-        _install_context(self._context)
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, max(1, len(payloads))),
-                mp_context=multiprocessing.get_context("fork"),
-            )
-        # ``map`` submits every payload immediately; with the fork start
-        # method all worker processes are created during this call, which
-        # pins their inherited snapshot to the state as of *now*.
-        return self._pool.map(fn, payloads)
+        with self._sync:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, max(1, len(payloads))),
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            # ``map`` submits every payload immediately; with the fork
+            # start method all worker processes are created during this
+            # call, which pins their inherited snapshot to the state as
+            # of *now*.
+            try:
+                return self._pool.map(partial(_run_shard, self._token, fn), payloads)
+            except Exception:
+                # Tear the (possibly broken) pool down so no forked
+                # workers leak, but keep the executor usable: the next
+                # submission re-forks fresh.  Warm pools shared across
+                # requests must survive one transient failure.
+                self._shutdown_pool_locked()
+                raise
+
+    def restart(self) -> None:
+        """Drop the forked worker snapshot; the next map re-forks fresh.
+
+        Used by warm-pool owners after the inherited state went stale
+        (e.g. new graphs were interned into a serving store).
+        """
+        with self._sync:
+            self._shutdown_pool_locked()
 
     def close(self) -> None:
+        with self._sync:
+            self._shutdown_pool_locked()
+            if self._token:
+                _release_context(self._token)
+                self._token = 0
+            self._closed = True
+
+    def _shutdown_pool_locked(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if _WORKER_CONTEXT is self._context:
-            _install_context(None)
 
     def __enter__(self) -> "ProcessShardExecutor":
         return self

@@ -1,0 +1,110 @@
+"""Cooperative run hooks: progress events, cancel tokens, shared substrates.
+
+The serving layer (:mod:`repro.service`) needs three things from a
+running summarizer that the one-shot API never exposed:
+
+* **progress** — per-iteration events a job can forward to callbacks;
+* **cancellation** — a token checked between iterations, so a queued or
+  running job can be abandoned without killing the process;
+* **shared substrates** — prebuilt :class:`~repro.graphs.dense.DenseAdjacency`
+  / CSR views (and warm shingle pools) reused across runs on the same
+  graph instead of being rebuilt per call.
+
+:class:`RunControl` carries the first two, :class:`GraphResources` the
+third.  Both are plain, dependency-free objects so the core drivers
+(``core/slugger.py``, ``baselines/sweg.py``) can accept them without
+importing the service layer; passing ``None`` (the default everywhere)
+keeps the historical one-shot behavior bit-for-bit.
+
+Determinism: neither hook can change a summary.  Progress events are
+observations; cancellation aborts a run (raising
+:class:`~repro.exceptions.JobCancelled`) rather than truncating it; and
+a :class:`GraphResources` substrate is byte-equivalent to the one the
+run would have built itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import JobCancelled
+
+__all__ = ["GraphResources", "RunControl"]
+
+
+class RunControl:
+    """Progress/cancel hook threaded through a single summarizer run.
+
+    Parameters
+    ----------
+    on_progress:
+        Callback invoked with one ``dict`` per event (at least a
+        ``"stage"`` key; iterative methods add ``iteration`` /
+        ``iterations`` and per-iteration counters).  Callbacks run on
+        the thread executing the summarizer and must be cheap.
+    cancel:
+        Object with an ``is_set() -> bool`` method (e.g. a
+        ``threading.Event``).  :meth:`checkpoint` raises
+        :class:`~repro.exceptions.JobCancelled` once it is set; drivers
+        call it between iterations, so cancellation is cooperative and
+        never yields a partial summary.
+    """
+
+    __slots__ = ("_on_progress", "_cancel")
+
+    def __init__(
+        self,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        cancel: Optional[Any] = None,
+    ) -> None:
+        self._on_progress = on_progress
+        self._cancel = cancel
+
+    def cancelled(self) -> bool:
+        """Whether the cancel token has been set."""
+        return self._cancel is not None and self._cancel.is_set()
+
+    def checkpoint(self) -> None:
+        """Raise :class:`~repro.exceptions.JobCancelled` if cancelled."""
+        if self.cancelled():
+            raise JobCancelled("run cancelled between iterations")
+
+    def emit(self, stage: str, **values: Any) -> None:
+        """Report one progress event to the callback (if any)."""
+        if self._on_progress is not None:
+            event: Dict[str, Any] = {"stage": stage}
+            event.update(values)
+            self._on_progress(event)
+
+
+class GraphResources:
+    """Prebuilt, shareable per-graph substrate views.
+
+    Subclasses (the service layer's ``GraphHandle``) memoize the dense
+    integer-id substrate so repeated runs against the same graph reuse
+    one ``NodeIndex`` / ``DenseAdjacency`` / CSR build.  Every accessor
+    may return ``None``, which means "build your own" — the base class
+    always does, so it doubles as the no-op default.
+
+    The returned objects are treated as **read-only** by every consumer
+    (summarizer runs never mutate the input adjacency), which is what
+    makes sharing them across concurrent runs safe.
+    """
+
+    def dense(self):
+        """A prebuilt :class:`~repro.graphs.dense.DenseAdjacency`, or ``None``."""
+        return None
+
+    def csr(self):
+        """A prebuilt frozen :class:`~repro.graphs.dense.CSRAdjacency`, or ``None``."""
+        return None
+
+    def shingle_executor(self, execution) -> Optional[Any]:
+        """A warm executor for sharded shingle sweeps, or ``None``.
+
+        The executor's worker context must be ``(csr, labels)`` for this
+        graph.  Ownership stays with the resources object — borrowers
+        must *not* close it; the owner (e.g. a service graph store)
+        closes it on shutdown.
+        """
+        return None

@@ -15,13 +15,24 @@ no per-method glue anywhere else.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.engine.base import EngineResult, Summarizer
 from repro.engine.execution import ExecutionConfig
+from repro.engine.hooks import RunControl
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
+
+__all__ = [
+    "DEFAULT_SUITE",
+    "available_methods",
+    "create",
+    "default_suite",
+    "register",
+    "run",
+]
 
 _REGISTRY: Dict[str, Type[Summarizer]] = {}
 
@@ -31,21 +42,34 @@ _REGISTRY: Dict[str, Type[Summarizer]] = {}
 DEFAULT_SUITE = ("slugger", "sweg", "mosso", "randomized", "sags")
 
 _BUILTINS_LOADED = False
+_BUILTINS_LOADING = False
+_BUILTINS_LOCK = threading.RLock()
 
 
 def _ensure_builtins() -> None:
-    """Import the built-in adapters on first registry use.
+    """Import the built-in adapters on first registry use (thread-safe).
 
     Lazy loading keeps the import graph acyclic: the core drivers import
     the execution layer from this package, and the adapters import the
     core drivers — registering them at ``repro.engine`` import time would
-    close that loop.  The flag is set *before* the import because the
-    adapters call :func:`register` while their module body runs.
+    close that loop.  Concurrent first uses (service dispatcher threads)
+    serialize on the lock; the ``_BUILTINS_LOADING`` flag lets the
+    adapters' own :func:`register` calls — made on the importing thread,
+    which already holds the re-entrant lock — pass through while the
+    module body runs.
     """
-    global _BUILTINS_LOADED
-    if not _BUILTINS_LOADED:
+    global _BUILTINS_LOADED, _BUILTINS_LOADING
+    if _BUILTINS_LOADED:
+        return
+    with _BUILTINS_LOCK:
+        if _BUILTINS_LOADED or _BUILTINS_LOADING:
+            return
+        _BUILTINS_LOADING = True
+        try:
+            from repro.engine import adapters  # noqa: F401 - registration side effect
+        finally:
+            _BUILTINS_LOADING = False
         _BUILTINS_LOADED = True
-        from repro.engine import adapters  # noqa: F401 - registration side effect
 
 
 def register(cls: Type[Summarizer]) -> Type[Summarizer]:
@@ -70,6 +94,12 @@ def create(method: str, **options: Any) -> Summarizer:
 
     ``options`` are method-specific constructor arguments (e.g.
     ``iterations`` for SLUGGER/SWeG, ``epsilon`` for lossy SWeG).
+
+    .. note::
+       For serving workloads — repeated or concurrent requests, queueing,
+       progress, cancellation — prefer the service layer
+       (:class:`repro.service.SummaryService`); ``create`` remains the
+       low-level constructor it uses internally.
     """
     _ensure_builtins()
     try:
@@ -86,15 +116,32 @@ def run(
     graph: Graph,
     seed: SeedLike = None,
     execution: Optional["ExecutionConfig"] = None,
+    control: Optional[RunControl] = None,
     **options: Any,
 ) -> EngineResult:
-    """One-shot dispatch: ``create(method, **options).summarize(graph, seed)``.
+    """One-shot dispatch, served warm by the default service.
+
+    Since the service layer landed this is a thin shim over
+    :func:`repro.service.default_service`: the request runs inline on
+    the calling thread, but substrate builds are interned across calls
+    on the same graph.  Output is bit-identical to constructing the
+    summarizer directly — and to submitting the same request to any
+    :class:`repro.service.SummaryService` (queued, concurrent, thread or
+    process mode).  New code that issues many requests should talk to a
+    service instance directly (``submit`` / ``await summarize``);
+    ``run`` stays as the convenient one-shot spelling.
 
     ``execution`` configures the parallel executor layer for methods that
     support it (``supports_parallel``); other methods run serially and
-    ignore it.  Results are bit-identical either way for a fixed seed.
+    ignore it.  ``control`` optionally receives per-iteration progress
+    events and carries a cancel token.
     """
-    return create(method, **options).summarize(graph, seed=seed, execution=execution)
+    from repro.service import SummaryRequest, default_service
+
+    request = SummaryRequest(
+        method=method, graph=graph, seed=seed, options=options, execution=execution
+    )
+    return default_service().run(request, control=control)
 
 
 def default_suite(

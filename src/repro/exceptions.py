@@ -7,6 +7,22 @@ violations (a summary that no longer represents its input graph).
 
 from __future__ import annotations
 
+__all__ = [
+    "CompressionError",
+    "ConfigurationError",
+    "DatasetError",
+    "GraphFormatError",
+    "InvalidGraphError",
+    "JobCancelled",
+    "LossyBoundError",
+    "ReproError",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceSaturatedError",
+    "StreamError",
+    "SummaryInvariantError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
@@ -55,3 +71,30 @@ class StreamError(ReproError):
 
 class LossyBoundError(ReproError):
     """Raised when a lossy summarization request violates its error bound."""
+
+
+class JobCancelled(ReproError):
+    """Raised when a summarization run is cancelled cooperatively.
+
+    The pipeline's cancel token is checked between iterations (see
+    :class:`repro.engine.hooks.RunControl`); a cancelled run raises this
+    instead of returning a partial summary, so no caller can mistake an
+    interrupted run for a complete one.  :meth:`SummaryJob.result
+    <repro.service.jobs.SummaryJob.result>` re-raises it to the waiter.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` layer."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request is submitted to a service that has shut down."""
+
+
+class ServiceSaturatedError(ServiceError):
+    """Raised when the service's bounded request queue is full.
+
+    Backpressure is explicit: callers either retry, block via
+    ``submit(..., block=True)``, or raise their queue bound.
+    """

@@ -4,9 +4,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.utils.stats import mean, stdev
+
+__all__ = [
+    "ExperimentRecord",
+    "run_jobs",
+    "run_repeated",
+    "sweep",
+    "timed",
+]
 
 
 @dataclass
@@ -91,3 +99,33 @@ def timed(function: Callable[[], Any]) -> Dict[str, float]:
     started = time.perf_counter()
     function()
     return {"seconds": time.perf_counter() - started}
+
+
+def run_jobs(
+    service, requests: Sequence[Any], timeout: Optional[float] = None
+) -> List[Any]:
+    """Submit ``requests`` to a summary service and gather their results.
+
+    The batch counterpart of calling ``engine.run`` in a loop: all
+    requests are enqueued up front (FIFO), execute with the service's
+    configured concurrency and warm state, and the results come back in
+    submission order.  ``service`` is duck-typed (``batch`` returning
+    job handles with ``result``), so experiment code does not import the
+    service layer directly.
+
+    ``timeout`` bounds the *whole batch*: the deadline is shared, so a
+    50-request batch with ``timeout=60`` raises :class:`TimeoutError`
+    60 seconds in, not after 50 per-job minutes.
+
+    Determinism: result ``i`` is bit-identical to running request ``i``
+    by itself — ordering and concurrency only change wall time.
+    """
+    jobs = service.batch(list(requests))
+    deadline = None if timeout is None else time.perf_counter() + timeout
+    results = []
+    for job in jobs:
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.perf_counter())
+        )
+        results.append(job.result(remaining))
+    return results

@@ -25,6 +25,8 @@ from typing import Iterable, Iterator, List, Optional, Set, Tuple
 from repro.exceptions import InvalidGraphError
 from repro.graphs.index import Label, NodeIndex
 
+__all__ = ["CSRAdjacency", "DenseAdjacency", "graph_adjacency_bytes"]
+
 
 class DenseAdjacency:
     """Mutable set-based adjacency over contiguous integer node ids.

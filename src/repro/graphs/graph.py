@@ -15,6 +15,8 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tup
 
 from repro.exceptions import InvalidGraphError
 
+__all__ = ["Edge", "Graph", "Node", "canonical_edge"]
+
 Node = Hashable
 Edge = Tuple[Node, Node]
 
@@ -59,6 +61,7 @@ class Graph:
     ) -> None:
         self._adjacency: Dict[Node, Set[Node]] = {}
         self._num_edges = 0
+        self._mutations = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -71,6 +74,7 @@ class Graph:
         """Add ``node`` (a no-op if it already exists)."""
         if node not in self._adjacency:
             self._adjacency[node] = set()
+            self._mutations += 1
 
     def add_edge(self, u: Node, v: Node) -> bool:
         """Add the undirected edge ``(u, v)``.
@@ -88,6 +92,7 @@ class Graph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._num_edges += 1
+        self._mutations += 1
         return True
 
     def remove_edge(self, u: Node, v: Node) -> bool:
@@ -96,6 +101,7 @@ class Graph:
             self._adjacency[u].discard(v)
             self._adjacency[v].discard(u)
             self._num_edges -= 1
+            self._mutations += 1
             return True
         return False
 
@@ -106,6 +112,7 @@ class Graph:
         for neighbor in list(self._adjacency[node]):
             self.remove_edge(node, neighbor)
         del self._adjacency[node]
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -119,6 +126,17 @@ class Graph:
     def num_edges(self) -> int:
         """Number of undirected edges |E|."""
         return self._num_edges
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter of structural mutations.
+
+        Bumped by every node/edge addition or removal that changed the
+        graph, including sequences that preserve node and edge counts —
+        the signal cached-substrate consumers (the serving layer's graph
+        store) use to detect that a derived view went stale.
+        """
+        return self._mutations
 
     def has_node(self, node: Node) -> bool:
         """Whether ``node`` is in the graph."""

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional
 
+__all__ = ["Label", "NodeIndex"]
+
 Label = Hashable
 
 

@@ -1,0 +1,309 @@
+"""Future-like job handles with progress streams and cooperative cancel.
+
+A :class:`SummaryJob` is what :meth:`SummaryService.submit
+<repro.service.service.SummaryService.submit>` returns immediately: a
+handle that moves through ``QUEUED → RUNNING → DONE/FAILED/CANCELLED``,
+collects :class:`ProgressEvent` records fed by the pipeline's
+per-iteration hooks, and hands the :class:`~repro.engine.base.EngineResult`
+(or the failure) to whoever calls :meth:`SummaryJob.result`.
+
+State transitions are guarded by a lock and strictly monotonic — a job
+settles exactly once and never leaves a terminal state, and progress
+sequence numbers increase strictly, which the test suite pins.
+Cancellation is cooperative: a run that settles before its next
+checkpoint wins the race and the job reports the actual outcome (see
+:meth:`SummaryJob.cancel`).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine.base import EngineResult
+from repro.exceptions import JobCancelled
+from repro.service.request import SummaryRequest
+
+__all__ = ["JobState", "ProgressEvent", "SummaryJob"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the state is final (result/error/cancellation settled)."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress observation of a running job.
+
+    ``seq`` increases strictly within a job (0, 1, 2, ...); ``stage`` is
+    the emitting hook's label (``"queued"``, ``"started"``, the
+    pipeline's ``"iteration"`` / ``"prune"``, and finally one terminal
+    stage matching the job state).  ``payload`` carries the stage's
+    counters (iteration number, merges, cost, ...), exactly as emitted.
+    """
+
+    seq: int
+    job_id: int
+    method: str
+    stage: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+ProgressListener = Callable[[ProgressEvent], None]
+
+
+class SummaryJob:
+    """Handle for one queued/running summarization request."""
+
+    def __init__(self, job_id: int, request: SummaryRequest) -> None:
+        self.id = job_id
+        self.request = request
+        # Re-entrant: backlog replay holds the lock while invoking the
+        # listener, and listeners may legitimately call back into the
+        # job (cancel(), state, ...).
+        self._lock = threading.RLock()
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+        self._state = JobState.QUEUED
+        self._result: Optional[EngineResult] = None
+        self._error: Optional[BaseException] = None
+        self._events: List[ProgressEvent] = []
+        self._listeners: List[ProgressListener] = []
+        self._done_callbacks: List[Callable[["SummaryJob"], None]] = []
+        self._seq = 0
+        self._record("queued")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> JobState:
+        """Current lifecycle state."""
+        with self._lock:
+            return self._state
+
+    @property
+    def cancel_event(self) -> threading.Event:
+        """The cancel token the run's :class:`RunControl` checks."""
+        return self._cancel
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._done.is_set()
+
+    def cancelled(self) -> bool:
+        """Whether cancellation was requested (not necessarily settled)."""
+        return self._cancel.is_set()
+
+    def events(self) -> List[ProgressEvent]:
+        """Snapshot of the progress events recorded so far, in order."""
+        with self._lock:
+            return list(self._events)
+
+    def add_progress_listener(self, listener: ProgressListener) -> None:
+        """Stream progress events to ``listener``.
+
+        Past events are replayed synchronously first, so late subscribers
+        see the full, gapless sequence; later events arrive from the
+        thread executing the job.  Registration and backlog replay happen
+        under the job lock, so a concurrently recorded event cannot be
+        delivered before (or interleaved with) the replayed backlog —
+        the listener always observes strictly increasing ``seq`` values.
+        Keep listeners cheap: the replay briefly blocks the recording
+        thread.
+        """
+        with self._lock:
+            backlog = list(self._events)
+            for event in backlog:
+                try:
+                    listener(event)
+                except Exception:
+                    # Same policy as live delivery (_record): a faulty
+                    # listener is dropped on the floor, never the job.
+                    pass
+            self._listeners.append(listener)
+
+    def add_done_callback(self, callback: Callable[["SummaryJob"], None]) -> None:
+        """Invoke ``callback(job)`` once the job settles.
+
+        Runs on the settling thread; if the job already settled the
+        callback fires immediately on the calling thread.  Used by the
+        service's asyncio bridge.
+        """
+        with self._lock:
+            if not self._state.terminal:
+                self._done_callbacks.append(callback)
+                return
+        callback(self)
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job settles; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> EngineResult:
+        """The job's :class:`~repro.engine.base.EngineResult`.
+
+        Blocks until the job settles.  Raises
+        :class:`~repro.exceptions.JobCancelled` for cancelled jobs, the
+        original exception for failed jobs, and :class:`TimeoutError`
+        when ``timeout`` elapses first.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.id} ({self.request.describe()}) still "
+                f"{self.state.value} after {timeout}s"
+            )
+        with self._lock:
+            if self._state is JobState.DONE:
+                assert self._result is not None
+                return self._result
+            if self._state is JobState.CANCELLED:
+                raise JobCancelled(f"job {self.id} was cancelled")
+            assert self._error is not None
+            raise self._error
+
+    def exception(self) -> Optional[BaseException]:
+        """The failure of a FAILED job, else ``None`` (settled jobs only)."""
+        with self._lock:
+            return self._error
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation; ``True`` unless the job already settled.
+
+        Cancellation is a *request*, not a guarantee: a queued job is
+        dropped before it starts; a running job stops at its next
+        between-iteration checkpoint.  If the run settles first — it
+        completed before the next checkpoint, or it executes inside a
+        process-mode pool worker, which has no mid-run checkpoints — the
+        job still reports its actual outcome (``DONE``/``FAILED``) even
+        though ``cancelled()`` stays ``True``.  Cancelling a settled job
+        is a no-op returning ``False``.
+        """
+        with self._lock:
+            if self._state.terminal:
+                return False
+            self._cancel.set()
+            return True
+
+    def _cancel_if_queued(self) -> bool:
+        """Atomically cancel-and-settle the job iff it has not started.
+
+        The service's shutdown/submit rescue paths use this so a job a
+        dispatcher already picked up is left to run instead of having a
+        cancel token injected mid-flight.  Check and settle share one
+        critical section, so two racing rescuers cannot both settle the
+        job.
+        """
+        with self._lock:
+            if self._state is not JobState.QUEUED:
+                return False
+            self._cancel.set()
+            self._settle_locked(JobState.CANCELLED)
+        self._record("cancelled")
+        self._notify_done()
+        return True
+
+    # ------------------------------------------------------------------
+    # Service-side transitions (not part of the public API)
+    # ------------------------------------------------------------------
+    def _record(self, stage: str, **payload: Any) -> None:
+        with self._lock:
+            event = ProgressEvent(
+                seq=self._seq, job_id=self.id,
+                method=self.request.method, stage=stage, payload=payload,
+            )
+            self._seq += 1
+            self._events.append(event)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:
+                # A faulty listener (closed pipe, dead event loop, ...)
+                # must not poison the job's settle path or kill the
+                # dispatcher lane executing it.
+                pass
+
+    def _on_run_progress(self, event: Dict[str, Any]) -> None:
+        """RunControl progress callback: record a pipeline event."""
+        payload = dict(event)
+        stage = payload.pop("stage", "progress")
+        self._record(stage, **payload)
+
+    def _try_start(self) -> bool:
+        """QUEUED → RUNNING; ``False`` when cancelled (job settles here)."""
+        with self._lock:
+            if self._state is not JobState.QUEUED:
+                return False
+            if not self._cancel.is_set():
+                self._state = JobState.RUNNING
+                started = True
+            else:
+                started = False
+        if not started:
+            self._finish_cancelled()
+            return False
+        self._record("started")
+        return True
+
+    def _finish(self, result: EngineResult) -> None:
+        with self._lock:
+            self._result = result
+            self._settle_locked(JobState.DONE)
+        self._record("done", cost=result.cost(),
+                     runtime_seconds=result.runtime_seconds)
+        self._notify_done()
+
+    def _fail(self, error: BaseException) -> None:
+        if isinstance(error, JobCancelled):
+            self._finish_cancelled()
+            return
+        with self._lock:
+            self._error = error
+            self._settle_locked(JobState.FAILED)
+        self._record("failed", error=repr(error))
+        self._notify_done()
+
+    def _finish_cancelled(self) -> None:
+        with self._lock:
+            self._settle_locked(JobState.CANCELLED)
+        self._record("cancelled")
+        self._notify_done()
+
+    def _settle_locked(self, state: JobState) -> None:
+        assert not self._state.terminal, f"job {self.id} settled twice"
+        self._state = state
+        self._done.set()
+
+    def _notify_done(self) -> None:
+        with self._lock:
+            callbacks, self._done_callbacks = self._done_callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                # See _record: callbacks must not break the settling thread.
+                pass
+
+    def __repr__(self) -> str:
+        return (f"SummaryJob(id={self.id}, state={self.state.value}, "
+                f"request={self.request.describe()!r})")

@@ -1,0 +1,607 @@
+"""The long-lived serving facade: queued jobs over warm, shared state.
+
+:class:`SummaryService` turns the one-shot ``engine.run`` API into a
+service: requests (:class:`~repro.service.request.SummaryRequest`) are
+validated once, enqueued on a bounded FIFO queue, executed by a fixed
+number of in-flight workers, and observed through future-like
+:class:`~repro.service.jobs.SummaryJob` handles with per-iteration
+progress events and cooperative cancellation.  Across requests the
+service shares what one-shot calls rebuild every time:
+
+* an interning :class:`~repro.service.store.GraphStore` — one
+  ``NodeIndex`` / ``DenseAdjacency`` / CSR build per graph, plus warm
+  per-graph forked shingle pools;
+* in ``mode="process"``, a persistent fork-based worker pool that runs
+  whole jobs, so many small requests share warm workers instead of
+  paying per-call setup.
+
+Entry points::
+
+    with SummaryService(max_inflight=2) as service:
+        job = service.submit(method="slugger", graph=graph, seed=0,
+                             options={"iterations": 10})
+        result = job.result()                       # sync
+        result = await service.summarize(           # asyncio
+            method="sweg", graph=graph, seed=1)
+
+Determinism guarantee
+---------------------
+For a fixed seed a request's summary is **bit-identical** whether it
+runs through ``engine.run``, a warm service, a process-mode worker, or
+under concurrent mixed traffic: jobs share only read-only state (the
+interned substrate, whose construction is itself deterministic in the
+graph), every job draws from its own seeded RNG stream, and the executor
+layer's worker contexts are isolated per thread and per process.  The
+service test suite pins fingerprints across all three paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.base import EngineResult
+from repro.engine.execution import (
+    ExecutionConfig,
+    ProcessShardExecutor,
+    available_cpus,
+    process_execution_available,
+    worker_context,
+)
+from repro.engine.hooks import GraphResources, RunControl
+from repro.engine.registry import available_methods, create
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceSaturatedError,
+)
+from repro.graphs.graph import Graph
+from repro.service.jobs import SummaryJob
+from repro.service.request import SummaryRequest
+from repro.service.store import GraphHandle, GraphStore
+from repro.utils.rng import SeedLike
+
+__all__ = ["SummaryService", "default_service", "shutdown_default_service"]
+
+_STOP = object()
+
+
+def _process_job_worker(payload: Tuple[Dict[str, Any], Optional[Graph]]) -> EngineResult:
+    """Run one whole job inside a warm forked worker.
+
+    The worker context is the service's :class:`GraphStore`, inherited
+    copy-on-write at fork time.  Named graphs that were registered (and
+    pre-built) before the fork resolve warm from the snapshot — the
+    payload carries only the request record.  Anonymous graphs, and
+    named graphs registered after the fork, arrive pickled in the
+    payload and are served from a private per-job handle: an unpickled
+    graph is a fresh object, so worker-side interning could never hit —
+    register graphs (and :meth:`SummaryService.warm_restart` after late
+    registrations) to serve them warm.  Jobs run serially inside the
+    worker — process mode parallelizes *across* requests, not within
+    one.
+
+    Lock discipline: the fork can happen while a parent dispatcher
+    thread holds a store or handle lock, and the child would inherit it
+    held forever.  The worker therefore never acquires shared locks: the
+    named-handle table is read directly (this process is
+    single-threaded), and pre-fork warm-up guarantees snapshot handles
+    are fully built, so their accessors stay on the lock-free fast path.
+    """
+    record, graph = payload
+    if graph is None:
+        store: GraphStore = worker_context()
+        handle = store._named[record["graph_key"]]
+        graph = handle.graph
+    else:
+        handle = GraphHandle(graph)
+    request = SummaryRequest.from_dict(record, graph=graph)
+    summarizer = create(request.method, **request.options)
+    return summarizer.summarize(graph, seed=request.seed, resources=handle)
+
+
+class _SubstrateView(GraphResources):
+    """A handle view exposing the interned substrate but no warm pools.
+
+    One-shot shims (``engine.run``, ``compare_methods``) run through the
+    service for substrate interning, but must not leave per-graph forked
+    pools open after they return — a script looping over many long-lived
+    graphs would accumulate pools without a service lifecycle to close
+    them.  Inline runs therefore see this view: shared dense/CSR, but
+    any pool they need is created and closed within the run, exactly as
+    before the service layer existed.  Queued service jobs get the full
+    handle (warm pools included); the service's shutdown closes those.
+    """
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: GraphHandle) -> None:
+        self._handle = handle
+
+    def dense(self):
+        return self._handle.dense()
+
+    def csr(self):
+        return self._handle.csr()
+
+
+class SummaryService:
+    """A long-lived summarization service with a bounded job queue.
+
+    Parameters
+    ----------
+    execution:
+        Default :class:`~repro.engine.execution.ExecutionConfig` for
+        requests that do not carry their own (``workers`` is a shorthand
+        for ``ExecutionConfig(workers=...)``).
+    mode:
+        ``"thread"`` (default) runs jobs on ``max_inflight`` dispatcher
+        threads in this process — full progress streams and mid-run
+        cancellation.  ``"process"`` additionally ships serializable
+        jobs to a persistent fork-based worker pool (warm across
+        requests); progress is then job-level only and cancellation
+        applies to queued jobs.  Falls back to ``"thread"`` where
+        ``fork`` is unavailable.
+    max_inflight:
+        Number of jobs executed concurrently (dispatcher threads).
+        Defaults to 1 (strict FIFO) in thread mode and to the pool width
+        in process mode.
+    max_pending:
+        Bound of the FIFO queue; a full queue raises
+        :class:`~repro.exceptions.ServiceSaturatedError` (or blocks with
+        ``submit(..., block=True)``).
+    graph_store:
+        Optional shared :class:`~repro.service.store.GraphStore`; by
+        default the service owns a private one and closes it on shutdown.
+    """
+
+    def __init__(
+        self,
+        *,
+        execution: Optional[ExecutionConfig] = None,
+        workers: Optional[int] = None,
+        mode: str = "thread",
+        max_inflight: Optional[int] = None,
+        max_pending: int = 256,
+        graph_store: Optional[GraphStore] = None,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ConfigurationError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if execution is not None and workers is not None:
+            raise ConfigurationError("pass either execution or workers, not both")
+        if workers is not None:
+            execution = ExecutionConfig(workers=workers) if workers > 1 else None
+        if max_pending < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {max_pending}")
+        if mode == "process" and not process_execution_available():
+            mode = "thread"
+        self.mode = mode
+        self.execution = execution
+        pool_width = min(available_cpus(), execution.workers if execution else available_cpus())
+        if max_inflight is None:
+            max_inflight = max(1, pool_width) if mode == "process" else 1
+        if max_inflight < 1:
+            raise ConfigurationError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self.store = graph_store if graph_store is not None else GraphStore()
+        self._owns_store = graph_store is None
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_pending)
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._job_ids = 0
+        self._job_pool: Optional[ProcessShardExecutor] = None
+        self._job_pool_generation = -1
+        self._stats = {"submitted": 0, "completed": 0, "failed": 0,
+                       "cancelled": 0, "inline_runs": 0, "pool_jobs": 0}
+
+    # ------------------------------------------------------------------
+    # Graph registration
+    # ------------------------------------------------------------------
+    def register_graph(self, key: str, graph: Graph) -> GraphHandle:
+        """Register ``graph`` under a stable name for ``graph_key`` requests."""
+        return self.store.register(key, graph)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def _make_request(
+        self,
+        request: Optional[SummaryRequest],
+        method: Optional[str],
+        graph: Optional[Graph],
+        graph_key: Optional[str],
+        seed: SeedLike,
+        execution: Optional[ExecutionConfig],
+        options: Optional[Mapping[str, Any]],
+        tag: Optional[str],
+    ) -> SummaryRequest:
+        if request is not None:
+            if any(value is not None for value in
+                   (method, graph, graph_key, seed, execution, options, tag)):
+                raise ConfigurationError(
+                    "pass either a SummaryRequest or request fields "
+                    "(method/graph/graph_key/seed/execution/options/tag), "
+                    "not both — field overrides on a prepared request are "
+                    "not applied"
+                )
+            return request
+        return SummaryRequest(
+            method=method or "",
+            graph=graph,
+            graph_key=graph_key,
+            seed=seed,
+            options=options or {},
+            execution=execution if execution is not None else self.execution,
+            tag=tag,
+        )
+
+    def submit(
+        self,
+        request: Optional[SummaryRequest] = None,
+        *,
+        method: Optional[str] = None,
+        graph: Optional[Graph] = None,
+        graph_key: Optional[str] = None,
+        seed: SeedLike = None,
+        execution: Optional[ExecutionConfig] = None,
+        options: Optional[Mapping[str, Any]] = None,
+        tag: Optional[str] = None,
+        block: bool = False,
+    ) -> SummaryJob:
+        """Enqueue one request; returns its :class:`SummaryJob` immediately.
+
+        Raises :class:`~repro.exceptions.ServiceClosedError` after
+        shutdown and :class:`~repro.exceptions.ServiceSaturatedError`
+        when the bounded queue is full (unless ``block=True``).
+        """
+        request = self._make_request(
+            request, method, graph, graph_key, seed, execution, options, tag
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down; no new requests")
+            self._job_ids += 1
+            job = SummaryJob(self._job_ids, request)
+            self._stats["submitted"] += 1
+            self._ensure_dispatchers()
+        try:
+            self._queue.put(job, block=block)
+        except queue.Full:
+            with self._lock:
+                self._stats["submitted"] -= 1
+            raise ServiceSaturatedError(
+                f"request queue is full ({self._queue.maxsize} pending); "
+                "retry, submit with block=True, or raise max_pending"
+            ) from None
+        if self._closed:
+            # A concurrent shutdown may have drained the queue and
+            # stopped the dispatchers between our closed-check and the
+            # put; make sure this job settles instead of queueing
+            # forever.  Strictly queued-only: a job a dispatcher already
+            # started is left to finish.
+            job._cancel_if_queued()
+        return job
+
+    def batch(self, requests: Sequence[SummaryRequest], block: bool = True) -> List[SummaryJob]:
+        """Submit several requests in order; returns their jobs."""
+        return [self.submit(request, block=block) for request in requests]
+
+    def result(self, job: SummaryJob, timeout: Optional[float] = None) -> EngineResult:
+        """Convenience passthrough: ``job.result(timeout)``."""
+        return job.result(timeout)
+
+    # ------------------------------------------------------------------
+    # Inline execution (the engine.run shim path)
+    # ------------------------------------------------------------------
+    def run(
+        self, request: SummaryRequest, control: Optional[RunControl] = None
+    ) -> EngineResult:
+        """Execute ``request`` synchronously on the calling thread.
+
+        This is the warm path behind ``engine.run``: no queue hop, and
+        the graph store's interned substrate is shared with queued
+        traffic — but not its warm pools (see :class:`_SubstrateView`),
+        so a one-shot leaves no forked workers behind.  Bit-identical to
+        a queued job with the same request.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down; no new requests")
+            self._stats["inline_runs"] += 1
+        return self._run_request(request, control, warm_pools=False)
+
+    # ------------------------------------------------------------------
+    # Async entry point
+    # ------------------------------------------------------------------
+    async def summarize(
+        self,
+        method: Optional[str] = None,
+        graph: Optional[Graph] = None,
+        *,
+        request: Optional[SummaryRequest] = None,
+        graph_key: Optional[str] = None,
+        seed: SeedLike = None,
+        execution: Optional[ExecutionConfig] = None,
+        options: Optional[Mapping[str, Any]] = None,
+        tag: Optional[str] = None,
+    ) -> EngineResult:
+        """``await``-able submit-and-wait: returns the EngineResult.
+
+        Cancelling the awaiting task cancels the underlying job (which
+        settles at its next between-iteration checkpoint).
+        """
+        job = self.submit(
+            request=request, method=method, graph=graph, graph_key=graph_key,
+            seed=seed, execution=execution, options=options, tag=tag, block=False,
+        )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[EngineResult]" = loop.create_future()
+
+        def _settle(settled: SummaryJob) -> None:
+            try:
+                outcome = settled.result(timeout=0)
+            except BaseException as error:  # noqa: BLE001 - forwarded to awaiter
+                loop.call_soon_threadsafe(_set_exception, error)
+            else:
+                loop.call_soon_threadsafe(_set_result, outcome)
+
+        def _set_result(outcome: EngineResult) -> None:
+            if not future.done():
+                future.set_result(outcome)
+
+        def _set_exception(error: BaseException) -> None:
+            if not future.done():
+                future.set_exception(error)
+
+        job.add_done_callback(_settle)
+        try:
+            return await future
+        except asyncio.CancelledError:
+            job.cancel()
+            raise
+
+    # ------------------------------------------------------------------
+    # Execution machinery
+    # ------------------------------------------------------------------
+    def _ensure_dispatchers(self) -> None:
+        """Start the dispatcher threads lazily (holding the lock)."""
+        while len(self._threads) < self.max_inflight:
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"summary-service-{id(self):x}-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                try:
+                    self._execute_job(item)
+                except Exception:
+                    # _execute_job settles the job before anything that
+                    # can raise here (stray listener/bookkeeping errors);
+                    # a dispatcher lane must never die and strand the
+                    # queue behind it.
+                    pass
+            finally:
+                self._queue.task_done()
+
+    def _execute_job(self, job: SummaryJob) -> None:
+        if not job._try_start():
+            with self._lock:
+                self._stats["cancelled"] += 1
+            return
+        control = RunControl(on_progress=job._on_run_progress, cancel=job.cancel_event)
+        try:
+            if self.mode == "process" and job.request.serializable:
+                result = self._run_in_pool(job.request)
+            else:
+                result = self._run_request(job.request, control)
+        except BaseException as error:  # noqa: BLE001 - settled on the job
+            job._fail(error)
+            with self._lock:
+                key = "cancelled" if job.cancelled() else "failed"
+                self._stats[key] += 1
+        else:
+            job._finish(result)
+            with self._lock:
+                self._stats["completed"] += 1
+
+    def _resolve(self, request: SummaryRequest) -> Tuple[Graph, GraphHandle]:
+        if request.graph_key is not None:
+            handle = self.store.get(request.graph_key)
+            return handle.graph, handle
+        assert request.graph is not None
+        return request.graph, self.store.intern(request.graph)
+
+    def _run_request(
+        self,
+        request: SummaryRequest,
+        control: Optional[RunControl],
+        warm_pools: bool = True,
+    ) -> EngineResult:
+        graph, handle = self._resolve(request)
+        summarizer = (
+            request.summarizer
+            if request.summarizer is not None
+            else create(request.method, **request.options)
+        )
+        return summarizer.summarize(
+            graph,
+            seed=request.seed,
+            execution=request.execution,
+            control=control,
+            resources=handle if warm_pools else _SubstrateView(handle),
+        )
+
+    def _run_in_pool(self, request: SummaryRequest) -> EngineResult:
+        graph, handle = self._resolve(request)
+        pool = self._ensure_job_pool()
+        # Named graphs whose *key* was registered before the pool forked
+        # live in the workers' copy-on-write snapshot and travel by key
+        # alone; anonymous graphs (workers cannot resolve them) and keys
+        # registered after the fork — even for an already-interned graph
+        # — ship with the payload.
+        warm_in_snapshot = (
+            request.graph_key is not None
+            and self.store.key_generation(request.graph_key)
+            <= self._job_pool_generation
+        )
+        inline = None if warm_in_snapshot else graph
+        record = request.to_dict()
+        with self._lock:
+            self._stats["pool_jobs"] += 1
+        # prestart is an idempotent width guard: after a restart (or a
+        # transient submit failure tore the pool down) the lazy re-fork
+        # would otherwise be sized by this 1-item payload.
+        pool.prestart()
+        return next(iter(pool.map_shards(_process_job_worker, [(record, inline)])))
+
+    def _prewarm_named_handles(self) -> None:
+        """Fully build every named handle before the pool (re)forks.
+
+        Builds dense *and* CSR so forked workers inherit finished
+        substrates copy-on-write and their accessors never touch a lock
+        (see the worker's lock-discipline note).  Only named handles
+        matter: anonymous graphs always ship with their payloads.
+        """
+        for handle in self.store.named_handles():
+            handle.csr()  # builds dense() first
+
+    def _ensure_job_pool(self) -> ProcessShardExecutor:
+        with self._lock:
+            if self._job_pool is None:
+                # Load the adapter registry in the parent before any
+                # fork: workers then hit create()'s lock-free fast path
+                # instead of importing under a lock another parent
+                # thread might hold at fork time.
+                available_methods()
+                self._prewarm_named_handles()
+                self._job_pool = ProcessShardExecutor(
+                    self.max_inflight, context=self.store
+                )
+                self._job_pool.prestart()
+                self._job_pool_generation = self.store.generation
+            return self._job_pool
+
+    def warm_restart(self) -> None:
+        """Re-fork the process-mode job pool against the current store.
+
+        Call after registering large graphs so subsequent jobs resolve
+        them from the copy-on-write snapshot instead of shipping them
+        per payload.  No-op in thread mode or before the pool exists.
+        """
+        with self._lock:
+            pool = self._job_pool
+            if pool is not None:
+                self._prewarm_named_handles()
+                pool.restart()
+                self._job_pool_generation = self.store.generation
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Service counters plus the graph store's interning stats."""
+        with self._lock:
+            record = dict(self._stats)
+        record["mode"] = self.mode
+        record["max_inflight"] = self.max_inflight
+        record["pending"] = self._queue.qsize()
+        record["store"] = self.store.stats()
+        return record
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting requests, drain, and tear everything down.
+
+        ``cancel_pending=True`` cancels still-queued jobs instead of
+        running them.  Idempotent; also invoked by ``__exit__``.
+        """
+        with self._lock:
+            if self._closed:
+                threads: List[threading.Thread] = []
+            else:
+                self._closed = True
+                threads = list(self._threads)
+        if cancel_pending:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                try:
+                    if item is _STOP:
+                        # Another shutdown's dispatcher sentinel: not
+                        # ours to consume.  Sentinels sit behind every
+                        # job (FIFO), so the drain is complete.
+                        self._queue.put(_STOP)
+                        break
+                    if item._cancel_if_queued():
+                        with self._lock:
+                            self._stats["cancelled"] += 1
+                finally:
+                    self._queue.task_done()
+        for _ in threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in threads:
+                thread.join()
+        with self._lock:
+            pool, self._job_pool = self._job_pool, None
+        if pool is not None:
+            pool.close()
+        if self._owns_store:
+            self.store.close()
+
+    close = shutdown
+
+    def __enter__(self) -> "SummaryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"SummaryService(mode={self.mode!r}, "
+                f"max_inflight={self.max_inflight}, "
+                f"pending={self._queue.qsize()})")
+
+
+# ----------------------------------------------------------------------
+# The default service behind the one-shot shims
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[SummaryService] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_service() -> SummaryService:
+    """The process-wide service behind ``engine.run`` and friends.
+
+    Thread-mode, strict-FIFO, with a weakly-interning graph store — the
+    shims gain substrate reuse across repeated calls on the same graph
+    without changing any one-shot semantics.  Created lazily; reset with
+    :func:`shutdown_default_service`.
+    """
+    global _DEFAULT
+    if _DEFAULT is None or _DEFAULT._closed:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None or _DEFAULT._closed:
+                _DEFAULT = SummaryService(mode="thread", max_inflight=1)
+    return _DEFAULT
+
+
+def shutdown_default_service() -> None:
+    """Tear down the default service (a fresh one is created on demand)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        service, _DEFAULT = _DEFAULT, None
+    if service is not None:
+        service.shutdown(cancel_pending=True)

@@ -1,0 +1,305 @@
+"""Graph interning: one substrate build per graph, shared across requests.
+
+Every summarizer run needs the dense integer-id substrate
+(:class:`~repro.graphs.index.NodeIndex` + adjacency) and, for parallel
+shingle sweeps, a frozen CSR view and a forked worker pool.  A one-shot
+``engine.run`` call rebuilds all of that per invocation; a serving
+workload issuing many small requests against the same graphs should not.
+:class:`GraphStore` interns graphs by object identity and hands out
+:class:`GraphHandle` objects that memoize the substrate views lazily and
+keep per-graph warm shingle pools open across requests.
+
+Everything a handle shares is **read-only for summarizer runs** (the
+input adjacency never changes during a run), so one handle can serve any
+number of concurrent jobs; builds are serialized per handle with a lock
+so two racing jobs cannot duplicate work.
+
+Staleness: handles remember the graph's :attr:`~repro.graphs.graph.Graph.
+mutation_count` at build time.  If a caller mutates a graph between
+requests (the ``Graph`` type is mutable), the next ``intern`` / ``get``
+detects the drift — including count-preserving edit sequences — and
+rebuilds the handle.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, Iterator, List, Optional
+
+from repro.engine.execution import ExecutionConfig, ProcessShardExecutor
+from repro.engine.hooks import GraphResources
+from repro.exceptions import ServiceError
+from repro.graphs.dense import CSRAdjacency, DenseAdjacency
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphHandle", "GraphStore"]
+
+
+class GraphHandle(GraphResources):
+    """Memoized substrate views (and warm pools) for one interned graph.
+
+    Implements the :class:`~repro.engine.hooks.GraphResources` protocol,
+    so a handle can be passed straight into ``Summarizer.summarize`` as
+    the run's ``resources``.
+    """
+
+    def __init__(self, graph: Graph, key: Optional[str] = None, generation: int = 0) -> None:
+        # Weak, not strong: the handle lives as a value of the store's
+        # weak-keyed table, so a strong graph reference here would keep
+        # the key reachable through the value and no anonymous graph
+        # could ever be evicted.  Named registrations pin the graph
+        # separately (see :meth:`GraphStore.register`).
+        self._graph = weakref.ref(graph)
+        self.key = key
+        #: Store generation at creation; the process-mode service uses it
+        #: to decide whether a forked worker snapshot already holds this
+        #: handle's graph.
+        self.generation = generation
+        self._mutations_at_build = graph.mutation_count
+        self._lock = threading.Lock()
+        self._dense: Optional[DenseAdjacency] = None
+        self._csr: Optional[CSRAdjacency] = None
+        self._pools: Dict[int, ProcessShardExecutor] = {}
+        self._builds = 0
+
+    @property
+    def graph(self) -> Graph:
+        """The interned graph; raises if it was garbage-collected."""
+        graph = self._graph()
+        if graph is None:
+            raise ServiceError(
+                "the interned graph was garbage-collected; keep a reference "
+                "to the graph (or register it under a name) while using its handle"
+            )
+        return graph
+
+    # -- GraphResources protocol ---------------------------------------
+    def dense(self) -> DenseAdjacency:
+        """The interned dense substrate, built on first use."""
+        if self._dense is None:
+            with self._lock:
+                if self._dense is None:
+                    self._builds += 1
+                    self._dense = DenseAdjacency.from_graph(self.graph)
+        return self._dense
+
+    def csr(self) -> CSRAdjacency:
+        """The interned frozen CSR view, built on first use."""
+        if self._csr is None:
+            dense = self.dense()
+            with self._lock:
+                if self._csr is None:
+                    self._csr = dense.freeze()
+        return self._csr
+
+    def shingle_executor(self, execution: Optional[ExecutionConfig]):
+        """A warm per-graph shingle pool for ``execution``, or ``None``.
+
+        Mirrors the gating of the shingle phases (parallel configuration,
+        graph clears the size floor); pools are keyed by worker count and
+        stay open across requests — their forked workers inherited this
+        handle's immutable ``(csr, labels)`` context, so every later
+        request against the same graph skips both the substrate build and
+        the fork.  Closed by :meth:`close` when the store drops the
+        handle.
+        """
+        if (
+            execution is None
+            or not execution.parallel
+            or self.graph.num_nodes < execution.shingle_parallel_min_nodes
+        ):
+            return None
+        pool = self._pools.get(execution.workers)
+        if pool is None:
+            # Build the context before taking the lock: csr()/dense()
+            # acquire the same non-reentrant lock internally.
+            context = (self.csr(), self.dense().index.labels())
+            with self._lock:
+                pool = self._pools.get(execution.workers)
+                if pool is None:
+                    pool = ProcessShardExecutor(execution.workers, context=context)
+                    self._pools[execution.workers] = pool
+        return pool
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """Whether the graph was structurally mutated since the handle was built.
+
+        Tracks :attr:`Graph.mutation_count`, so even count-preserving
+        edit sequences (remove one edge, add another) are detected.
+        """
+        return self.graph.mutation_count != self._mutations_at_build
+
+    @property
+    def builds(self) -> int:
+        """Number of substrate builds this handle performed (0 or 1)."""
+        return self._builds
+
+    def close(self) -> None:
+        """Shut down the handle's warm pools (idempotent)."""
+        with self._lock:
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            pool.close()
+
+    def __repr__(self) -> str:
+        return (f"GraphHandle(key={self.key!r}, nodes={self.graph.num_nodes}, "
+                f"edges={self.graph.num_edges})")
+
+
+def _close_if_alive(handle_ref: "weakref.ref[GraphHandle]") -> None:
+    """Graph finalizer: close the handle's pools iff it is still alive."""
+    handle = handle_ref()
+    if handle is not None:
+        handle.close()
+
+
+class GraphStore:
+    """Interning table: graph → :class:`GraphHandle`.
+
+    Graphs are interned by *object identity* (``Graph`` hashes by
+    identity), through a weak mapping — the store never keeps an
+    anonymous graph alive on its own.  Named graphs registered via
+    :meth:`register` are additionally pinned strongly under their key, so
+    a serving batch file can reference them by name.
+
+    ``hits`` / ``misses`` count :meth:`intern` lookups and are the
+    serving layer's cache-effectiveness signal.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._handles: "weakref.WeakKeyDictionary[Graph, GraphHandle]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._named: Dict[str, GraphHandle] = {}
+        #: Strong references for named graphs (handles only hold weakrefs).
+        self._pinned: Dict[str, Graph] = {}
+        #: Store generation at which each *key* was (last) registered —
+        #: distinct from the handle's creation generation: re-registering
+        #: an already-interned graph under a new key must still look
+        #: "young" to pools forked before that key existed.
+        self._key_generation: Dict[str, int] = {}
+        #: Bumped whenever a new handle is created; process-mode services
+        #: compare it against their forked snapshot's generation.
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, graph: Graph, key: Optional[str] = None) -> GraphHandle:
+        """The (possibly new) handle for ``graph``; counts hit/miss."""
+        with self._lock:
+            handle = self._handles.get(graph)
+            if handle is not None and not handle.stale:
+                self.hits += 1
+                return handle
+            if handle is not None:
+                handle.close()
+            self.misses += 1
+            self.generation += 1
+            handle = GraphHandle(graph, key=key, generation=self.generation)
+            self._handles[graph] = handle
+            # If the graph is collected, the weak table drops the handle;
+            # the finalizer makes sure its warm pools go with it.  It
+            # must hold the handle weakly — a strong reference would pin
+            # every superseded (stale-replaced) handle, and its whole
+            # substrate, for the graph's lifetime.
+            weakref.finalize(graph, _close_if_alive, weakref.ref(handle))
+            return handle
+
+    def register(self, key: str, graph: Graph) -> GraphHandle:
+        """Intern ``graph`` under a stable name (strongly referenced)."""
+        handle = self.intern(graph, key=key)
+        with self._lock:
+            if self._named.get(key) is not handle:
+                # New or rebound key: pools forked earlier cannot resolve
+                # it, so the binding must look younger than they are.
+                self.generation += 1
+                self._key_generation[key] = self.generation
+            self._named[key] = handle
+            self._pinned[key] = graph
+        return handle
+
+    def key_generation(self, key: str) -> int:
+        """Store generation at which ``key`` was last registered.
+
+        Process-mode services compare this against their forked
+        snapshot's generation to decide whether a worker can resolve the
+        key from inherited memory.  Unknown keys report an impossibly
+        young generation so callers fall back to shipping the graph.
+        """
+        with self._lock:
+            return self._key_generation.get(key, self.generation + 1)
+
+    def get(self, key: str) -> GraphHandle:
+        """The handle registered under ``key``; raises if unknown.
+
+        Applies the same staleness protocol as :meth:`intern`: a
+        registered graph whose edge count drifted is re-interned before
+        use.  A fresh resolution counts as an interning hit — reuse of a
+        registered graph is exactly what the store exists for.
+        """
+        with self._lock:
+            handle = self._named.get(key)
+            stale = handle is not None and handle.stale
+            if handle is not None and not stale:
+                self.hits += 1
+        if handle is None:
+            raise ServiceError(
+                f"no graph registered under {key!r}; "
+                f"known keys: {', '.join(sorted(self._named)) or '(none)'}"
+            )
+        if stale:
+            return self.register(key, handle.graph)
+        return handle
+
+    def invalidate(self, graph: Graph) -> None:
+        """Drop the handle for ``graph`` (after an in-place mutation)."""
+        with self._lock:
+            handle = self._handles.pop(graph, None)
+            if handle is not None:
+                for key in [k for k, h in self._named.items() if h is handle]:
+                    del self._named[key]
+                    self._pinned.pop(key, None)
+                    self._key_generation.pop(key, None)
+        if handle is not None:
+            handle.close()
+
+    def keys(self) -> List[str]:
+        """Names of all registered graphs."""
+        with self._lock:
+            return sorted(self._named)
+
+    def handles(self) -> Iterator[GraphHandle]:
+        """All live handles (weak and named)."""
+        with self._lock:
+            return iter(list(self._handles.values()))
+
+    def named_handles(self) -> List[GraphHandle]:
+        """Handles of all registered (named, strongly pinned) graphs."""
+        with self._lock:
+            return list(self._named.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Interning counters: hits, misses, live handles, generation."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "graphs": len(self._handles),
+                "named": len(self._named),
+                "generation": self.generation,
+            }
+
+    def close(self) -> None:
+        """Close every handle's warm pools and forget all graphs."""
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles = weakref.WeakKeyDictionary()
+            self._named.clear()
+            self._pinned.clear()
+            self._key_generation.clear()
+        for handle in handles:
+            handle.close()

@@ -1,0 +1,749 @@
+"""Tests for the service layer: sessions, jobs, warm pools, determinism.
+
+The load-bearing guarantee: for a fixed seed a request's summary is
+**bit-identical** whether it runs via one-shot ``engine.run``, a single
+warm-service job, a process-mode worker, or eight concurrent mixed-method
+submissions.  On top of that the suite covers the job lifecycle (FIFO
+ordering, cancellation before and mid-run, progress-event monotonicity),
+graph-store interning, request validation/serialization, the bounded
+queue, and the executor-teardown guarantee the warm pools rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import engine
+from repro.baselines.greedy import greedy_summarize
+from repro.engine.execution import ProcessShardExecutor, process_execution_available
+from repro.engine.hooks import RunControl
+from repro.exceptions import (
+    ConfigurationError,
+    JobCancelled,
+    ServiceClosedError,
+    ServiceError,
+    ServiceSaturatedError,
+)
+from repro.graphs import Graph, caveman_graph, erdos_renyi_graph
+from repro.service import (
+    GraphStore,
+    JobState,
+    SummaryRequest,
+    SummaryService,
+    default_service,
+)
+
+# Captured from serial engine.run (iterations=5, seed=0) — the same pins
+# test_execution.py holds; every serving path must reproduce them.
+CAVEMAN_SLUGGER_PIN = (332, 133, 7, 192)
+CAVEMAN_SWEG_COST = 327
+
+SLUGGER_OPTIONS = {"iterations": 5}
+
+
+def caveman_fixture() -> Graph:
+    return caveman_graph(20, 10, 0.05, seed=1)
+
+
+def fingerprint(summary):
+    record = [summary.cost()]
+    for attribute in ("num_p_edges", "num_n_edges", "num_h_edges"):
+        record.append(getattr(summary, attribute, None))
+    edges = getattr(summary, "p_edges", None)
+    if callable(edges):
+        record.append(tuple(sorted(map(tuple, summary.p_edges()))))
+        record.append(tuple(sorted(map(tuple, summary.n_edges()))))
+    else:
+        record.append(tuple(sorted(map(tuple, summary.superedges))))
+        record.append(tuple(sorted(map(tuple, summary.corrections_plus))))
+        record.append(tuple(sorted(map(tuple, summary.corrections_minus))))
+    return tuple(record)
+
+
+def wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.005)
+
+
+@engine.register
+class _GatedSummarizer(engine.Summarizer):
+    """Test summarizer that blocks on a per-seed gate (for queue tests)."""
+
+    name = "svc-test-gated"
+
+    #: seed → threading.Event released by the test.
+    gates = {}
+    #: Seeds in the order their runs started.
+    started = []
+
+    def _run(self, graph, seed):
+        type(self).started.append(seed)
+        gate = type(self).gates.get(seed)
+        if gate is not None:
+            assert gate.wait(30), f"gate for seed {seed} never released"
+        return greedy_summarize(graph, max_merges=0), [], {}
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+class TestSummaryRequest:
+    def test_validation(self):
+        graph = caveman_fixture()
+        with pytest.raises(ConfigurationError):
+            SummaryRequest(method="", graph=graph)
+        with pytest.raises(ConfigurationError):
+            SummaryRequest(method="slugger")  # no graph at all
+        with pytest.raises(ConfigurationError):
+            SummaryRequest(method="slugger", graph=graph, graph_key="x")
+        with pytest.raises(ConfigurationError):
+            SummaryRequest(method="slugger", graph="not a graph")
+        with pytest.raises(ConfigurationError):
+            SummaryRequest(method="slugger", graph=graph, options=[1, 2])
+
+    def test_options_are_frozen_copies(self):
+        options = {"iterations": 5}
+        request = SummaryRequest(method="slugger", graph=caveman_fixture(),
+                                 options=options)
+        options["iterations"] = 99
+        assert request.options["iterations"] == 5
+
+    def test_serialization_round_trip(self):
+        request = SummaryRequest(
+            method="sweg", graph_key="cave", seed=3,
+            options={"iterations": 7},
+            execution=engine.ExecutionConfig(workers=2), tag="t",
+        )
+        record = request.to_dict()
+        rebuilt = SummaryRequest.from_dict(record)
+        assert rebuilt.method == "sweg"
+        assert rebuilt.graph_key == "cave"
+        assert rebuilt.seed == 3
+        assert rebuilt.options == {"iterations": 7}
+        assert rebuilt.execution == request.execution
+        assert rebuilt.tag == "t"
+
+    def test_summarizer_requests_are_not_serializable(self):
+        request = SummaryRequest(
+            summarizer=engine.create("slugger"), graph=caveman_fixture()
+        )
+        assert request.method == "slugger"
+        assert not request.serializable
+        with pytest.raises(ConfigurationError):
+            request.to_dict()
+
+    def test_from_dict_rejects_unknown_execution_fields(self):
+        with pytest.raises(ConfigurationError):
+            SummaryRequest.from_dict(
+                {"method": "slugger", "graph_key": "g",
+                 "execution": {"workers": 2, "bogus": 1}}
+            )
+
+    def test_from_dict_rejects_unknown_record_fields(self):
+        # A top-level 'iterations' (belongs under 'options') must fail
+        # loudly instead of silently running with defaults.
+        with pytest.raises(ConfigurationError, match="iterations"):
+            SummaryRequest.from_dict(
+                {"method": "slugger", "graph_key": "g", "iterations": 10}
+            )
+
+
+# ----------------------------------------------------------------------
+# Graph store
+# ----------------------------------------------------------------------
+class TestGraphStore:
+    def test_interning_hits_and_identity(self):
+        store = GraphStore()
+        graph = caveman_fixture()
+        first = store.intern(graph)
+        second = store.intern(graph)
+        assert first is second
+        assert first.dense() is second.dense()
+        assert first.csr() is second.csr()
+        stats = store.stats()
+        assert stats == {"hits": 1, "misses": 1, "graphs": 1, "named": 0,
+                         "generation": 1}
+        store.close()
+
+    def test_distinct_graphs_get_distinct_handles(self):
+        store = GraphStore()
+        graph_a, graph_b = caveman_fixture(), caveman_fixture()
+        assert store.intern(graph_a) is not store.intern(graph_b)
+        assert store.stats()["misses"] == 2
+        store.close()
+
+    def test_mutated_graph_rebuilds_the_handle(self):
+        store = GraphStore()
+        graph = caveman_fixture()
+        stale = store.intern(graph)
+        stale.dense()
+        graph.add_edge("x", "y")
+        fresh = store.intern(graph)
+        assert fresh is not stale
+        assert fresh.dense().num_edges == graph.num_edges
+        store.close()
+
+    def test_superseded_handles_are_collectable(self):
+        import gc
+        import weakref as weakref_module
+
+        store = GraphStore()
+        graph = caveman_fixture()
+        old = store.intern(graph)
+        old.dense()
+        old_ref = weakref_module.ref(old)
+        graph.add_edge("x", "y")
+        store.intern(graph)  # stale: closes and replaces the old handle
+        del old
+        gc.collect()
+        # The graph's finalizer must not pin the superseded handle (and
+        # its whole substrate) for the graph's lifetime.
+        assert old_ref() is None
+        store.close()
+
+    def test_count_preserving_mutation_is_detected(self):
+        # remove-one/add-one keeps num_edges constant; the mutation
+        # counter must still mark the handle stale.
+        store = GraphStore()
+        graph = caveman_fixture()
+        stale = store.intern(graph)
+        u, v = next(graph.edges())
+        graph.remove_edge(u, v)
+        graph.add_edge("p", "q")
+        assert stale.stale
+        fresh = store.intern(graph)
+        assert fresh is not stale
+        store.close()
+
+    def test_anonymous_graphs_are_evictable(self):
+        import gc
+
+        store = GraphStore()
+        graph = caveman_fixture()
+        handle = store.intern(graph)
+        handle.dense()
+        assert store.stats()["graphs"] == 1
+        del graph
+        gc.collect()
+        # The weak table dropped the entry; the handle reports the loss
+        # instead of silently serving a dead graph.
+        assert store.stats()["graphs"] == 0
+        with pytest.raises(ServiceError):
+            handle.graph
+        store.close()
+
+    def test_named_graphs_are_pinned(self):
+        import gc
+
+        store = GraphStore()
+        store.register("cave", caveman_fixture())  # no caller-side reference
+        gc.collect()
+        assert store.get("cave").graph.num_nodes == 200
+        store.close()
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_warm_shingle_pool_creation_does_not_self_deadlock(self):
+        # Regression: shingle_executor built its (csr, labels) context
+        # while holding the handle lock that csr()/dense() also take.
+        from repro.engine.execution import ExecutionConfig
+
+        store = GraphStore()
+        graph = caveman_fixture()
+        handle = store.intern(graph)
+        execution = ExecutionConfig(workers=2, shingle_parallel_min_nodes=1)
+        pool = handle.shingle_executor(execution)
+        assert pool is not None
+        assert handle.shingle_executor(execution) is pool  # cached per width
+        store.close()
+
+    def test_named_registration(self):
+        store = GraphStore()
+        graph = caveman_fixture()
+        handle = store.register("cave", graph)
+        assert store.get("cave") is handle
+        assert store.keys() == ["cave"]
+        with pytest.raises(ServiceError):
+            store.get("unknown")
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: ordering, cancellation, progress
+# ----------------------------------------------------------------------
+class TestJobLifecycle:
+    def test_fifo_queue_ordering(self):
+        _GatedSummarizer.started = []
+        _GatedSummarizer.gates = {seed: threading.Event() for seed in (1, 2, 3)}
+        graph = caveman_fixture()
+        with SummaryService(max_inflight=1) as service:
+            jobs = [service.submit(method="svc-test-gated", graph=graph, seed=seed)
+                    for seed in (1, 2, 3)]
+            assert [job.id for job in jobs] == [1, 2, 3]
+            # Release out of order; a single in-flight lane must still
+            # run (and settle) in submission order.
+            for seed in (3, 2, 1):
+                _GatedSummarizer.gates[seed].set()
+            for job in jobs:
+                job.result(timeout=30)
+        assert _GatedSummarizer.started == [1, 2, 3]
+        assert [job.state for job in jobs] == [JobState.DONE] * 3
+
+    def test_cancel_before_run(self):
+        _GatedSummarizer.started = []
+        _GatedSummarizer.gates = {10: threading.Event()}
+        graph = caveman_fixture()
+        with SummaryService(max_inflight=1) as service:
+            blocker = service.submit(method="svc-test-gated", graph=graph, seed=10)
+            wait_until(lambda: blocker.state is JobState.RUNNING)
+            queued = service.submit(method="slugger", graph=graph, seed=0,
+                                    options=SLUGGER_OPTIONS)
+            assert queued.cancel()
+            _GatedSummarizer.gates[10].set()
+            blocker.result(timeout=30)
+            with pytest.raises(JobCancelled):
+                queued.result(timeout=30)
+        assert queued.state is JobState.CANCELLED
+        assert 0 not in _GatedSummarizer.started  # the cancelled job never ran
+        assert queued.events()[-1].stage == "cancelled"
+
+    def test_cancel_mid_run_stops_between_iterations(self):
+        graph = caveman_fixture()
+        with SummaryService(max_inflight=1) as service:
+            job = service.submit(method="slugger", graph=graph, seed=0,
+                                 options={"iterations": 50})
+
+            def cancel_after_two(event):
+                if event.stage == "iteration" and event.payload["iteration"] == 2:
+                    job.cancel()
+
+            job.add_progress_listener(cancel_after_two)
+            with pytest.raises(JobCancelled):
+                job.result(timeout=60)
+        assert job.state is JobState.CANCELLED
+        iterations = [event.payload["iteration"] for event in job.events()
+                      if event.stage == "iteration"]
+        assert iterations and max(iterations) == 2  # nothing ran after the cancel
+
+    def test_progress_events_are_monotonic_and_complete(self):
+        graph = caveman_fixture()
+        streamed = []
+        with SummaryService(max_inflight=1) as service:
+            job = service.submit(method="slugger", graph=graph, seed=0,
+                                 options=SLUGGER_OPTIONS)
+            job.result(timeout=60)
+            job.add_progress_listener(streamed.append)  # late subscriber
+        events = job.events()
+        assert [event.seq for event in events] == list(range(len(events)))
+        assert events[0].stage == "queued"
+        assert events[1].stage == "started"
+        assert events[-1].stage == "done"
+        iterations = [event.payload["iteration"] for event in events
+                      if event.stage == "iteration"]
+        assert iterations == sorted(iterations) == list(range(1, 6))
+        assert all(event.method == "slugger" for event in events)
+        # The late subscriber got the full backlog, in order.
+        assert [event.seq for event in streamed] == [event.seq for event in events]
+
+    def test_raising_listener_does_not_kill_the_dispatcher(self):
+        graph = caveman_fixture()
+        with SummaryService(max_inflight=1) as service:
+            first = service.submit(method="slugger", graph=graph, seed=0,
+                                   options=SLUGGER_OPTIONS)
+            first.add_progress_listener(
+                lambda event: (_ for _ in ()).throw(RuntimeError("bad listener"))
+            )
+            first.result(timeout=120)
+            # The lane survived the listener; later jobs still execute.
+            second = service.submit(method="slugger", graph=graph, seed=1,
+                                    options=SLUGGER_OPTIONS)
+            second.result(timeout=120)
+        assert first.state is JobState.DONE
+        assert second.state is JobState.DONE
+
+    def test_mutated_named_graph_is_reinterned_on_get(self):
+        graph = caveman_fixture()
+        with SummaryService(max_inflight=1) as service:
+            service.register_graph("cave", graph)
+            service.submit(method="slugger", graph_key="cave", seed=0,
+                           options=SLUGGER_OPTIONS).result(timeout=120)
+            graph.add_edge("extra-a", "extra-b")
+            refreshed = service.submit(method="slugger", graph_key="cave", seed=0,
+                                       options=SLUGGER_OPTIONS).result(timeout=120)
+            refreshed.summary.validate(graph)  # built against the mutated graph
+            assert service.stats()["store"]["misses"] == 2  # stale handle rebuilt
+
+    def test_failed_job_reraises(self):
+        with SummaryService(max_inflight=1) as service:
+            job = service.submit(method="no-such-method", graph=caveman_fixture())
+            with pytest.raises(ConfigurationError):
+                job.result(timeout=30)
+        assert job.state is JobState.FAILED
+        assert job.events()[-1].stage == "failed"
+
+    def test_result_timeout(self):
+        _GatedSummarizer.gates = {77: threading.Event()}
+        with SummaryService(max_inflight=1) as service:
+            job = service.submit(method="svc-test-gated", graph=caveman_fixture(),
+                                 seed=77)
+            with pytest.raises(TimeoutError):
+                job.result(timeout=0.05)
+            _GatedSummarizer.gates[77].set()
+            job.result(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Backpressure and shutdown
+# ----------------------------------------------------------------------
+class TestServiceLifecycle:
+    def test_bounded_queue_saturates(self):
+        _GatedSummarizer.gates = {50: threading.Event()}
+        graph = caveman_fixture()
+        service = SummaryService(max_inflight=1, max_pending=1)
+        try:
+            running = service.submit(method="svc-test-gated", graph=graph, seed=50)
+            wait_until(lambda: running.state is JobState.RUNNING)
+            service.submit(method="slugger", graph=graph, seed=0,
+                           options=SLUGGER_OPTIONS)
+            with pytest.raises(ServiceSaturatedError):
+                service.submit(method="slugger", graph=graph, seed=1,
+                               options=SLUGGER_OPTIONS)
+        finally:
+            _GatedSummarizer.gates[50].set()
+            service.shutdown()
+
+    def test_closed_service_rejects_submissions(self):
+        graph = caveman_fixture()
+        with SummaryService() as service:
+            service.submit(method="slugger", graph=graph, seed=0,
+                           options=SLUGGER_OPTIONS).result(timeout=60)
+        with pytest.raises(ServiceClosedError):
+            service.submit(method="slugger", graph=graph, seed=0)
+        with pytest.raises(ServiceClosedError):
+            service.run(SummaryRequest(method="slugger", graph=graph, seed=0))
+
+    def test_shutdown_cancels_pending(self):
+        _GatedSummarizer.gates = {60: threading.Event()}
+        graph = caveman_fixture()
+        service = SummaryService(max_inflight=1)
+        running = service.submit(method="svc-test-gated", graph=graph, seed=60)
+        wait_until(lambda: running.state is JobState.RUNNING)
+        queued = service.submit(method="slugger", graph=graph, seed=0,
+                                options=SLUGGER_OPTIONS)
+        service.shutdown(wait=False, cancel_pending=True)
+        assert queued.state is JobState.CANCELLED
+        _GatedSummarizer.gates[60].set()
+        running.result(timeout=30)
+        service.shutdown()  # idempotent; joins the dispatcher
+
+    def test_submit_rejects_overrides_on_a_prepared_request(self):
+        graph = caveman_fixture()
+        request = SummaryRequest(method="slugger", graph=graph, seed=0,
+                                 options=SLUGGER_OPTIONS)
+        with SummaryService() as service:
+            with pytest.raises(ConfigurationError):
+                service.submit(request, seed=3)  # silently ignored before
+            with pytest.raises(ConfigurationError):
+                service.submit(request, options={"iterations": 20})
+            service.submit(request).result(timeout=120)  # plain request is fine
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            SummaryService(mode="fiber")
+        with pytest.raises(ConfigurationError):
+            SummaryService(max_pending=0)
+        with pytest.raises(ConfigurationError):
+            SummaryService(max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            SummaryService(workers=2, execution=engine.ExecutionConfig(workers=2))
+
+
+# ----------------------------------------------------------------------
+# Determinism: the acceptance-criteria pins
+# ----------------------------------------------------------------------
+class TestServingDeterminism:
+    def test_engine_run_matches_the_pin(self):
+        result = engine.run("slugger", caveman_fixture(), seed=0, iterations=5)
+        summary = result.summary
+        assert (summary.cost(), summary.num_p_edges, summary.num_n_edges,
+                summary.num_h_edges) == CAVEMAN_SLUGGER_PIN
+
+    def test_engine_run_is_warm_across_repeats(self):
+        graph = caveman_fixture()
+        first = engine.run("slugger", graph, seed=0, iterations=5)
+        store_stats = default_service().stats()["store"]
+        second = engine.run("slugger", graph, seed=0, iterations=5)
+        assert fingerprint(first.summary) == fingerprint(second.summary)
+        after = default_service().stats()["store"]
+        assert after["hits"] > store_stats["hits"]
+
+    def test_single_warm_job_matches_engine_run(self):
+        graph = caveman_fixture()
+        reference = engine.run("slugger", graph, seed=0, iterations=5)
+        with SummaryService(max_inflight=1) as service:
+            warm = service.submit(method="slugger", graph=graph, seed=0,
+                                  options=SLUGGER_OPTIONS).result(timeout=120)
+        assert fingerprint(warm.summary) == fingerprint(reference.summary)
+        assert (warm.summary.cost(), warm.summary.num_p_edges,
+                warm.summary.num_n_edges, warm.summary.num_h_edges) == \
+            CAVEMAN_SLUGGER_PIN
+
+    def test_eight_concurrent_mixed_submissions_are_bit_identical(self):
+        graph = caveman_fixture()
+        specs = [
+            ("slugger", 0, SLUGGER_OPTIONS),
+            ("sweg", 0, {"iterations": 5}),
+            ("randomized", 1, {}),
+            ("sags", 2, {}),
+            ("slugger", 0, SLUGGER_OPTIONS),
+            ("sweg", 0, {"iterations": 5}),
+            ("randomized", 1, {}),
+            ("sags", 2, {}),
+        ]
+        # Direct, service-free reference runs (one per distinct request).
+        references = {}
+        for method, seed, options in specs:
+            if (method, seed) not in references:
+                references[(method, seed)] = engine.create(
+                    method, **options
+                ).summarize(graph, seed=seed)
+        with SummaryService(max_inflight=8) as service:
+            jobs = [service.submit(method=method, graph=graph, seed=seed,
+                                   options=options)
+                    for method, seed, options in specs]
+            results = [job.result(timeout=300) for job in jobs]
+        for (method, seed, _options), result in zip(specs, results):
+            assert fingerprint(result.summary) == \
+                fingerprint(references[(method, seed)].summary), \
+                f"{method} diverged under concurrent mixed traffic"
+            result.summary.validate(graph)
+        slugger_summary = results[0].summary
+        assert (slugger_summary.cost(), slugger_summary.num_p_edges,
+                slugger_summary.num_n_edges, slugger_summary.num_h_edges) == \
+            CAVEMAN_SLUGGER_PIN
+        assert results[1].summary.cost_eq11() == CAVEMAN_SWEG_COST
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_process_mode_matches_the_pin(self):
+        graph = caveman_fixture()
+        reference = engine.run("slugger", graph, seed=0, iterations=5)
+        with SummaryService(mode="process", max_inflight=2) as service:
+            service.register_graph("cave", graph)
+            jobs = [service.submit(method="slugger", graph_key="cave", seed=0,
+                                   options=SLUGGER_OPTIONS) for _ in range(2)]
+            jobs.append(service.submit(method="sweg", graph_key="cave", seed=0,
+                                       options={"iterations": 5}))
+            results = [job.result(timeout=300) for job in jobs]
+        assert service.stats()["pool_jobs"] == 3
+        for result in results[:2]:
+            assert fingerprint(result.summary) == fingerprint(reference.summary)
+        assert results[2].summary.cost_eq11() == CAVEMAN_SWEG_COST
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_process_mode_inline_graph_requests(self):
+        # Anonymous graphs cannot be resolved from the workers' snapshot,
+        # so they must ship with the payload (regression: this used to
+        # fail with KeyError('graph_key')).
+        graph = caveman_fixture()
+        reference = engine.run("slugger", graph, seed=0, iterations=5)
+        with SummaryService(mode="process", max_inflight=1) as service:
+            result = service.submit(method="slugger", graph=graph, seed=0,
+                                    options=SLUGGER_OPTIONS).result(timeout=300)
+        assert fingerprint(result.summary) == fingerprint(reference.summary)
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_process_mode_graph_registered_after_fork(self):
+        # A graph registered after the pool forked is not in the workers'
+        # snapshot; it must travel with the payload and still match.
+        early, late = caveman_fixture(), erdos_renyi_graph(150, 0.05, seed=9)
+        with SummaryService(mode="process", max_inflight=1) as service:
+            service.register_graph("early", early)
+            first = service.submit(method="slugger", graph_key="early", seed=0,
+                                   options=SLUGGER_OPTIONS).result(timeout=300)
+            service.register_graph("late", late)
+            second = service.submit(method="slugger", graph_key="late", seed=3,
+                                    options=SLUGGER_OPTIONS).result(timeout=300)
+        assert fingerprint(first.summary) == fingerprint(
+            engine.run("slugger", early, seed=0, iterations=5).summary
+        )
+        assert fingerprint(second.summary) == fingerprint(
+            engine.run("slugger", late, seed=3, iterations=5).summary
+        )
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_process_mode_rekeyed_graph_after_fork(self):
+        # Registering an already-interned graph under a NEW key after the
+        # pool forked: the snapshot cannot resolve the new key, so the
+        # graph must ship with the payload (regression: KeyError in the
+        # worker because the handle's creation generation looked warm).
+        graph = caveman_fixture()
+        with SummaryService(mode="process", max_inflight=1) as service:
+            service.register_graph("first", graph)
+            first = service.submit(method="slugger", graph_key="first", seed=0,
+                                   options=SLUGGER_OPTIONS).result(timeout=300)
+            service.register_graph("second", graph)  # same graph, new key
+            second = service.submit(method="slugger", graph_key="second", seed=0,
+                                    options=SLUGGER_OPTIONS).result(timeout=300)
+        assert fingerprint(first.summary) == fingerprint(second.summary)
+
+    def test_graph_key_and_inline_requests_agree(self):
+        graph = caveman_fixture()
+        with SummaryService() as service:
+            service.register_graph("cave", graph)
+            by_key = service.submit(method="slugger", graph_key="cave", seed=0,
+                                    options=SLUGGER_OPTIONS).result(timeout=120)
+            inline = service.submit(method="slugger", graph=graph, seed=0,
+                                    options=SLUGGER_OPTIONS).result(timeout=120)
+        assert fingerprint(by_key.summary) == fingerprint(inline.summary)
+
+    def test_service_interning_is_shared_across_jobs(self):
+        graph = caveman_fixture()
+        with SummaryService(max_inflight=2) as service:
+            jobs = [service.submit(method="slugger", graph=graph, seed=seed,
+                                   options=SLUGGER_OPTIONS) for seed in range(4)]
+            for job in jobs:
+                job.result(timeout=300)
+            stats = service.stats()["store"]
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 3
+
+
+# ----------------------------------------------------------------------
+# Async entry point
+# ----------------------------------------------------------------------
+class TestAsyncEntryPoint:
+    def test_await_summarize(self):
+        graph = caveman_fixture()
+        reference = engine.run("slugger", graph, seed=0, iterations=5)
+
+        async def main():
+            with SummaryService(max_inflight=2) as service:
+                return await asyncio.gather(*[
+                    service.summarize("slugger", graph, seed=0,
+                                      options=SLUGGER_OPTIONS)
+                    for _ in range(3)
+                ])
+
+        results = asyncio.run(main())
+        assert all(fingerprint(result.summary) == fingerprint(reference.summary)
+                   for result in results)
+
+    def test_await_failure_propagates(self):
+        async def main():
+            with SummaryService() as service:
+                await service.summarize("no-such-method", caveman_fixture())
+
+        with pytest.raises(ConfigurationError):
+            asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# RunControl and executor teardown (satellites)
+# ----------------------------------------------------------------------
+class TestRunControl:
+    def test_emit_and_cancel(self):
+        events = []
+        token = threading.Event()
+        control = RunControl(on_progress=events.append, cancel=token)
+        control.emit("iteration", iteration=1)
+        assert events == [{"stage": "iteration", "iteration": 1}]
+        assert not control.cancelled()
+        control.checkpoint()
+        token.set()
+        assert control.cancelled()
+        with pytest.raises(JobCancelled):
+            control.checkpoint()
+
+    def test_default_control_is_inert(self):
+        control = RunControl()
+        control.emit("iteration", iteration=1)  # no callback, no error
+        control.checkpoint()
+
+
+def _boom(payload):
+    raise ValueError(f"boom {payload}")
+
+
+class TestExecutorTeardown:
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_pool_is_torn_down_on_worker_failure(self):
+        with ProcessShardExecutor(2, context=1) as executor:
+            with pytest.raises(ValueError):
+                list(executor.map_shards(_boom, [1, 2]))
+        assert executor._pool is None  # workers joined, nothing leaked
+        assert executor._closed
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_submit_failure_recycles_but_does_not_brick_the_pool(self):
+        # A transient submission failure (e.g. a broken pool) tears the
+        # forked workers down but leaves the executor usable — warm pools
+        # shared across requests must survive one bad submission.
+        class _BrokenPool:
+            def map(self, fn, payloads):
+                raise RuntimeError("broken pool")
+
+            def shutdown(self, wait=True):
+                pass
+
+        executor = ProcessShardExecutor(2, context=5)
+        executor._pool = _BrokenPool()
+        with pytest.raises(RuntimeError, match="broken pool"):
+            executor.map_shards(_add_context, [1])
+        assert executor._pool is None  # torn down, nothing leaked
+        assert not executor._closed    # ...but not bricked
+        assert list(executor.map_shards(_add_context, [1, 2])) == [6, 7]
+        executor.close()
+
+    @pytest.mark.skipif(not process_execution_available(),
+                        reason="no fork on this platform")
+    def test_close_is_idempotent_and_restart_reforks(self):
+        executor = ProcessShardExecutor(2, context=5)
+        add = _add_context
+        assert list(executor.map_shards(add, [1, 2])) == [6, 7]
+        executor.restart()
+        assert list(executor.map_shards(add, [3])) == [8]
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.map_shards(add, [1])
+
+    def test_concurrent_serial_contexts_stay_isolated(self):
+        from repro.engine.execution import SerialExecutor
+
+        failures = []
+
+        def run(value):
+            try:
+                with SerialExecutor(context=value) as executor:
+                    for result in executor.map_shards(_add_context, [0] * 50):
+                        if result != value:
+                            failures.append((value, result))
+            except Exception as error:  # pragma: no cover - surfaced below
+                failures.append((value, error))
+
+        threads = [threading.Thread(target=run, args=(offset,))
+                   for offset in (100, 200, 300, 400)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+def _add_context(payload):
+    from repro.engine.execution import worker_context
+
+    return worker_context() + payload
