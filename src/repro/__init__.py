@@ -22,12 +22,13 @@ Package map
 ``repro.baselines``     Randomized, Greedy, SWeG, SAGS, MoSSo
 ``repro.engine``        the summarizer protocol + registry (one API for all)
 ``repro.service``       long-lived serving: sessions, jobs, warm pools
+``repro.storage``       binary containers, mmap loads, parallel ingest
 ``repro.algorithms``    BFS/DFS/PageRank/Dijkstra/triangles on summaries
 ``repro.analysis``      compression metrics and method comparison
 ``repro.experiments``   harness regenerating the paper's tables and figures
 """
 
-from repro import engine, service
+from repro import engine, service, storage
 from repro.core import Slugger, SluggerConfig, SluggerResult, summarize
 from repro.engine import ExecutionConfig, RunControl
 from repro.graphs import (
@@ -47,8 +48,9 @@ from repro.service import (
     SummaryService,
     default_service,
 )
+from repro.storage import MappedCSR, StoredGraph
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Slugger",
@@ -59,6 +61,7 @@ __all__ = [
     "summarize",
     "engine",
     "service",
+    "storage",
     "Graph",
     "NodeIndex",
     "DenseAdjacency",
@@ -73,5 +76,7 @@ __all__ = [
     "SummaryRequest",
     "SummaryService",
     "default_service",
+    "MappedCSR",
+    "StoredGraph",
     "__version__",
 ]

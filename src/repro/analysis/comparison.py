@@ -79,6 +79,7 @@ def _run_spec(
     execution: Optional[ExecutionConfig] = None,
     service=None,
     on_progress: Optional[ProgressCallback] = None,
+    resources=None,
 ) -> EngineResult:
     if isinstance(spec, (str, Summarizer)):
         # Registry names and configured summarizers run through the
@@ -99,7 +100,7 @@ def _run_spec(
                 on_progress=lambda event, _name=name: on_progress(_name, event)
             )
         return (service if service is not None else default_service()).run(
-            request, control=control
+            request, control=control, resources=resources
         )
     # Legacy plain callable: wrap its output into an EngineResult so the
     # rest of the harness sees one shape.
@@ -120,6 +121,7 @@ def compare_methods(
     execution: Optional[ExecutionConfig] = None,
     service=None,
     on_progress: Optional[ProgressCallback] = None,
+    resources=None,
 ) -> List[MethodResult]:
     """Run every method on ``graph`` and return per-method results.
 
@@ -134,13 +136,17 @@ def compare_methods(
     ``service`` (default: the process-wide default service), so every
     method shares one interned substrate build for ``graph``.
     ``on_progress`` optionally receives ``(method_name, event)`` for
-    each per-iteration pipeline event.  Results are bit-identical to
-    direct ``Summarizer.summarize`` calls for the same seeds.
+    each per-iteration pipeline event.  ``resources`` injects prebuilt
+    substrate views shared by every method — e.g. a
+    :class:`repro.storage.StoredGraph` mmap load.  Results are
+    bit-identical to direct ``Summarizer.summarize`` calls for the same
+    seeds.
     """
     resolved = _resolve(methods)
     results: List[MethodResult] = []
     for name, spec in resolved.items():
-        outcome = _run_spec(name, spec, graph, seed, execution, service, on_progress)
+        outcome = _run_spec(name, spec, graph, seed, execution, service,
+                            on_progress, resources)
         if validate:
             outcome.summary.validate(graph)
         results.append(

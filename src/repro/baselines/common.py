@@ -50,12 +50,22 @@ class FlatGroupingState:
     evaluate encoding costs and merge savings.
     """
 
-    def __init__(self, graph: Graph, dense: Optional[DenseAdjacency] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        dense: Optional[DenseAdjacency] = None,
+        csr: Optional[CSRAdjacency] = None,
+    ) -> None:
         self.graph = graph
         if dense is not None and dense.num_edges != graph.num_edges:
             raise SummaryInvariantError(
                 "prebuilt dense substrate is stale: "
                 f"{dense.num_edges} edges vs the graph's {graph.num_edges}"
+            )
+        if csr is not None and csr.num_edges != graph.num_edges:
+            raise SummaryInvariantError(
+                "prebuilt CSR view is stale: "
+                f"{csr.num_edges} edges vs the graph's {graph.num_edges}"
             )
         self.dense = dense if dense is not None else DenseAdjacency.from_graph(graph)
         self.index = self.dense.index
@@ -65,7 +75,9 @@ class FlatGroupingState:
         self.group_of: List[int] = list(range(num_nodes))
         self.group_adj: Dict[int, Dict[int, int]] = {node: {} for node in range(num_nodes)}
         self._next_id = num_nodes
-        self._csr: Optional[CSRAdjacency] = None
+        # A prebuilt frozen view (service interning, storage mmap) seeds
+        # the cache; it is dropped like the self-built one on mutation.
+        self._csr: Optional[CSRAdjacency] = csr
         for u, v in self.dense.edge_ids():
             self._bump(u, v, 1)
 

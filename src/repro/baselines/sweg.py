@@ -91,8 +91,18 @@ def sweg_summarize(
     elif overrides:
         raise TypeError("pass either a config object or keyword overrides, not both")
     rng = ensure_rng(config.seed)
+    # Only the sharded divide step reads the frozen CSR; fetching it on
+    # serial runs would force an O(n+m) freeze nothing consumes.
+    wants_csr = (
+        resources is not None
+        and execution is not None
+        and execution.parallel
+        and graph.num_nodes >= execution.shingle_parallel_min_nodes
+    )
     state = FlatGroupingState(
-        graph, dense=resources.dense() if resources is not None else None
+        graph,
+        dense=resources.dense() if resources is not None else None,
+        csr=resources.csr() if wants_csr else None,
     )
 
     shingler = _make_shingler(state, execution, resources)

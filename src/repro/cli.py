@@ -28,12 +28,22 @@ per-iteration progress::
 
     repro-slugger serve --batch requests.json --inflight 4 --progress
     repro-slugger summarize --dataset PR --progress
+
+Pack an edge list into a binary container (mmap-loaded in later runs),
+inspect a container, or let a cache directory do both transparently —
+the first ``--cache-dir`` run parses + packs, every later one
+memory-maps::
+
+    repro-slugger pack --input graph.txt --output graph.slg
+    repro-slugger inspect --container graph.slg
+    repro-slugger summarize --input graph.txt --cache-dir ~/.cache/slg
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -80,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(summarize_parser)
     _add_progress_argument(summarize_parser)
+    _add_cache_argument(summarize_parser)
 
     compare_parser = subparsers.add_parser("compare", help="compare SLUGGER with the baselines")
     compare_source = compare_parser.add_mutually_exclusive_group(required=True)
@@ -94,6 +105,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(compare_parser)
     _add_progress_argument(compare_parser)
+    _add_cache_argument(compare_parser)
+
+    pack_parser = subparsers.add_parser(
+        "pack", help="pack an edge list into a binary mmap-able container"
+    )
+    pack_parser.add_argument("--input", required=True, help="edge-list file to pack")
+    pack_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="container path (default: the input path with a .slg suffix)",
+    )
+    pack_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="parse the edge list over N forked shard workers (default 1)",
+    )
+
+    inspect_parser = subparsers.add_parser(
+        "inspect", help="show the header and sections of a packed container"
+    )
+    inspect_parser.add_argument("--container", required=True, help="container file to inspect")
+    inspect_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-section checksum verification",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run a batch file of requests through a warm SummaryService"
@@ -111,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--seed", type=int, default=0,
                               help="seed for generating built-in dataset analogues")
     _add_progress_argument(serve_parser)
+    _add_cache_argument(serve_parser)
 
     subparsers.add_parser("datasets", help="list the built-in dataset analogues")
 
@@ -184,6 +219,15 @@ def _add_progress_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed container cache for --input edge lists: the "
+             "first run parses and packs, later runs memory-map the packed "
+             "substrate (output is bit-identical either way)",
+    )
+
+
 def _execution_config(arguments: argparse.Namespace):
     workers = getattr(arguments, "workers", 1)
     if workers <= 1:
@@ -207,12 +251,35 @@ def _format_progress(label: str, event: Dict[str, Any]) -> str:
 
 def _load_graph(arguments: argparse.Namespace):
     if arguments.input:
-        return read_edge_list(arguments.input)
+        return read_edge_list(
+            arguments.input, workers=getattr(arguments, "workers", 1)
+        )
     return load_dataset(arguments.dataset, seed=arguments.seed)
 
 
+def _load_graph_cached(arguments: argparse.Namespace):
+    """Load the input graph, optionally through a container cache.
+
+    Returns ``(graph, resources)`` — ``resources`` is a
+    :class:`~repro.storage.mapped.StoredGraph` on a cache hit (the run
+    then consumes the memory-mapped substrate zero-copy) and ``None``
+    otherwise.
+    """
+    cache_dir = getattr(arguments, "cache_dir", None)
+    if arguments.input and cache_dir:
+        from repro.storage import GraphCache
+
+        cached = GraphCache(cache_dir).fetch_edge_list(
+            arguments.input, workers=getattr(arguments, "workers", 1)
+        )
+        origin = "cache hit (mmap)" if cached.hit else "parsed + packed"
+        print(f"cache: {origin}  {cached.container_path}")
+        return cached.graph, cached.stored
+    return _load_graph(arguments), None
+
+
 def _command_summarize(arguments: argparse.Namespace) -> int:
-    graph = _load_graph(arguments)
+    graph, resources = _load_graph_cached(arguments)
     config = SluggerConfig(
         iterations=arguments.iterations,
         seed=arguments.seed,
@@ -225,7 +292,7 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
             on_progress=lambda event: print(_format_progress("slugger", event))
         )
     result = Slugger(config, execution=_execution_config(arguments)).summarize(
-        graph, control=control
+        graph, control=control, resources=resources
     )
     print(f"nodes={graph.num_nodes} edges={graph.num_edges}")
     print(
@@ -240,7 +307,7 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
 
 
 def _command_compare(arguments: argparse.Namespace) -> int:
-    graph = _load_graph(arguments)
+    graph, resources = _load_graph_cached(arguments)
     methods = engine.default_suite(
         iterations=arguments.iterations, methods=arguments.method
     )
@@ -249,7 +316,7 @@ def _command_compare(arguments: argparse.Namespace) -> int:
         on_progress = lambda name, event: print(_format_progress(name, event))  # noqa: E731
     results = compare_methods(graph, methods=methods, seed=arguments.seed,
                               execution=_execution_config(arguments),
-                              on_progress=on_progress)
+                              on_progress=on_progress, resources=resources)
     rows = [
         {
             "method": result.method,
@@ -264,6 +331,47 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_pack(arguments: argparse.Namespace) -> int:
+    """Pack one edge list into a binary container."""
+    from repro import storage
+
+    graph = read_edge_list(arguments.input, workers=arguments.workers)
+    output = arguments.output
+    if output is None:
+        output = arguments.input + storage.CONTAINER_SUFFIX
+    info = storage.pack(graph, output)
+    text_bytes = os.path.getsize(arguments.input)
+    ratio = text_bytes / info.file_bytes if info.file_bytes else float("inf")
+    print(f"packed {arguments.input} -> {output}")
+    print(f"nodes={info.num_nodes} edges={info.num_edges} "
+          f"index_width={info.index_width} labels={'yes' if info.has_labels else 'no'}")
+    print(f"container={info.file_bytes} bytes  text={text_bytes} bytes  "
+          f"({ratio:.2f}x smaller)")
+    return 0
+
+
+def _command_inspect(arguments: argparse.Namespace) -> int:
+    """Print the header and section table of a container."""
+    from repro import storage
+
+    info = storage.inspect_container(
+        arguments.container, verify=not arguments.no_verify
+    )
+    print(f"container {info.path}")
+    print(f"  version={info.version} nodes={info.num_nodes} edges={info.num_edges} "
+          f"index_width={info.index_width} labels={'yes' if info.has_labels else 'no'} "
+          f"bytes={info.file_bytes}")
+    rows = [
+        {"section": entry.tag, "offset": entry.offset, "length": entry.length,
+         "crc32": f"{entry.crc32:#010x}"}
+        for entry in info.sections
+    ]
+    checked = "verified" if not arguments.no_verify else "not checked"
+    print(format_table(rows, ["section", "offset", "length", "crc32"],
+                       title=f"{len(rows)} sections (checksums {checked})"))
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     """Batch-file serving: many requests, one warm service."""
     with open(arguments.batch, "r", encoding="utf-8") as handle:
@@ -274,7 +382,13 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         print(f"batch file {arguments.batch} holds no requests", file=sys.stderr)
         return 1
 
-    with SummaryService(mode=arguments.mode, max_inflight=arguments.inflight) as service:
+    cache = None
+    if arguments.cache_dir:
+        from repro.storage import GraphCache
+
+        cache = GraphCache(arguments.cache_dir)
+    with SummaryService(mode=arguments.mode, max_inflight=arguments.inflight,
+                        cache_dir=arguments.cache_dir) as service:
         jobs = []
         graphs: Dict[str, Any] = {}
         for record in records:
@@ -290,9 +404,23 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             if workers is not None and "execution" not in record:
                 record["execution"] = {"workers": workers}
             if key not in graphs:
-                graph = (read_edge_list(input_path) if input_path is not None
-                         else load_dataset(dataset, seed=arguments.seed))
-                service.register_graph(key, graph)
+                if input_path is not None and cache is not None:
+                    # Through the container cache: a hit memory-maps the
+                    # packed CSR and seeds the handle with it (dense is
+                    # thawed lazily — in the prefetch lane, not here on
+                    # the registration path); the lane also persists
+                    # fresh substrates.
+                    cached = cache.fetch_edge_list(input_path)
+                    graph = cached.graph
+                    service.register_graph(
+                        key, graph,
+                        csr=cached.stored.csr() if cached.stored else None,
+                        prefetch=True,
+                    )
+                else:
+                    graph = (read_edge_list(input_path) if input_path is not None
+                             else load_dataset(dataset, seed=arguments.seed))
+                    service.register_graph(key, graph, prefetch=True)
                 graphs[key] = graph
             record["graph_key"] = key
             request = SummaryRequest.from_dict(record)
@@ -436,6 +564,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "summarize": _command_summarize,
         "compare": _command_compare,
+        "pack": _command_pack,
+        "inspect": _command_inspect,
         "serve": _command_serve,
         "datasets": _command_datasets,
         "methods": _command_methods,

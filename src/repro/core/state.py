@@ -130,6 +130,11 @@ class SluggerState:
                 "prebuilt dense substrate is stale: "
                 f"{dense.num_edges} edges vs the graph's {graph.num_edges}"
             )
+        if csr is not None and csr.num_edges != graph.num_edges:
+            raise SummaryInvariantError(
+                "prebuilt CSR view is stale: "
+                f"{csr.num_edges} edges vs the graph's {graph.num_edges}"
+            )
         # A prebuilt substrate (service graph-store interning) is used as
         # is; its construction is deterministic in the graph, so injected
         # and self-built runs are bit-identical.

@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.engine.base import EngineResult, Summarizer
 from repro.engine.execution import ExecutionConfig
-from repro.engine.hooks import RunControl
+from repro.engine.hooks import GraphResources, RunControl
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
@@ -117,6 +117,7 @@ def run(
     seed: SeedLike = None,
     execution: Optional["ExecutionConfig"] = None,
     control: Optional[RunControl] = None,
+    resources: Optional[GraphResources] = None,
     **options: Any,
 ) -> EngineResult:
     """One-shot dispatch, served warm by the default service.
@@ -134,14 +135,18 @@ def run(
     ``execution`` configures the parallel executor layer for methods that
     support it (``supports_parallel``); other methods run serially and
     ignore it.  ``control`` optionally receives per-iteration progress
-    events and carries a cancel token.
+    events and carries a cancel token.  ``resources`` injects prebuilt
+    substrate views — e.g. a :class:`repro.storage.StoredGraph` whose
+    memory-mapped CSR the run consumes zero-copy — and bypasses the
+    default service's interning for the call; output is bit-identical
+    either way.
     """
     from repro.service import SummaryRequest, default_service
 
     request = SummaryRequest(
         method=method, graph=graph, seed=seed, options=options, execution=execution
     )
-    return default_service().run(request, control=control)
+    return default_service().run(request, control=control, resources=resources)
 
 
 def default_suite(

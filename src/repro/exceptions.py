@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "CompressionError",
     "ConfigurationError",
+    "ContainerFormatError",
     "DatasetError",
     "GraphFormatError",
     "InvalidGraphError",
@@ -30,6 +31,16 @@ class ReproError(Exception):
 
 class GraphFormatError(ReproError):
     """Raised when an edge-list file or graph description cannot be parsed."""
+
+
+class ContainerFormatError(GraphFormatError):
+    """Raised when a binary graph container is malformed or corrupted.
+
+    Covers bad magic/version, truncated files, out-of-range sections,
+    and checksum mismatches in the :mod:`repro.storage` container format.
+    A corrupted container must fail loudly here — never deserialize into
+    a silently wrong graph.
+    """
 
 
 class InvalidGraphError(ReproError):

@@ -78,6 +78,33 @@ class DenseAdjacency:
         dense.num_edges = graph.num_edges
         return dense
 
+    @classmethod
+    def from_csr(cls, csr) -> "DenseAdjacency":
+        """Thaw a frozen CSR view back into a mutable dense adjacency.
+
+        ``csr`` is any CSR-like object (``index`` / ``indptr`` /
+        ``indices`` / ``num_nodes`` / ``num_edges``) — the in-memory
+        :class:`CSRAdjacency` or a storage-layer mapped view.  The result
+        is content-identical to :meth:`from_graph` on the equivalent
+        graph: same ids (the CSR inherited the index order), same
+        neighbor sets, same degrees.
+        """
+        dense = cls(csr.index)
+        if dense.num_nodes != csr.num_nodes:
+            raise InvalidGraphError(
+                f"CSR index holds {dense.num_nodes} labels for {csr.num_nodes} nodes"
+            )
+        indptr, indices = csr.indptr, csr.indices
+        neighbors = dense.neighbors
+        degrees = dense.degrees
+        for u in range(csr.num_nodes):
+            lo, hi = indptr[u], indptr[u + 1]
+            run = indices[lo:hi]
+            neighbors[u] = set(run)
+            degrees[u] = hi - lo
+        dense.num_edges = csr.num_edges
+        return dense
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

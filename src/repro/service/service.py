@@ -155,6 +155,12 @@ class SummaryService:
     graph_store:
         Optional shared :class:`~repro.service.store.GraphStore`; by
         default the service owns a private one and closes it on shutdown.
+    cache_dir:
+        Directory for the owned store's content-addressed substrate
+        cache (see :class:`~repro.storage.cache.GraphCache`): prefetched
+        registrations are persisted as packed containers there.
+        Mutually exclusive with ``graph_store`` (a shared store carries
+        its own cache configuration).
     """
 
     def __init__(
@@ -166,11 +172,17 @@ class SummaryService:
         max_inflight: Optional[int] = None,
         max_pending: int = 256,
         graph_store: Optional[GraphStore] = None,
+        cache_dir=None,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ConfigurationError(f"mode must be 'thread' or 'process', got {mode!r}")
         if execution is not None and workers is not None:
             raise ConfigurationError("pass either execution or workers, not both")
+        if graph_store is not None and cache_dir is not None:
+            raise ConfigurationError(
+                "pass either graph_store or cache_dir, not both; configure the "
+                "cache on the shared store instead"
+            )
         if workers is not None:
             execution = ExecutionConfig(workers=workers) if workers > 1 else None
         if max_pending < 1:
@@ -185,7 +197,9 @@ class SummaryService:
         if max_inflight < 1:
             raise ConfigurationError(f"max_inflight must be >= 1, got {max_inflight}")
         self.max_inflight = max_inflight
-        self.store = graph_store if graph_store is not None else GraphStore()
+        self.store = (
+            graph_store if graph_store is not None else GraphStore(cache_dir=cache_dir)
+        )
         self._owns_store = graph_store is None
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_pending)
         self._threads: List[threading.Thread] = []
@@ -200,9 +214,24 @@ class SummaryService:
     # ------------------------------------------------------------------
     # Graph registration
     # ------------------------------------------------------------------
-    def register_graph(self, key: str, graph: Graph) -> GraphHandle:
-        """Register ``graph`` under a stable name for ``graph_key`` requests."""
-        return self.store.register(key, graph)
+    def register_graph(
+        self,
+        key: str,
+        graph: Graph,
+        *,
+        dense=None,
+        csr=None,
+        prefetch: bool = False,
+    ) -> GraphHandle:
+        """Register ``graph`` under a stable name for ``graph_key`` requests.
+
+        ``prefetch=True`` builds the dense/CSR substrate in a background
+        lane now instead of on the first request (and persists it when
+        the store has a cache directory); ``dense`` / ``csr`` seed the
+        handle with prebuilt views, e.g. from a
+        :class:`~repro.storage.mapped.StoredGraph` mmap load.
+        """
+        return self.store.register(key, graph, dense=dense, csr=csr, prefetch=prefetch)
 
     # ------------------------------------------------------------------
     # Request intake
@@ -297,7 +326,10 @@ class SummaryService:
     # Inline execution (the engine.run shim path)
     # ------------------------------------------------------------------
     def run(
-        self, request: SummaryRequest, control: Optional[RunControl] = None
+        self,
+        request: SummaryRequest,
+        control: Optional[RunControl] = None,
+        resources: Optional[GraphResources] = None,
     ) -> EngineResult:
         """Execute ``request`` synchronously on the calling thread.
 
@@ -306,12 +338,18 @@ class SummaryService:
         traffic — but not its warm pools (see :class:`_SubstrateView`),
         so a one-shot leaves no forked workers behind.  Bit-identical to
         a queued job with the same request.
+
+        ``resources`` optionally overrides the store's substrate views
+        with caller-supplied ones — e.g. a
+        :class:`~repro.storage.mapped.StoredGraph` whose mmap-backed CSR
+        the run should consume zero-copy; an inline-graph request then
+        bypasses store interning entirely.
         """
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is shut down; no new requests")
             self._stats["inline_runs"] += 1
-        return self._run_request(request, control, warm_pools=False)
+        return self._run_request(request, control, warm_pools=False, resources=resources)
 
     # ------------------------------------------------------------------
     # Async entry point
@@ -427,8 +465,16 @@ class SummaryService:
         request: SummaryRequest,
         control: Optional[RunControl],
         warm_pools: bool = True,
+        resources: Optional[GraphResources] = None,
     ) -> EngineResult:
-        graph, handle = self._resolve(request)
+        if resources is not None and request.graph is not None:
+            # Caller-supplied substrate over an inline graph: nothing to
+            # intern — the run consumes the provided views directly.
+            graph = request.graph
+        else:
+            graph, handle = self._resolve(request)
+            if resources is None:
+                resources = handle if warm_pools else _SubstrateView(handle)
         summarizer = (
             request.summarizer
             if request.summarizer is not None
@@ -439,7 +485,7 @@ class SummaryService:
             seed=request.seed,
             execution=request.execution,
             control=control,
-            resources=handle if warm_pools else _SubstrateView(handle),
+            resources=resources,
         )
 
     def _run_in_pool(self, request: SummaryRequest) -> EngineResult:

@@ -24,6 +24,7 @@ rebuilds the handle.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from typing import Dict, Iterator, List, Optional
 
@@ -44,7 +45,14 @@ class GraphHandle(GraphResources):
     the run's ``resources``.
     """
 
-    def __init__(self, graph: Graph, key: Optional[str] = None, generation: int = 0) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        key: Optional[str] = None,
+        generation: int = 0,
+        dense: Optional[DenseAdjacency] = None,
+        csr: Optional[CSRAdjacency] = None,
+    ) -> None:
         # Weak, not strong: the handle lives as a value of the store's
         # weak-keyed table, so a strong graph reference here would keep
         # the key reachable through the value and no anonymous graph
@@ -58,8 +66,29 @@ class GraphHandle(GraphResources):
         self.generation = generation
         self._mutations_at_build = graph.mutation_count
         self._lock = threading.Lock()
-        self._dense: Optional[DenseAdjacency] = None
-        self._csr: Optional[CSRAdjacency] = None
+        # Prebuilt substrate views (a storage-layer mmap load, a prior
+        # handle) seed the memos; substrate construction is deterministic
+        # in graph content, so a seeded handle serves the same bytes a
+        # self-building one would.
+        if dense is not None and dense.num_edges != graph.num_edges:
+            raise ServiceError(
+                f"prebuilt dense substrate is stale: {dense.num_edges} edges "
+                f"vs the graph's {graph.num_edges}"
+            )
+        if csr is not None and csr.num_edges != graph.num_edges:
+            raise ServiceError(
+                f"prebuilt CSR view is stale: {csr.num_edges} edges "
+                f"vs the graph's {graph.num_edges}"
+            )
+        self._dense = dense
+        self._csr = csr
+        #: Whether the frozen CSR was injected rather than built here —
+        #: a seeded view came off a container/mmap, so the store's
+        #: persistence lane must not re-encode and re-pack it.
+        self.seeded_csr = csr is not None
+        #: Content digest memoized by the persistence lane after the
+        #: first pack, so re-registrations skip the O(m) re-encode.
+        self.content_digest: Optional[str] = None
         self._pools: Dict[int, ProcessShardExecutor] = {}
         self._builds = 0
 
@@ -76,12 +105,22 @@ class GraphHandle(GraphResources):
 
     # -- GraphResources protocol ---------------------------------------
     def dense(self) -> DenseAdjacency:
-        """The interned dense substrate, built on first use."""
+        """The interned dense substrate, built on first use.
+
+        A handle seeded with a frozen CSR only (a storage-layer mmap
+        load) thaws the dense adjacency from that view instead of
+        re-deriving it from the label-keyed graph — the contents are
+        identical either way.
+        """
         if self._dense is None:
             with self._lock:
                 if self._dense is None:
                     self._builds += 1
-                    self._dense = DenseAdjacency.from_graph(self.graph)
+                    self._dense = (
+                        DenseAdjacency.from_csr(self._csr)
+                        if self._csr is not None
+                        else DenseAdjacency.from_graph(self.graph)
+                    )
         return self._dense
 
     def csr(self) -> CSRAdjacency:
@@ -167,9 +206,20 @@ class GraphStore:
 
     ``hits`` / ``misses`` count :meth:`intern` lookups and are the
     serving layer's cache-effectiveness signal.
+
+    Persistence and prefetch
+    ------------------------
+    With a ``cache_dir``, the store persists every *prefetched* named
+    registration as a packed binary container
+    (:class:`~repro.storage.cache.GraphCache`, content-addressed), so
+    other processes — and restarts — can memory-map the substrate
+    instead of rebuilding it.  ``register(..., prefetch=True)`` builds
+    the handle's dense/CSR views in a background lane at registration
+    time instead of on the first request; ``prefetched`` / ``packed``
+    counters surface in :meth:`stats`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache_dir=None) -> None:
         self._lock = threading.Lock()
         self._handles: "weakref.WeakKeyDictionary[Graph, GraphHandle]" = (
             weakref.WeakKeyDictionary()
@@ -187,9 +237,34 @@ class GraphStore:
         self.generation = 0
         self.hits = 0
         self.misses = 0
+        self.prefetched = 0
+        self.packed = 0
+        self.prefetch_errors = 0
+        self._prefetch_threads: List[threading.Thread] = []
+        self._cache = None
+        if cache_dir is not None:
+            from repro.storage.cache import GraphCache
 
-    def intern(self, graph: Graph, key: Optional[str] = None) -> GraphHandle:
-        """The (possibly new) handle for ``graph``; counts hit/miss."""
+            self._cache = GraphCache(cache_dir)
+
+    @property
+    def cache(self):
+        """The backing :class:`~repro.storage.cache.GraphCache`, if any."""
+        return self._cache
+
+    def intern(
+        self,
+        graph: Graph,
+        key: Optional[str] = None,
+        dense: Optional[DenseAdjacency] = None,
+        csr: Optional[CSRAdjacency] = None,
+    ) -> GraphHandle:
+        """The (possibly new) handle for ``graph``; counts hit/miss.
+
+        ``dense`` / ``csr`` optionally seed a *new* handle with prebuilt
+        substrate views (e.g. a storage-layer mmap load), skipping the
+        first-request build; an existing fresh handle wins over seeds.
+        """
         with self._lock:
             handle = self._handles.get(graph)
             if handle is not None and not handle.stale:
@@ -199,7 +274,9 @@ class GraphStore:
                 handle.close()
             self.misses += 1
             self.generation += 1
-            handle = GraphHandle(graph, key=key, generation=self.generation)
+            handle = GraphHandle(
+                graph, key=key, generation=self.generation, dense=dense, csr=csr
+            )
             self._handles[graph] = handle
             # If the graph is collected, the weak table drops the handle;
             # the finalizer makes sure its warm pools go with it.  It
@@ -209,9 +286,25 @@ class GraphStore:
             weakref.finalize(graph, _close_if_alive, weakref.ref(handle))
             return handle
 
-    def register(self, key: str, graph: Graph) -> GraphHandle:
-        """Intern ``graph`` under a stable name (strongly referenced)."""
-        handle = self.intern(graph, key=key)
+    def register(
+        self,
+        key: str,
+        graph: Graph,
+        dense: Optional[DenseAdjacency] = None,
+        csr: Optional[CSRAdjacency] = None,
+        prefetch: bool = False,
+    ) -> GraphHandle:
+        """Intern ``graph`` under a stable name (strongly referenced).
+
+        ``prefetch=True`` builds the handle's dense/CSR substrate in a
+        background lane immediately — the first request then finds warm
+        views instead of paying the build — and, when the store has a
+        ``cache_dir``, persists the packed container there.  The lane
+        never fails a registration: build/pack errors are counted
+        (``prefetch_errors``) and the first request falls back to the
+        ordinary on-demand build.
+        """
+        handle = self.intern(graph, key=key, dense=dense, csr=csr)
         with self._lock:
             if self._named.get(key) is not handle:
                 # New or rebound key: pools forked earlier cannot resolve
@@ -220,7 +313,71 @@ class GraphStore:
                 self._key_generation[key] = self.generation
             self._named[key] = handle
             self._pinned[key] = graph
+        if prefetch:
+            thread = threading.Thread(
+                target=self._prefetch,
+                args=(handle,),
+                name=f"graph-store-prefetch-{key}",
+                daemon=True,
+            )
+            with self._lock:
+                # Prune only *finished* threads (an unstarted thread is
+                # not alive either, and join() on one raises), and start
+                # inside the lock so a concurrent drain can never see —
+                # or prune — a thread that was appended but not started.
+                self._prefetch_threads = [
+                    t for t in self._prefetch_threads if t.is_alive()
+                ]
+                self._prefetch_threads.append(thread)
+                thread.start()
         return handle
+
+    def _prefetch(self, handle: GraphHandle) -> None:
+        """Background lane: build (and optionally persist) one substrate."""
+        try:
+            # Warm both views: csr() alone would skip the dense thaw on
+            # handles seeded with a mapped CSR.
+            handle.dense()
+            csr = handle.csr()
+            cache = self._cache
+            created = False
+            # Seeded CSRs came off an existing container — re-encoding
+            # them (O(m)) to discover a digest we would not write is
+            # pure waste, and for cache-fed inputs it would duplicate
+            # the container under a second digest.  The digest memo
+            # makes a re-registration of the same handle a true
+            # metadata no-op (no re-encode, just a stat).
+            if cache is not None and not handle.seeded_csr:
+                digest, _, created = cache.store_csr(
+                    csr, digest=handle.content_digest
+                )
+                handle.content_digest = digest
+            with self._lock:
+                self.prefetched += 1
+                if created:
+                    self.packed += 1
+        except Exception:
+            # The lane must never propagate: a failed prefetch simply
+            # means the first request pays the build it would have paid
+            # anyway (or surfaces the real error in request context).
+            with self._lock:
+                self.prefetch_errors += 1
+
+    def drain_prefetch(self, timeout: Optional[float] = None) -> None:
+        """Wait for all in-flight prefetch lanes (tests, orderly shutdown).
+
+        ``timeout`` bounds the *total* wait, not each join — a store with
+        many slow lanes still drains within the advertised cap (threads
+        still alive past the deadline are daemons and are abandoned).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            threads = list(self._prefetch_threads)
+        for thread in threads:
+            thread.join(
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
 
     def key_generation(self, key: str) -> int:
         """Store generation at which ``key`` was last registered.
@@ -283,7 +440,7 @@ class GraphStore:
             return list(self._named.values())
 
     def stats(self) -> Dict[str, int]:
-        """Interning counters: hits, misses, live handles, generation."""
+        """Interning counters: hits, misses, prefetches, live handles."""
         with self._lock:
             return {
                 "hits": self.hits,
@@ -291,10 +448,17 @@ class GraphStore:
                 "graphs": len(self._handles),
                 "named": len(self._named),
                 "generation": self.generation,
+                "prefetched": self.prefetched,
+                "packed": self.packed,
+                "prefetch_errors": self.prefetch_errors,
+                "prefetch_pending": sum(
+                    1 for t in self._prefetch_threads if t.is_alive()
+                ),
             }
 
     def close(self) -> None:
         """Close every handle's warm pools and forget all graphs."""
+        self.drain_prefetch(timeout=30.0)
         with self._lock:
             handles = list(self._handles.values())
             self._handles = weakref.WeakKeyDictionary()

@@ -1,0 +1,168 @@
+"""Sharded parallel edge-list ingest: byte-range shards, forked parsers.
+
+Text parsing is the last fully serial stage of getting a graph into
+memory — on multi-million-edge inputs it dominates startup.  This module
+splits an edge-list file into byte-range shards *aligned on line
+boundaries*, parses the shards in parallel on the existing executor
+layer (:class:`~repro.engine.execution.ProcessShardExecutor`, fork-based
+so workers inherit nothing but the file path), and merges the partial
+edge arrays back **in shard order**, so the resulting
+:class:`~repro.graphs.graph.Graph` is *identical* to the serial parse:
+same node insertion order (and therefore the same downstream dense ids),
+same edge set, same duplicate/self-loop handling.
+
+Shard ownership protocol
+------------------------
+A shard covers the half-open byte range ``[start, stop)`` and owns every
+line that *starts* inside it: a worker whose range begins mid-line skips
+forward to the next line boundary (that partial line belongs to the
+previous shard), and a worker whose last line extends past ``stop``
+reads through to its newline.  Concatenating the shard outputs in range
+order therefore reproduces the file's line sequence exactly — the same
+trick :func:`~repro.engine.execution.shard_bounds` plays for id ranges,
+lifted to byte offsets.
+
+Tokenization is shared with the serial reader
+(:func:`repro.graphs.io.parse_edge_line`), so comment lines, CRLF, the
+UTF-8 BOM (shard 0 strips it), SNAP-style trailing columns, self-loop
+dropping, and int-versus-string label parsing cannot drift between the
+two paths.  Duplicate edges are collapsed at the merge (``Graph.add_edge``
+is idempotent), exactly as in the serial parse.
+
+The serial fallback engages automatically when ``fork`` is unavailable,
+``workers <= 1``, or the file is too small to amortize a pool.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.exceptions import GraphFormatError
+from repro.engine.execution import (
+    ProcessShardExecutor,
+    process_execution_available,
+    worker_context,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import parse_edge_line
+
+__all__ = [
+    "DEFAULT_MIN_SHARD_BYTES",
+    "byte_shards",
+    "parse_shard_worker",
+    "sharded_read_edge_list",
+]
+
+PathLike = Union[str, Path]
+
+#: Files smaller than one shard of this size are parsed serially — the
+#: fork + result-pickling overhead would exceed the parsing work.
+DEFAULT_MIN_SHARD_BYTES = 1 << 20
+
+_BOM = b"\xef\xbb\xbf"
+
+
+def byte_shards(total_bytes: int, workers: int, min_shard_bytes: int) -> List[Tuple[int, int]]:
+    """Split ``[0, total_bytes)`` into at most ``workers`` contiguous ranges.
+
+    Ranges are clamped so none is smaller than ``min_shard_bytes`` (the
+    last may be larger); the actual line alignment happens inside the
+    workers via the ownership protocol, so the split points can land
+    anywhere.
+    """
+    if total_bytes <= 0:
+        return []
+    if min_shard_bytes > 0:
+        workers = max(1, min(workers, total_bytes // min_shard_bytes))
+    workers = max(1, workers)
+    bounds: List[Tuple[int, int]] = []
+    for i in range(workers):
+        start = i * total_bytes // workers
+        stop = (i + 1) * total_bytes // workers
+        if stop > start:
+            bounds.append((start, stop))
+    return bounds
+
+
+def parse_shard_worker(payload: Tuple[int, int]) -> List[Tuple[object, object]]:
+    """Executor worker: parse the lines owned by one byte range.
+
+    The worker context is the file path (a string — forked workers
+    inherit it; serial execution reads it from the registry).  Returns
+    the shard's edges in file order; malformed lines raise
+    :class:`~repro.exceptions.GraphFormatError` with the line's byte
+    offset (absolute line numbers would need a serial pre-scan, which is
+    exactly what sharding avoids).
+    """
+    start, stop = payload
+    path = worker_context()
+    edges: List[Tuple[object, object]] = []
+    position = 0
+
+    def location() -> str:
+        # Formatted only on a malformed line — never on the hot path.
+        return f"{path}@byte {position}"
+
+    with open(path, "rb") as handle:
+        if start > 0:
+            handle.seek(start - 1)
+            # Unless the shard starts exactly at a line boundary, the
+            # partial first line belongs to the previous shard.
+            if handle.read(1) != b"\n":
+                handle.readline()
+        while True:
+            position = handle.tell()
+            if position >= stop:
+                break
+            raw = handle.readline()
+            if not raw:
+                break
+            if position == 0 and raw.startswith(_BOM):
+                raw = raw[len(_BOM):]
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise GraphFormatError(
+                    f"{path}@byte {position}: undecodable line: {error}"
+                ) from None
+            # The serial reader runs in universal-newlines mode, where a
+            # lone ``\r`` also terminates a line; ``readline`` only split
+            # on ``\n``, so split the remainder here to stay identical
+            # (for ``\r\n`` files the second piece is empty and skipped).
+            for piece in text.split("\r"):
+                edge = parse_edge_line(piece, location)
+                if edge is not None:
+                    edges.append(edge)
+    return edges
+
+
+def sharded_read_edge_list(
+    path: PathLike,
+    workers: int,
+    min_shard_bytes: int = DEFAULT_MIN_SHARD_BYTES,
+) -> Graph:
+    """Parse an edge-list file over ``workers`` forked shard parsers.
+
+    Falls back to the serial reader when the platform cannot fork or the
+    file yields fewer than two shards at ``min_shard_bytes`` granularity.
+    The returned graph is identical to ``read_edge_list(path)`` — shard
+    outputs merge in file order, so node insertion order (and every
+    downstream id assignment) matches the serial parse exactly.
+    """
+    file_path = Path(path)
+    try:
+        total_bytes = file_path.stat().st_size
+    except OSError as error:
+        raise GraphFormatError(f"{file_path}: cannot stat edge list: {error}") from None
+    bounds = byte_shards(total_bytes, workers, min_shard_bytes)
+    if len(bounds) < 2 or not process_execution_available():
+        from repro.graphs.io import read_edge_list
+
+        return read_edge_list(file_path)
+    graph = Graph()
+    with ProcessShardExecutor(len(bounds), context=str(file_path)) as executor:
+        for shard_edges in executor.map_shards(parse_shard_worker, bounds):
+            for u, v in shard_edges:
+                graph.add_edge(u, v)
+    return graph

@@ -57,6 +57,38 @@ class TestEdgeListIO:
         graph = read_edge_list(path)
         assert graph.has_edge(1, "two")
 
+    def test_crlf_line_endings(self, tmp_path):
+        # Windows-origin downloads arrive with \r\n; the \r must not
+        # leak into node labels or break the column split.
+        path = tmp_path / "crlf.txt"
+        path.write_bytes(b"# comment\r\n1 2\r\n2 3\r\n")
+        graph = read_edge_list(path)
+        assert graph.edge_set() == {(1, 2), (2, 3)}
+        assert all(isinstance(node, int) for node in graph.nodes())
+
+    def test_utf8_bom_on_first_line(self, tmp_path):
+        # A BOM glued to the first token must not turn the label '1'
+        # into the string '﻿1'.
+        path = tmp_path / "bom.txt"
+        path.write_bytes(b"\xef\xbb\xbf1 2\n2 3\n")
+        graph = read_edge_list(path)
+        assert graph.edge_set() == {(1, 2), (2, 3)}
+        assert not graph.has_node("﻿1")
+
+    def test_utf8_bom_before_comment(self, tmp_path):
+        path = tmp_path / "bom_comment.txt"
+        path.write_bytes(b"\xef\xbb\xbf# header\n5 6\n")
+        graph = read_edge_list(path)
+        assert graph.edge_set() == {(5, 6)}
+
+    def test_tab_separated_with_trailing_columns(self, tmp_path):
+        # SNAP exports: \t separators and extra columns (weights,
+        # timestamps) that must be ignored.
+        path = tmp_path / "snap.txt"
+        path.write_text("1\t2\t0.5\n2\t3\t1.25\t1999-01-01\n4 5 extra stuff\n")
+        graph = read_edge_list(path)
+        assert graph.edge_set() == {(1, 2), (2, 3), (4, 5)}
+
 
 class TestSampling:
     def test_sample_nodes_fraction(self):
