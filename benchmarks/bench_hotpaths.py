@@ -42,6 +42,7 @@ import argparse
 import json
 import platform
 import resource
+import subprocess
 import sys
 import time
 from typing import Callable, Dict, List, Sequence
@@ -569,6 +570,26 @@ def bench_ingest(graph: Graph, name: str, repeats: int) -> Dict[str, object]:
     return section
 
 
+def check_devtools_isolation() -> None:
+    """Importing ``repro`` must not import the ``repro.devtools`` analyzer.
+
+    The lint framework is a dev-time tool; pulling it (ast walks, rule
+    registry) into serving imports would tax every cold start.  Checked
+    in a fresh interpreter so this process's own imports cannot mask a
+    leak.
+    """
+    script = (
+        "import sys\n"
+        "import repro\n"
+        "import repro.engine\n"
+        "import repro.service\n"
+        "leaked = sorted(m for m in sys.modules if m.startswith('repro.devtools'))\n"
+        "assert not leaked, 'importing repro pulled in ' + ', '.join(leaked)\n"
+    )
+    subprocess.run([sys.executable, "-c", script], check=True)
+    print("PASS: importing repro does not import repro.devtools")
+
+
 def report(label: str, timings: Dict[str, float]) -> float:
     speedup = timings["before"] / timings["after"] if timings["after"] > 0 else float("inf")
     print(f"  {label:<22} before={timings['before']:8.3f}s  "
@@ -597,10 +618,13 @@ def main(argv: Sequence[str] = None) -> int:
         ]
         repeats, iterations = 3, 3
 
+    check_devtools_isolation()
+
     record: Dict[str, object] = {
         "bench": "hotpaths",
         "quick": args.quick,
         "python": platform.python_version(),
+        "devtools_isolated": True,
         "graphs": {},
     }
     candidate_speedups: Dict[str, float] = {}

@@ -11,6 +11,12 @@ from typing import Dict, Hashable, Optional, Sequence
 
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
 
+__all__ = [
+    "average_clustering",
+    "local_clustering",
+    "local_clustering_coefficients",
+]
+
 Node = Hashable
 
 

@@ -16,6 +16,8 @@ from typing import Dict, Hashable, List, Set
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
 from repro.utils.rng import SeedLike, ensure_rng
 
+__all__ = ["community_sizes", "label_propagation_communities", "modularity"]
+
 Node = Hashable
 
 

@@ -13,6 +13,13 @@ from typing import Hashable, List, Set
 
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
 
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "num_connected_components",
+]
+
 Node = Hashable
 
 

@@ -14,6 +14,8 @@ from typing import Dict, Hashable
 
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
 
+__all__ = ["core_numbers", "k_core_nodes", "max_core"]
+
 Node = Hashable
 
 

@@ -15,6 +15,8 @@ from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
 
+__all__ = ["as_neighbor_function", "node_universe"]
+
 Subnode = Hashable
 NeighborProvider = Union[Graph, HierarchicalSummary, FlatSummary]
 NeighborFunction = Callable[[Subnode], Set[Subnode]]

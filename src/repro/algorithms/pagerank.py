@@ -7,6 +7,8 @@ from typing import Dict, Hashable
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
 from repro.utils.validation import require_positive, require_probability
 
+__all__ = ["pagerank"]
+
 Subnode = Hashable
 
 

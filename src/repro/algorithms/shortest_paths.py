@@ -13,6 +13,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function
 
+__all__ = ["dijkstra_distances", "shortest_path"]
+
 Subnode = Hashable
 WeightFunction = Callable[[Subnode, Subnode], float]
 

@@ -7,6 +7,8 @@ from typing import Dict, Hashable, List, Optional, Set
 
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function
 
+__all__ = ["bfs_distances", "bfs_order", "connected_component_of", "dfs_order"]
+
 Subnode = Hashable
 
 

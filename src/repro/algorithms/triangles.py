@@ -6,6 +6,8 @@ from typing import Dict, Hashable
 
 from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
 
+__all__ = ["count_triangles", "local_triangle_counts"]
+
 Subnode = Hashable
 
 

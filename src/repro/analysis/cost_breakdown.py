@@ -16,6 +16,14 @@ from typing import Dict, Tuple
 
 from repro.model.summary import HierarchicalSummary
 
+__all__ = [
+    "cost_decomposition",
+    "cost_per_root",
+    "hierarchy_cost_per_root",
+    "superedge_cost_per_root",
+    "superedge_cost_per_root_pair",
+]
+
 RootPair = Tuple[int, int]
 
 

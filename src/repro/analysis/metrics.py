@@ -16,6 +16,13 @@ from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
 
+__all__ = [
+    "compression_report",
+    "edge_composition",
+    "hierarchy_statistics",
+    "relative_size",
+]
+
 AnySummary = Union[HierarchicalSummary, FlatSummary]
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set
 from repro.exceptions import SummaryInvariantError
 from repro.graphs.dense import CSRAdjacency, DenseAdjacency
 from repro.graphs.graph import Graph
+from repro.graphs.staleness import ensure_fresh_views
 from repro.model.flat import FlatSummary
 
 __all__ = ["FlatGroupingState", "pair_encoding_cost"]
@@ -57,16 +58,7 @@ class FlatGroupingState:
         csr: Optional[CSRAdjacency] = None,
     ) -> None:
         self.graph = graph
-        if dense is not None and dense.num_edges != graph.num_edges:
-            raise SummaryInvariantError(
-                "prebuilt dense substrate is stale: "
-                f"{dense.num_edges} edges vs the graph's {graph.num_edges}"
-            )
-        if csr is not None and csr.num_edges != graph.num_edges:
-            raise SummaryInvariantError(
-                "prebuilt CSR view is stale: "
-                f"{csr.num_edges} edges vs the graph's {graph.num_edges}"
-            )
+        ensure_fresh_views(graph.num_edges, dense=dense, csr=csr)
         self.dense = dense if dense is not None else DenseAdjacency.from_graph(graph)
         self.index = self.dense.index
         num_nodes = self.dense.num_nodes

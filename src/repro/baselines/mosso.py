@@ -28,6 +28,8 @@ from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.utils.rng import SeedLike, ensure_rng
 
+__all__ = ["MoSSo", "MossoConfig", "mosso_summarize"]
+
 Subnode = Hashable
 
 
@@ -234,7 +236,11 @@ class MoSSo:
         """
         assert self._state is not None
         state = self._state
-        live = [group for group in {*involved, state.group_of[node]} if group in state.members]
+        # Sorted for hash-order independence; only commutative cost sums
+        # consume the order, so the pinned output is unchanged.
+        live = sorted(
+            group for group in {*involved, state.group_of[node]} if group in state.members
+        )
         live_set = set(live)
         cost = 0
         for group in live:

@@ -227,6 +227,7 @@ def _divide(
             if len(buckets) == 1:
                 pending.append(group)
             else:
+                # repro-lint: disable=unordered-iter (dict insertion order is deterministic and the pinned RNG stream depends on it)
                 pending.extend(buckets.values())
     for group in pending:
         if len(group) <= config.max_group_size:

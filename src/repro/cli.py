@@ -191,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
     lossy_parser.add_argument("--iterations", type=int, default=10)
     lossy_parser.add_argument("--seed", type=int, default=0)
 
+    # ``lint`` is dispatched before this parser runs (see :func:`main`) so
+    # every following argument — including options like ``--json`` —
+    # reaches the analyzer's own parser untouched; the subparser here
+    # only makes the command visible in ``--help``.
+    subparsers.add_parser(
+        "lint",
+        help="run the repro-lint static analyzer (determinism, fork-safety, hygiene)",
+        add_help=False,
+    )
+
     export_parser = subparsers.add_parser(
         "export", help="render the SLUGGER hierarchy as ASCII or Graphviz DOT"
     )
@@ -559,8 +569,15 @@ def _command_export(arguments: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-slugger`` console script."""
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list[:1] == ["lint"]:
+        # Forward to the analyzer's own parser, imported lazily: the
+        # serving stack must never pay for the analyzer, and vice versa.
+        from repro.devtools.lint import main as lint_main
+
+        return lint_main(arg_list[1:])
     parser = build_parser()
-    arguments = parser.parse_args(argv)
+    arguments = parser.parse_args(arg_list)
     handlers = {
         "summarize": _command_summarize,
         "compare": _command_compare,

@@ -25,6 +25,8 @@ from repro.exceptions import CompressionError
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
 
+__all__ = ["CompressedAdjacency", "decode_adjacency", "encode_adjacency"]
+
 Node = Hashable
 
 

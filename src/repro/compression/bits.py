@@ -16,6 +16,8 @@ from typing import Iterable, List
 
 from repro.exceptions import CompressionError
 
+__all__ = ["BitReader", "BitWriter", "bits_to_list"]
+
 
 class BitWriter:
     """Accumulates bits most-significant-bit first and packs them into bytes.

@@ -26,6 +26,26 @@ from typing import Callable, Dict, Iterable, List, Tuple
 from repro.compression.bits import BitReader, BitWriter
 from repro.exceptions import CompressionError
 
+__all__ = [
+    "GapCode",
+    "available_codes",
+    "decode_delta",
+    "decode_gamma",
+    "decode_rice",
+    "decode_unary",
+    "decode_varint",
+    "decode_varint_sequence",
+    "encode_delta",
+    "encode_gamma",
+    "encode_rice",
+    "encode_unary",
+    "encode_varint",
+    "encode_varint_sequence",
+    "get_code",
+    "zigzag_decode",
+    "zigzag_encode",
+]
+
 
 def _require_non_negative(value: int, name: str = "value") -> int:
     if not isinstance(value, int) or isinstance(value, bool):

@@ -31,6 +31,19 @@ from repro.model.hierarchy import Hierarchy
 from repro.model.summary import HierarchicalSummary
 from repro.utils.rng import SeedLike
 
+__all__ = [
+    "CompressedFlatSummary",
+    "CompressedGraph",
+    "CompressedHierarchicalSummary",
+    "compress_flat_summary",
+    "compress_graph",
+    "compress_hierarchical_summary",
+    "compress_summary",
+    "compression_report",
+    "decompress_flat_summary",
+    "decompress_hierarchical_summary",
+]
+
 Subnode = Hashable
 Pair = Tuple[int, int]
 AnySummary = Union[HierarchicalSummary, FlatSummary]

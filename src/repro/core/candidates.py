@@ -34,6 +34,8 @@ from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 from repro.utils.rng import SeedLike, ensure_rng
 
+__all__ = ["generate_candidate_sets"]
+
 
 def generate_candidate_sets(
     graph: Graph,
@@ -128,6 +130,7 @@ def generate_candidate_sets(
                 # let the random splitting below handle it.
                 groups.append(group)
             else:
+                # repro-lint: disable=unordered-iter (dict insertion order is deterministic and the pinned RNG stream depends on it)
                 groups.extend(buckets.values())
 
     # Any group still above the cap is split uniformly at random.

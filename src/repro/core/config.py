@@ -7,6 +7,8 @@ from typing import Optional
 
 from repro.exceptions import ConfigurationError
 
+__all__ = ["SluggerConfig"]
+
 
 @dataclass
 class SluggerConfig:

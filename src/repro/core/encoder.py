@@ -27,6 +27,23 @@ from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 
+__all__ = [
+    "EncodingPlan",
+    "IntraEncodingPlan",
+    "Panel",
+    "apply_cross_plan",
+    "apply_intra_plan",
+    "count_edges_between",
+    "count_edges_within",
+    "memo_table_sizes",
+    "missing_pairs_between",
+    "missing_pairs_within",
+    "plan_cross_encoding",
+    "plan_intra_encoding",
+    "present_pairs_between",
+    "present_pairs_within",
+]
+
 Subnode = Hashable
 
 POSITIVE = 1

@@ -32,6 +32,13 @@ from repro.core.state import SluggerState
 from repro.exceptions import SummaryInvariantError
 from repro.utils.rng import SeedLike, ensure_rng
 
+__all__ = [
+    "apply_merge_trace",
+    "decide_merges",
+    "merge_and_update",
+    "process_candidate_set",
+]
+
 
 def merge_and_update(
     state: SluggerState, root_a: int, root_b: int, config: SluggerConfig

@@ -26,6 +26,13 @@ from typing import Dict, Hashable, List, Set, Tuple
 from repro.graphs.graph import Graph
 from repro.model.summary import NEGATIVE, POSITIVE, HierarchicalSummary
 
+__all__ = [
+    "prune",
+    "prune_edgeless_supernodes",
+    "prune_single_edge_roots",
+    "reencode_root_pairs_flat",
+]
+
 Subnode = Hashable
 RootPair = Tuple[int, int]
 

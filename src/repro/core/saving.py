@@ -18,6 +18,15 @@ from typing import Optional, Tuple
 
 from repro.core.state import SluggerState
 
+__all__ = [
+    "best_partner",
+    "estimate_merged_cost",
+    "pair_cost_estimate",
+    "pair_denominator",
+    "saving",
+    "two_hop_roots",
+]
+
 
 def pair_cost_estimate(subedges: int, possible: int, current: int) -> int:
     """Cheapest single-superedge encoding of one root-tree pair.

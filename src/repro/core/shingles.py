@@ -41,6 +41,21 @@ from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 from repro.utils.rng import SeedLike, ensure_rng
 
+__all__ = [
+    "DenseShingleCache",
+    "ShingleCache",
+    "csr_shingles_range",
+    "dense_hash_values",
+    "dense_shingles_from_values",
+    "dense_subnode_shingles",
+    "make_hash_function",
+    "root_shingles",
+    "sharded_shingles",
+    "shingle_shard_worker",
+    "subnode_shingles",
+    "subnode_shingles_from_values",
+]
+
 Subnode = Hashable
 
 # A large Mersenne prime keeps the 2-universal hash family well spread
@@ -64,6 +79,9 @@ def make_hash_function(seed: SeedLike = None) -> Callable[[Subnode], int]:
     b = rng.randrange(_PRIME)
 
     def hash_function(value: Subnode) -> int:
+        # One of the two sanctioned label-hashing boundaries: CI pins the
+        # resulting fingerprints under PYTHONHASHSEED=0.
+        # repro-lint: disable=builtin-hash (documented boundary, pinned under PYTHONHASHSEED=0)
         base = value if isinstance(value, int) else hash(value)
         return (a * base + b) % _PRIME
 

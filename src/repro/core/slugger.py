@@ -61,10 +61,15 @@ from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_type
 
 __all__ = [
+    "ApplyPhase",
+    "DecidePhase",
+    "GroupPhase",
     "IterationContext",
     "IterationPipeline",
     "MergeTrace",
     "PHASE_NAMES",
+    "RecostPhase",
+    "ShinglePhase",
     "Slugger",
     "SluggerResult",
     "summarize",

@@ -29,6 +29,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 from repro.exceptions import SummaryInvariantError
 from repro.graphs.dense import CSRAdjacency, DenseAdjacency
 from repro.graphs.graph import Graph
+from repro.graphs.staleness import ensure_fresh_views
 from repro.model.summary import HierarchicalSummary
 
 __all__ = ["SluggerState", "StateSnapshot"]
@@ -125,16 +126,7 @@ class SluggerState:
         self.graph = graph
         self.summary = HierarchicalSummary.from_graph(graph)
         hierarchy = self.summary.hierarchy
-        if dense is not None and dense.num_edges != graph.num_edges:
-            raise SummaryInvariantError(
-                "prebuilt dense substrate is stale: "
-                f"{dense.num_edges} edges vs the graph's {graph.num_edges}"
-            )
-        if csr is not None and csr.num_edges != graph.num_edges:
-            raise SummaryInvariantError(
-                "prebuilt CSR view is stale: "
-                f"{csr.num_edges} edges vs the graph's {graph.num_edges}"
-            )
+        ensure_fresh_views(graph.num_edges, dense=dense, csr=csr)
         # A prebuilt substrate (service graph-store interning) is used as
         # is; its construction is deterministic in the graph, so injected
         # and self-built runs are bit-identical.

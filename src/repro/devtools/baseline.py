@@ -1,0 +1,65 @@
+"""Checked-in baseline of grandfathered lint findings.
+
+A baseline lets the analyzer land with a hard-failing CI gate even
+before every legacy finding is fixed: findings whose key matches a
+baseline entry are reported separately and do not fail the run.  The
+committed baseline for this repository is **empty for src/repro** —
+every finding the rule pack surfaced was fixed or given a justified
+inline suppression — and the file exists so the mechanism stays
+exercised and future grandfathering (e.g. vendored code) has a place
+to live.
+
+Keys are ``(rule, path, snippet)`` — the flagged line's text rather
+than its number — so edits elsewhere in a file do not un-baseline an
+entry (see :meth:`repro.devtools.framework.Finding.key`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.devtools.framework import Finding
+from repro.exceptions import LintError
+
+__all__ = ["load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path) -> Set[Tuple[str, str, str]]:
+    """Grandfathered finding keys from ``path`` (missing file → empty)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported format (want version {_VERSION})"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {path}: 'findings' must be a list")
+    keys: Set[Tuple[str, str, str]] = set()
+    for entry in entries:
+        try:
+            keys.add((entry["rule"], entry["path"], entry["snippet"]))
+        except (TypeError, KeyError) as exc:
+            raise LintError(f"baseline {path}: malformed entry {entry!r}") from exc
+    return keys
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline at ``path`` (sorted, stable)."""
+    entries: List[dict] = [
+        {"rule": rule, "path": relpath, "snippet": snippet}
+        for rule, relpath, snippet in sorted({f.key() for f in findings})
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

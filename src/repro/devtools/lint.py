@@ -1,0 +1,181 @@
+"""``repro-lint`` command line: run the rule pack, report, gate CI.
+
+Usage (both spellings are equivalent)::
+
+    repro-slugger lint src/repro tests [--json] [--baseline FILE]
+    python -m repro.devtools.lint src/repro tests
+
+Exit codes are stable and scriptable:
+
+* ``0`` — no unsuppressed, unbaselined findings;
+* ``1`` — at least one finding;
+* ``2`` — usage or analyzer error (bad path, unparseable file,
+  malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools import baseline as baseline_module
+from repro.devtools.framework import LintReport, all_rules, lint_paths
+from repro.exceptions import LintError
+
+__all__ = ["build_parser", "main", "run_lint"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism, fork-safety, and API-hygiene analyzer "
+            "for the repro codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON baseline of grandfathered findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="directory paths are reported relative to (default: inferred)",
+    )
+    return parser
+
+
+def run_lint(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    rule_filter: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Programmatic entry point used by the CLI and the test suite."""
+    rules = all_rules()
+    if rule_filter is not None:
+        wanted = set(rule_filter)
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            raise LintError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        rules = [rule for rule in rules if rule.id in wanted]
+    baseline_keys = (
+        baseline_module.load_baseline(baseline_path) if baseline_path else set()
+    )
+    return lint_paths(
+        paths,
+        root=Path(root).resolve() if root else None,
+        rules=rules,
+        baseline_keys=baseline_keys,
+    )
+
+
+def _print_human(report: LintReport, stream) -> None:
+    for finding in report.findings:
+        print(
+            f"{finding.path}:{finding.line}:{finding.column}: "
+            f"[{finding.rule}] {finding.message}",
+            file=stream,
+        )
+        if finding.snippet:
+            print(f"    {finding.snippet}", file=stream)
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined, "
+        f"{report.checked_files} file(s) checked"
+    )
+    print(summary, file=stream)
+
+
+def _print_rules(stream) -> None:
+    for rule in all_rules():
+        print(f"{rule.id} [{rule.category}]", file=stream)
+        print(f"    {rule.rationale}", file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules(sys.stdout)
+        return EXIT_CLEAN
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline FILE", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        rule_filter = (
+            [part.strip() for part in args.rules.split(",") if part.strip()]
+            if args.rules
+            else None
+        )
+        report = run_lint(
+            args.paths,
+            root=args.root,
+            rule_filter=rule_filter,
+            baseline_path=None if args.update_baseline else args.baseline,
+        )
+        if args.update_baseline:
+            baseline_module.write_baseline(args.baseline, report.findings)
+            print(
+                f"baseline {args.baseline} updated with "
+                f"{len(report.findings)} finding(s)",
+                file=sys.stderr,
+            )
+            return EXIT_CLEAN
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+        if report.findings:
+            _print_human(report, sys.stderr)
+    else:
+        _print_human(report, sys.stdout)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke run
+    sys.exit(main())

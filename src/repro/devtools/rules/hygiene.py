@@ -1,0 +1,347 @@
+"""API-hygiene rules: ``__all__`` consistency, exception taxonomy,
+and the single sanctioned staleness guard.
+
+These rules keep the public surface honest: every public module says
+what it exports, every error a caller can catch comes from the
+:mod:`repro.exceptions` taxonomy (or the two stdlib validation types),
+and substrate staleness is detected in exactly one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = [
+    "AllConsistencyRule",
+    "RaiseTaxonomyRule",
+    "StalenessGuardRule",
+]
+
+
+@register_rule
+class AllConsistencyRule(Rule):
+    """Every public package module declares ``__all__``, and it is exact.
+
+    ``__all__`` is the machine-checkable statement of a module's public
+    surface: every listed name must be defined (or imported) at module
+    top level, and every public top-level ``def``/``class`` must be
+    listed.  Public constants *may* be listed but are not required.
+    Modules outside packages (scripts, tests) and ``_private`` modules
+    are exempt; a dynamically-computed ``__all__`` is skipped as
+    statically unverifiable.
+    """
+
+    id = "all-consistency"
+    category = "hygiene"
+    rationale = (
+        "__all__ is the contract for `import *` and the docs; a drifted "
+        "list silently hides or leaks API"
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if "." not in module.name:  # not inside a package: script or test
+            return
+        stem = module.name.rsplit(".", 1)[1]
+        if stem.startswith("_"):  # __main__, _private helpers
+            return
+        exported = _literal_all(module.tree)
+        if exported is None:
+            if _has_all_assignment(module.tree):
+                return  # dynamic __all__: not statically checkable
+            yield self.finding(
+                module,
+                module.tree.body[0] if module.tree.body else module.tree,
+                "public module defines no __all__",
+            )
+            return
+        defined = _toplevel_names(module.tree)
+        for name in exported:
+            if name not in defined:
+                yield self.finding(
+                    module,
+                    module.tree.body[0] if module.tree.body else module.tree,
+                    f"__all__ lists {name!r}, which is not defined in the module",
+                )
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_") and node.name not in exported:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"public {'class' if isinstance(node, ast.ClassDef) else 'function'} "
+                        f"{node.name!r} is missing from __all__",
+                    )
+
+
+def _literal_all(tree: ast.Module) -> Optional[List[str]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                isinstance(el, ast.Constant) and isinstance(el.value, str)
+                for el in node.value.elts
+            ):
+                return [el.value for el in node.value.elts]
+            return None
+    return None
+
+
+def _has_all_assignment(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        if any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            return True
+    return False
+
+
+def _toplevel_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    names.update(
+                        el.id for el in target.elts if isinstance(el, ast.Name)
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional definitions (TYPE_CHECKING, fallbacks) count.
+            for child in ast.walk(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    names.add(child.name)
+                elif isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                elif isinstance(child, ast.ImportFrom):
+                    for alias in child.names:
+                        names.add(alias.asname or alias.name)
+    return names
+
+
+#: Builtin exception names (so a bare ``raise RuntimeError`` — a Name,
+#: not a Call — is still recognized as raising a class).
+_BUILTIN_EXCEPTIONS = frozenset({
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "BlockingIOError", "BrokenPipeError", "BufferError", "ConnectionError",
+    "EOFError", "Exception", "FileExistsError", "FileNotFoundError",
+    "ImportError", "IndentationError", "IndexError", "InterruptedError",
+    "IOError", "KeyboardInterrupt", "KeyError", "LookupError", "MemoryError",
+    "ModuleNotFoundError", "NameError", "NotImplementedError", "OSError",
+    "OverflowError", "PermissionError", "RecursionError", "RuntimeError",
+    "StopAsyncIteration", "StopIteration", "SyntaxError", "SystemError",
+    "SystemExit", "TimeoutError", "TypeError", "UnicodeDecodeError",
+    "UnicodeEncodeError", "ValueError", "ZeroDivisionError",
+})
+
+#: Always-acceptable stdlib types: argument/state validation at API
+#: boundaries, and abstract-method stubs.
+_ALLOWED_STDLIB = frozenset({"ValueError", "TypeError", "NotImplementedError"})
+
+#: Protocol dunders where the matching stdlib exception *is* the contract.
+_PROTOCOL_ALLOWANCES: Dict[str, frozenset] = {
+    "__getitem__": frozenset({"KeyError", "IndexError"}),
+    "__missing__": frozenset({"KeyError"}),
+    "__delitem__": frozenset({"KeyError", "IndexError"}),
+    "__getattr__": frozenset({"AttributeError"}),
+    "__setattr__": frozenset({"AttributeError"}),
+    "__delattr__": frozenset({"AttributeError"}),
+    "__next__": frozenset({"StopIteration"}),
+    "__anext__": frozenset({"StopAsyncIteration"}),
+}
+
+
+@register_rule
+class RaiseTaxonomyRule(Rule):
+    """Every ``raise`` uses the package exception taxonomy.
+
+    Callers catch :class:`repro.exceptions.ReproError` subclasses to
+    distinguish user errors from invariant violations; a stray
+    ``RuntimeError`` escapes that contract.  Allowed: taxonomy classes
+    (discovered from the project's ``*.exceptions`` modules, so new
+    types are picked up automatically), stdlib ``ValueError`` /
+    ``TypeError`` at validation boundaries, ``NotImplementedError``
+    stubs, the protocol exception inside protocol dunders
+    (``KeyError`` in ``__getitem__``, ``AttributeError`` in
+    ``__setattr__``, …), and re-raises of caught/stored exception
+    objects.  The rule is active only for modules *inside* a package
+    that ships an ``exceptions`` module — test files and scripts
+    outside the package raise whatever their harness needs.
+    """
+
+    id = "raise-taxonomy"
+    category = "hygiene"
+    rationale = (
+        "a raise outside the repro.exceptions taxonomy (or stdlib "
+        "ValueError/TypeError validation) breaks callers' except contracts"
+    )
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        taxonomy = _taxonomy_for(module, project)
+        if taxonomy is None:
+            return
+        enclosing = _enclosing_function_map(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_class_name(node.exc)
+            if name is None:
+                continue  # re-raise of a variable / dynamic expression
+            if name in taxonomy or name in _ALLOWED_STDLIB:
+                continue
+            if name not in _BUILTIN_EXCEPTIONS:
+                # A class we cannot place: locally-defined or imported
+                # from outside the taxonomy — flag it too, unless it is
+                # not recognizably a class (lowercase variable).
+                if not name[:1].isupper():
+                    continue
+            func_name = enclosing.get(node)
+            if func_name is not None and name in _PROTOCOL_ALLOWANCES.get(
+                func_name, ()
+            ):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raise {name}(...) outside the exception taxonomy; use a "
+                "repro.exceptions type (or ValueError/TypeError for "
+                "argument validation)",
+            )
+
+
+def _raised_class_name(exc: ast.expr) -> Optional[str]:
+    if isinstance(exc, ast.Call):
+        func = exc.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+    if isinstance(exc, ast.Name):
+        # ``raise SummaryInvariantError`` (no call) — only meaningful if
+        # the name looks like a class; ``raise self`` / ``raise exc``
+        # re-raise stored exception objects.
+        return exc.id if exc.id[:1].isupper() or exc.id in _BUILTIN_EXCEPTIONS else None
+    if isinstance(exc, ast.Attribute):
+        return exc.attr if exc.attr[:1].isupper() else None
+    return None
+
+
+def _taxonomy_for(module: SourceModule, project: Project) -> Optional[Set[str]]:
+    """Class names of the taxonomy governing ``module``, or None.
+
+    The taxonomy is the union of classes defined in every analyzed
+    module named ``exceptions`` (``repro.exceptions``, a fixture's
+    ``pkg.exceptions``), and it governs exactly the modules of the
+    package that defines it: linting ``src/repro`` and ``tests``
+    together must not hold test files to the package's contract.
+    A top-level ``exceptions`` module (no package) governs everything.
+    """
+
+    def build() -> Tuple[Set[str], Tuple[str, ...]]:
+        names: Set[str] = set()
+        prefixes: List[str] = []
+        for candidate in project.modules:
+            if candidate.name == "exceptions" or candidate.name.endswith(".exceptions"):
+                for node in candidate.tree.body:
+                    if isinstance(node, ast.ClassDef):
+                        names.add(node.name)
+                if "." in candidate.name:
+                    prefixes.append(candidate.name.rsplit(".", 1)[0])
+                else:
+                    prefixes.append("")  # top-level taxonomy: govern all
+        return names, tuple(prefixes)
+
+    names, prefixes = project.cache("exception-taxonomy", build)  # type: ignore[misc]
+    if not names:
+        return None
+    for prefix in prefixes:
+        if prefix == "" or module.name == prefix or module.name.startswith(prefix + "."):
+            return names
+    return None
+
+
+def _enclosing_function_map(module: SourceModule) -> Dict[ast.AST, str]:
+    """Raise node → name of its innermost enclosing function."""
+    result: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, current: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child.name)
+            else:
+                if isinstance(child, ast.Raise) and current is not None:
+                    result[child] = current
+                visit(child, current)
+
+    visit(module.tree, None)
+    return result
+
+
+@register_rule
+class StalenessGuardRule(Rule):
+    """``mutation_count`` comparisons live in one helper, nowhere else.
+
+    Substrate staleness ("does this prebuilt dense/CSR view still match
+    the graph?") is detected by :mod:`repro.graphs.staleness`; six
+    per-layer ad-hoc guards were consolidated there.  New code that
+    compares ``graph.mutation_count`` by hand re-opens the drift —
+    route it through ``mutation_stamp()`` / ``stamp_is_stale()`` /
+    ``ensure_fresh_views()`` so future strengthening lands once.
+    """
+
+    id = "staleness-guard"
+    category = "hygiene"
+    rationale = (
+        "ad-hoc mutation_count comparisons recreate the per-layer "
+        "staleness-guard drift; use repro.graphs.staleness helpers"
+    )
+
+    #: The helper module (and fixtures mimicking it) where the
+    #: comparison is the implementation.
+    allowed_suffixes = ("graphs.staleness",)
+
+    def check(self, module: SourceModule, project: Project) -> Iterator[Finding]:
+        if module.name.endswith(self.allowed_suffixes):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left, *node.comparators]
+            if any(
+                isinstance(side, ast.Attribute) and side.attr == "mutation_count"
+                for side in sides
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "ad-hoc mutation_count comparison; use "
+                    "repro.graphs.staleness (mutation_stamp/stamp_is_stale)",
+                )

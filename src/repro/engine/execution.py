@@ -64,7 +64,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, InvalidStateError
 
 __all__ = [
     "ExecutionConfig",
@@ -122,8 +122,8 @@ def worker_context() -> Any:
     """The context object installed for the currently running shard."""
     context = getattr(_CURRENT, "context", None)
     if context is None:
-        raise RuntimeError("no worker context is installed; shards must be "
-                           "run through an executor's map_shards")
+        raise InvalidStateError("no worker context is installed; shards must "
+                                "be run through an executor's map_shards")
     return context
 
 
@@ -323,8 +323,11 @@ class ProcessShardExecutor:
         """
         with self._sync:
             if self._closed:
-                raise RuntimeError("executor is closed")
+                raise InvalidStateError("executor is closed")
             if self._pool is None:
+                # Only _sync is held here, and forked workers run
+                # _run_shard only — they never acquire it.
+                # repro-lint: disable=fork-under-lock (workers never acquire the executor's _sync)
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=multiprocessing.get_context("fork"),
@@ -335,8 +338,11 @@ class ProcessShardExecutor:
         payloads = list(payloads)
         with self._sync:
             if self._closed:
-                raise RuntimeError("executor is closed")
+                raise InvalidStateError("executor is closed")
             if self._pool is None:
+                # Only _sync is held here, and forked workers run
+                # _run_shard only — they never acquire it.
+                # repro-lint: disable=fork-under-lock (workers never acquire the executor's _sync)
                 self._pool = ProcessPoolExecutor(
                     max_workers=min(self.workers, max(1, len(payloads))),
                     mp_context=multiprocessing.get_context("fork"),

@@ -61,14 +61,21 @@ def _ensure_builtins() -> None:
     global _BUILTINS_LOADED, _BUILTINS_LOADING
     if _BUILTINS_LOADED:
         return
+    # Forked workers never reach past the lock-free fast path above: the
+    # service preloads the registry in the parent (available_methods())
+    # before any fork, so _BUILTINS_LOADED is already True in every child.
+    # repro-lint: disable=worker-lock (parent preloads pre-fork; workers take the loaded fast path)
     with _BUILTINS_LOCK:
         if _BUILTINS_LOADED or _BUILTINS_LOADING:
             return
+        # repro-lint: disable=worker-lock (unreachable post-fork; see the preload note above)
         _BUILTINS_LOADING = True
         try:
             from repro.engine import adapters  # noqa: F401 - registration side effect
         finally:
+            # repro-lint: disable=worker-lock (unreachable post-fork; see the preload note above)
             _BUILTINS_LOADING = False
+        # repro-lint: disable=worker-lock (unreachable post-fork; see the preload note above)
         _BUILTINS_LOADED = True
 
 

@@ -14,7 +14,10 @@ __all__ = [
     "DatasetError",
     "GraphFormatError",
     "InvalidGraphError",
+    "InvalidStateError",
     "JobCancelled",
+    "JobTimeoutError",
+    "LintError",
     "LossyBoundError",
     "ReproError",
     "ServiceClosedError",
@@ -59,6 +62,26 @@ class ConfigurationError(ReproError):
     """Raised when an algorithm is configured with invalid parameters."""
 
 
+class InvalidStateError(ReproError, RuntimeError):
+    """Raised when an operation is invalid for an object's lifecycle state.
+
+    Examples: submitting shards to a closed executor, reading the worker
+    context outside a shard, stopping a stopwatch that was never started.
+    Subclasses :class:`RuntimeError` for backward compatibility — these
+    sites raised ``RuntimeError`` before the taxonomy covered them, and
+    callers may still catch it.
+    """
+
+
+class LintError(ReproError):
+    """Raised when the :mod:`repro.devtools` static analyzer cannot run.
+
+    Covers unreadable or unparseable source files, malformed baselines,
+    and unknown rule ids — analyzer *operation* failures, never rule
+    findings (those are data, returned in the report).
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a named dataset is unknown or cannot be generated."""
 
@@ -97,6 +120,16 @@ class JobCancelled(ReproError):
 
 class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` layer."""
+
+
+class JobTimeoutError(ServiceError, TimeoutError):
+    """Raised when waiting on a job outlives the caller's timeout.
+
+    Subclasses :class:`TimeoutError` for backward compatibility —
+    :meth:`SummaryJob.result <repro.service.jobs.SummaryJob.result>`
+    raised the stdlib type before the taxonomy covered it, and callers
+    may still catch it.
+    """
 
 
 class ServiceClosedError(ServiceError):

@@ -31,6 +31,14 @@ from repro.lossy.bounded import lossy_sweg_summarize
 from repro.streaming.online import replay_stream
 from repro.streaming.stream import fully_dynamic_stream, insertion_stream
 
+__all__ = [
+    "compression_pipeline_experiment",
+    "cost_breakdown_experiment",
+    "lossy_tradeoff_experiment",
+    "ordering_ablation_experiment",
+    "streaming_experiment",
+]
+
 
 def compression_pipeline_experiment(
     datasets: Sequence[str],

@@ -24,6 +24,17 @@ from repro.graphs.sampling import scalability_series
 from repro.utils.rng import ensure_rng
 from repro.utils.stats import linear_fit, pearson_correlation
 
+__all__ = [
+    "compactness_experiment",
+    "composition_experiment",
+    "decompression_experiment",
+    "headline_experiment",
+    "runtime_experiment",
+    "scalability_experiment",
+    "summary_algorithm_experiment",
+    "theorem1_experiment",
+]
+
 
 # ----------------------------------------------------------------------
 # Fig. 1(a) and Fig. 5(a)/(b): method comparison

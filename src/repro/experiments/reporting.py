@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence
 
+__all__ = ["format_series", "format_table"]
+
 
 def format_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str],
                  title: str = "", precision: int = 3) -> str:

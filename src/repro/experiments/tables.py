@@ -14,6 +14,8 @@ from repro.core.pruning import (
 from repro.experiments.runner import ExperimentRecord
 from repro.graphs.datasets import load_dataset
 
+__all__ = ["height_sweep", "iteration_sweep", "pruning_ablation"]
+
 
 # ----------------------------------------------------------------------
 # Table III: effect of the iteration number T

@@ -33,6 +33,13 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.utils.rng import ensure_rng
 
+__all__ = [
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_table",
+    "load_dataset",
+]
+
 
 @dataclass(frozen=True)
 class DatasetSpec:

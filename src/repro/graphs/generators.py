@@ -19,6 +19,24 @@ from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_non_negative, require_positive, require_probability
 
+__all__ = [
+    "barabasi_albert_graph",
+    "caveman_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "copying_model_graph",
+    "cycle_graph",
+    "degree_sequence_summary",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "kronecker_like_graph",
+    "nested_partition_graph",
+    "path_graph",
+    "planted_clique_graph",
+    "star_graph",
+    "theorem1_graph",
+]
+
 
 # ----------------------------------------------------------------------
 # Deterministic structured graphs

@@ -149,6 +149,7 @@ class Graph:
     def neighbors(self, node: Node) -> FrozenSet[Node]:
         """The neighbor set of ``node`` (raises ``KeyError`` if absent)."""
         if node not in self._adjacency:
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
             raise KeyError(f"node {node!r} is not in the graph")
         return frozenset(self._adjacency[node])
 
@@ -166,6 +167,7 @@ class Graph:
     def degree(self, node: Node) -> int:
         """Degree of ``node``."""
         if node not in self._adjacency:
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
             raise KeyError(f"node {node!r} is not in the graph")
         return len(self._adjacency[node])
 

@@ -7,6 +7,13 @@ from typing import Dict, List, Set
 
 from repro.graphs.graph import Graph, Node
 
+__all__ = [
+    "connected_components",
+    "degree_histogram",
+    "global_clustering_coefficient",
+    "graph_density",
+]
+
 
 def connected_components(graph: Graph) -> List[Set[Node]]:
     """Connected components as a list of node sets (largest first)."""

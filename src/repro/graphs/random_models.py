@@ -28,6 +28,13 @@ from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive, require_probability
 
+__all__ = [
+    "configuration_model_graph",
+    "hierarchical_random_graph",
+    "rmat_graph",
+    "watts_strogatz_graph",
+]
+
 
 def rmat_graph(
     scale: int,

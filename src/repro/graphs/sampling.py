@@ -14,6 +14,8 @@ from repro.graphs.graph import Graph, Node
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_probability
 
+__all__ = ["induced_subgraph", "sample_nodes", "scalability_series"]
+
 
 def sample_nodes(graph: Graph, fraction: float, seed: SeedLike = None) -> List[Node]:
     """Uniformly sample ``fraction`` of the nodes of ``graph`` (without replacement)."""

@@ -1,0 +1,86 @@
+"""The single home for substrate-staleness detection.
+
+Several layers hand prebuilt substrate views (a dense adjacency, a
+frozen CSR, a materialized graph) to components that could also build
+them from scratch: the summarization states accept injected substrates,
+the service graph store seeds handles from storage loads, and
+``StoredGraph.seed`` short-circuits cold-load thaws.  Each of those
+sites used to carry its own copy of the same two checks — "does this
+view still describe this many edges?" and "has the graph been mutated
+since this was built?" — and the copies drifted in wording and
+strictness.  They now all route through this module:
+
+* :func:`ensure_fresh_views` validates injected views against the edge
+  count of their source (graph or container) and raises the caller's
+  layer-appropriate error type;
+* :func:`mutation_stamp` / :func:`stamp_is_stale` are the one
+  sanctioned use of :attr:`Graph.mutation_count` comparisons — the
+  ``staleness-guard`` lint rule flags any ad-hoc comparison elsewhere,
+  so future strengthening (e.g. content digests) lands in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.exceptions import SummaryInvariantError
+
+__all__ = ["ensure_fresh_views", "mutation_stamp", "stamp_is_stale"]
+
+#: Keyword-argument name → human label used in error messages.  Unknown
+#: kwargs fall back to their own name, so callers can validate novel
+#: view kinds without touching this table.
+_VIEW_LABELS = {
+    "dense": "dense substrate",
+    "csr": "CSR view",
+    "graph": "graph view",
+}
+
+
+def ensure_fresh_views(
+    expected_edges: int,
+    *,
+    error: Type[Exception] = SummaryInvariantError,
+    owner: str = "the graph",
+    **views,
+) -> None:
+    """Validate that every non-``None`` prebuilt view matches ``expected_edges``.
+
+    ``views`` maps view names (``dense``, ``csr``, ``graph``) to objects
+    exposing ``num_edges`` (or ``None`` for "not injected", which is
+    always fresh).  A mismatch raises ``error`` — callers pass their
+    layer's type (:class:`~repro.exceptions.SummaryInvariantError` for
+    summarization states, :class:`~repro.exceptions.ServiceError` for
+    the graph store, :class:`~repro.exceptions.ContainerFormatError`
+    for storage seeds) so existing ``except`` contracts are unchanged.
+
+    The edge count is a cheap necessary condition, not a content check:
+    substrate construction is deterministic in graph content, so views
+    built from the same source agree wherever they are built — the only
+    real hazard is a view that outlived a mutation of its source, and
+    any structural mutation bumps the edge count or the mutation stamp.
+    """
+    for name, view in views.items():
+        if view is None:
+            continue
+        if view.num_edges != expected_edges:
+            label = _VIEW_LABELS.get(name, name)
+            raise error(
+                f"prebuilt {label} is stale: {view.num_edges} edges "
+                f"vs {owner}'s {expected_edges}"
+            )
+
+
+def mutation_stamp(graph) -> int:
+    """Opaque freshness stamp for ``graph``, to pair with :func:`stamp_is_stale`.
+
+    Currently :attr:`Graph.mutation_count` — a counter bumped by every
+    structural mutation, so even count-preserving edit sequences
+    (remove one edge, add another) change the stamp.
+    """
+    return graph.mutation_count
+
+
+def stamp_is_stale(graph, stamp: Optional[int]) -> bool:
+    """Whether ``graph`` was structurally mutated since ``stamp`` was taken."""
+    return graph.mutation_count != stamp

@@ -27,6 +27,14 @@ from repro.model.summary import HierarchicalSummary
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_probability, require_type
 
+__all__ = [
+    "LossySummaryResult",
+    "lossy_slugger_sparsify",
+    "lossy_sweg_summarize",
+    "lossy_tradeoff_curve",
+    "sparsify_hierarchical_summary",
+]
+
 Node = Hashable
 
 

@@ -23,6 +23,14 @@ from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
 
+__all__ = [
+    "edge_error_counts",
+    "error_report",
+    "l1_reconstruction_error",
+    "max_relative_error",
+    "neighborhood_errors",
+]
+
 Node = Hashable
 AnySummary = Union[HierarchicalSummary, FlatSummary]
 

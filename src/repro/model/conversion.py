@@ -17,6 +17,8 @@ from repro.model.flat import FlatSummary
 from repro.model.hierarchy import Hierarchy
 from repro.model.summary import HierarchicalSummary
 
+__all__ = ["flat_to_hierarchical", "hierarchical_report", "singleton_summary"]
+
 Subnode = Hashable
 
 

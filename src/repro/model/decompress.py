@@ -16,6 +16,8 @@ from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
 
+__all__ = ["partial_neighbors", "reconstruct", "reconstruction_matches"]
+
 Subnode = Hashable
 AnySummary = Union[HierarchicalSummary, FlatSummary]
 

@@ -14,6 +14,14 @@ from repro.model.flat import FlatSummary
 from repro.model.hierarchy import Hierarchy
 from repro.model.summary import HierarchicalSummary
 
+__all__ = [
+    "ascii_hierarchy",
+    "flat_summary_to_dot",
+    "hierarchy_to_dot",
+    "summary_to_dot",
+    "supernode_size_distribution",
+]
+
 AnySummary = Union[HierarchicalSummary, FlatSummary]
 
 
@@ -118,7 +126,7 @@ def supernode_size_distribution(summary: AnySummary) -> Dict[int, int]:
         hierarchy = summary.hierarchy
         sizes = [hierarchy.size(root) for root in hierarchy.roots()]
     elif isinstance(summary, FlatSummary):
-        sizes = [len(members) for members in summary.groups.values()]
+        sizes = sorted(len(members) for members in summary.groups.values())
     else:
         raise TypeError(f"unsupported summary type {type(summary).__name__}")
     histogram: Dict[int, int] = {}

@@ -16,6 +16,8 @@ from repro.exceptions import SummaryInvariantError
 from repro.graphs.graph import Graph, canonical_edge
 from repro.utils.validation import require_type
 
+__all__ = ["FlatSummary"]
+
 Subnode = Hashable
 GroupId = int
 SubedgePair = Tuple[Subnode, Subnode]
@@ -184,6 +186,7 @@ class FlatSummary:
     def neighbors(self, subnode: Subnode) -> Set[Subnode]:
         """One-hop neighbors of ``subnode`` by partial decompression."""
         if subnode not in self.group_of:
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
             raise KeyError(f"subnode {subnode!r} is not in the summary")
         group = self.group_of[subnode]
         result: Set[Subnode] = set()

@@ -14,6 +14,8 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tupl
 
 from repro.exceptions import SummaryInvariantError
 
+__all__ = ["Hierarchy"]
+
 Subnode = Hashable
 
 
@@ -77,6 +79,7 @@ class Hierarchy:
             raise SummaryInvariantError("a new internal supernode needs at least one child")
         for child in child_list:
             if child not in self._parent:
+                # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
                 raise KeyError(f"unknown supernode id {child}")
             if self._parent[child] is not None:
                 raise SummaryInvariantError(
@@ -107,6 +110,7 @@ class Hierarchy:
         removed supernode was a root).  Leaves cannot be spliced out.
         """
         if supernode not in self._parent:
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
             raise KeyError(f"unknown supernode id {supernode}")
         if self.is_leaf(supernode):
             raise SummaryInvariantError("leaf supernodes cannot be removed from the hierarchy")

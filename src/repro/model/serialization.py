@@ -18,6 +18,13 @@ from repro.model.flat import FlatSummary
 from repro.model.hierarchy import Hierarchy
 from repro.model.summary import HierarchicalSummary
 
+__all__ = [
+    "load_flat_summary",
+    "load_hierarchical_summary",
+    "save_flat_summary",
+    "save_hierarchical_summary",
+]
+
 PathLike = Union[str, Path]
 
 _HIERARCHICAL_FORMAT = "repro/hierarchical-summary/v1"

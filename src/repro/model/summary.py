@@ -18,6 +18,8 @@ from repro.exceptions import SummaryInvariantError
 from repro.graphs.graph import Graph
 from repro.model.hierarchy import Hierarchy
 
+__all__ = ["HierarchicalSummary"]
+
 Subnode = Hashable
 SuperEdge = Tuple[int, int]
 
@@ -74,6 +76,7 @@ class HierarchicalSummary:
     # ------------------------------------------------------------------
     def _check_supernode(self, supernode: int) -> None:
         if not self.hierarchy.contains(supernode):
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
             raise KeyError(f"unknown supernode id {supernode}")
 
     def add_p_edge(self, a: int, b: int) -> bool:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.base import EngineResult
-from repro.exceptions import JobCancelled
+from repro.exceptions import JobCancelled, JobTimeoutError
 from repro.service.request import SummaryRequest
 
 __all__ = ["JobState", "ProgressEvent", "SummaryJob"]
@@ -161,11 +161,12 @@ class SummaryJob:
 
         Blocks until the job settles.  Raises
         :class:`~repro.exceptions.JobCancelled` for cancelled jobs, the
-        original exception for failed jobs, and :class:`TimeoutError`
-        when ``timeout`` elapses first.
+        original exception for failed jobs, and
+        :class:`~repro.exceptions.JobTimeoutError` (a
+        :class:`TimeoutError`) when ``timeout`` elapses first.
         """
         if not self._done.wait(timeout):
-            raise TimeoutError(
+            raise JobTimeoutError(
                 f"job {self.id} ({self.request.describe()}) still "
                 f"{self.state.value} after {timeout}s"
             )

@@ -534,6 +534,7 @@ class SummaryService:
                 self._job_pool = ProcessShardExecutor(
                     self.max_inflight, context=self.store
                 )
+                # repro-lint: disable=fork-under-lock (forked job workers never acquire the service lock; holding it here serializes racing first submissions)
                 self._job_pool.prestart()
                 self._job_pool_generation = self.store.generation
             return self._job_pool

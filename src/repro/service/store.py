@@ -33,6 +33,7 @@ from repro.engine.hooks import GraphResources
 from repro.exceptions import ServiceError
 from repro.graphs.dense import CSRAdjacency, DenseAdjacency
 from repro.graphs.graph import Graph
+from repro.graphs.staleness import ensure_fresh_views, mutation_stamp, stamp_is_stale
 
 __all__ = ["GraphHandle", "GraphStore"]
 
@@ -64,22 +65,13 @@ class GraphHandle(GraphResources):
         #: to decide whether a forked worker snapshot already holds this
         #: handle's graph.
         self.generation = generation
-        self._mutations_at_build = graph.mutation_count
+        self._stamp_at_build = mutation_stamp(graph)
         self._lock = threading.Lock()
         # Prebuilt substrate views (a storage-layer mmap load, a prior
         # handle) seed the memos; substrate construction is deterministic
         # in graph content, so a seeded handle serves the same bytes a
         # self-building one would.
-        if dense is not None and dense.num_edges != graph.num_edges:
-            raise ServiceError(
-                f"prebuilt dense substrate is stale: {dense.num_edges} edges "
-                f"vs the graph's {graph.num_edges}"
-            )
-        if csr is not None and csr.num_edges != graph.num_edges:
-            raise ServiceError(
-                f"prebuilt CSR view is stale: {csr.num_edges} edges "
-                f"vs the graph's {graph.num_edges}"
-            )
+        ensure_fresh_views(graph.num_edges, error=ServiceError, dense=dense, csr=csr)
         self._dense = dense
         self._csr = csr
         #: Whether the frozen CSR was injected rather than built here —
@@ -166,10 +158,11 @@ class GraphHandle(GraphResources):
     def stale(self) -> bool:
         """Whether the graph was structurally mutated since the handle was built.
 
-        Tracks :attr:`Graph.mutation_count`, so even count-preserving
-        edit sequences (remove one edge, add another) are detected.
+        Tracks :attr:`Graph.mutation_count` (via
+        :mod:`repro.graphs.staleness`), so even count-preserving edit
+        sequences (remove one edge, add another) are detected.
         """
-        return self.graph.mutation_count != self._mutations_at_build
+        return stamp_is_stale(self.graph, self._stamp_at_build)
 
     @property
     def builds(self) -> int:

@@ -68,12 +68,16 @@ __all__ = [
     "MAGIC",
     "SectionInfo",
     "container_digest",
+    "decode_indptr",
     "decode_labels",
     "decode_varint",
     "encode_container",
     "encode_varint",
     "index_width_for",
     "read_container_info",
+    "section_bytes",
+    "typecode_for_width",
+    "verify_sections",
     "write_container",
     "write_container_image",
 ]

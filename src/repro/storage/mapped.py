@@ -37,6 +37,7 @@ from repro.exceptions import ContainerFormatError
 from repro.graphs.dense import DenseAdjacency
 from repro.graphs.graph import Graph
 from repro.graphs.index import NodeIndex
+from repro.graphs.staleness import ensure_fresh_views
 from repro.engine.hooks import GraphResources
 from repro.storage import format as container_format
 from repro.storage.format import (
@@ -265,19 +266,16 @@ class StoredGraph(GraphResources):
         what the thaw/materialization would produce (validated cheaply
         on edge counts); returns ``self`` for chaining.
         """
+        ensure_fresh_views(
+            self._csr.num_edges,
+            error=ContainerFormatError,
+            owner="the container",
+            dense=dense,
+            graph=graph,
+        )
         if dense is not None:
-            if dense.num_edges != self._csr.num_edges:
-                raise ContainerFormatError(
-                    f"dense seed has {dense.num_edges} edges, "
-                    f"container holds {self._csr.num_edges}"
-                )
             self._dense = dense
         if graph is not None:
-            if graph.num_edges != self._csr.num_edges:
-                raise ContainerFormatError(
-                    f"graph seed has {graph.num_edges} edges, "
-                    f"container holds {self._csr.num_edges}"
-                )
             self._graph = graph
         return self
 

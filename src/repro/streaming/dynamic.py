@@ -16,6 +16,8 @@ from repro.exceptions import StreamError
 from repro.graphs.graph import Graph
 from repro.streaming.events import EdgeEvent, EventKind
 
+__all__ = ["DynamicGraph"]
+
 
 class DynamicGraph:
     """A graph maintained incrementally from a stream of edge events."""

@@ -17,6 +17,8 @@ from typing import Hashable, Tuple
 from repro.exceptions import StreamError
 from repro.graphs.graph import canonical_edge
 
+__all__ = ["EdgeEvent", "EventKind", "deletion", "insertion"]
+
 Node = Hashable
 
 

@@ -22,6 +22,13 @@ from repro.model.flat import FlatSummary
 from repro.streaming.dynamic import DynamicGraph
 from repro.streaming.events import EdgeEvent
 
+__all__ = [
+    "OnlineSummarizer",
+    "StreamCheckpoint",
+    "StreamReplayResult",
+    "replay_stream",
+]
+
 
 @dataclass
 class StreamCheckpoint:

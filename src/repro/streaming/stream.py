@@ -29,6 +29,14 @@ from repro.streaming.events import EdgeEvent, deletion, insertion
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_probability, require_type
 
+__all__ = [
+    "fully_dynamic_stream",
+    "insertion_stream",
+    "replay",
+    "sliding_window_stream",
+    "stream_statistics",
+]
+
 
 def _shuffled_edges(graph: Graph, seed: SeedLike) -> List[Tuple]:
     edges = sorted(graph.edges(), key=repr)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Union
 
+__all__ = ["ensure_rng", "spawn_seeds"]
+
 SeedLike = Union[None, int, random.Random]
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Sequence, Tuple
 
+__all__ = ["linear_fit", "mean", "pearson_correlation", "stdev"]
+
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean of ``values`` (raises on an empty sequence)."""

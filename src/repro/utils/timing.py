@@ -5,6 +5,10 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Tuple
 
+from repro.exceptions import InvalidStateError
+
+__all__ = ["Stopwatch", "time_call"]
+
 
 class Stopwatch:
     """A resettable wall-clock stopwatch.
@@ -34,7 +38,7 @@ class Stopwatch:
     def stop(self) -> float:
         """Stop timing and return the elapsed seconds."""
         if not self._running:
-            raise RuntimeError("Stopwatch.stop() called before start()")
+            raise InvalidStateError("Stopwatch.stop() called before start()")
         self._elapsed = time.perf_counter() - self._started_at
         self._running = False
         return self._elapsed

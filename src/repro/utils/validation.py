@@ -4,6 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Tuple, Type, Union
 
+__all__ = [
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "require_type",
+]
+
 
 def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
     """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
