@@ -34,6 +34,21 @@ parse, sharded parallel parse, packed-container mmap load) and gates the
 storage layer: mmap load >= 5x faster than the text parse and the
 container >= 2x smaller than the text edge list (the sharded-parse gate
 is skipped without fork or a second CPU).
+
+Three serial-tail sections round out the record:
+
+* ``pruning`` — the pruning step on one unpruned 10k-node ER summary
+  across worker counts, bit-identity asserted against the serial
+  reference, with the :func:`pruning_profile` substep split (gate:
+  >= 2x at 4 workers; skipped without fork or 4 CPUs);
+* ``coloring`` — full runs whose zero-threshold iterations go through
+  the colored sweep on a community-structured fixture, bit-identity
+  asserted at every worker count (gate skipped without 4 CPUs; the
+  engagement cross-check always runs);
+* ``thaw`` — eager ``DenseAdjacency.from_csr`` versus the
+  :class:`LazyDenseAdjacency` overlay on a mapped container, contents
+  cross-checked equal (hardware-independent gate: lazy construction
+  >= 5x cheaper than the eager O(m) thaw).
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Sequence
 
+from repro.analysis.cost_breakdown import pruning_profile
 from repro.core import Slugger, SluggerConfig
 from repro.core.candidates import generate_candidate_sets
 from repro.engine.execution import ExecutionConfig, available_cpus, process_execution_available
@@ -570,6 +586,167 @@ def bench_ingest(graph: Graph, name: str, repeats: int) -> Dict[str, object]:
     return section
 
 
+def _summary_fingerprint(summary) -> tuple:
+    return (
+        summary.cost(),
+        tuple(sorted(map(tuple, summary.p_edges()))),
+        tuple(sorted(map(tuple, summary.n_edges()))),
+    )
+
+
+def bench_pruning(graph: Graph, iterations: int, workers_list: Sequence[int]) -> Dict[str, object]:
+    """The pruning step across worker counts on one unpruned summary.
+
+    One unpruned SLUGGER summary is built, then pruned from identical
+    copies serially and through the sharded executor layer.  Every
+    parallel result's summary is asserted bit-identical to the serial
+    one (re-encode plans are exact and applied in canonical pair order),
+    so the section measures pure execution speed.  The per-substep
+    timing split comes from :func:`pruning_profile`.
+    """
+    config = SluggerConfig(iterations=iterations, seed=0, prune=False)
+    base = Slugger(config).summarize(graph).summary
+    section: Dict[str, object] = {
+        "iterations": iterations,
+        "cpus": available_cpus(),
+        "fork_available": process_execution_available(),
+        "workers": {},
+    }
+    reference_fingerprint = None
+    reference_seconds = None
+    for workers in workers_list:
+        summary = base.copy()
+        profile: Dict[str, object] = {}
+        execution = None if workers == 1 else ExecutionConfig(
+            workers=workers, prune_parallel_min_pairs=64
+        )
+        started = time.perf_counter()
+        prune(graph, summary, rounds=2, execution=execution, profile=profile)
+        elapsed = time.perf_counter() - started
+        fingerprint = _summary_fingerprint(summary)
+        if reference_fingerprint is None:
+            reference_fingerprint, reference_seconds = fingerprint, elapsed
+        else:
+            assert fingerprint == reference_fingerprint, (
+                f"pruning at workers={workers} diverged from the serial reference"
+            )
+        speedup = reference_seconds / elapsed if elapsed > 0 else float("inf")
+        entry = pruning_profile(profile)
+        entry.update({"seconds": elapsed, "speedup": speedup})
+        section["workers"][str(workers)] = entry  # type: ignore[index]
+        print(f"  pruning workers={workers}    {elapsed:8.3f}s  speedup={speedup:5.2f}x  "
+              f"parallel_rounds={int(entry['parallel_rounds'])}  "
+              f"serial_share={entry['serial_share']:.0%}")
+    return section
+
+
+def bench_coloring(graph: Graph, iterations: int, workers_list: Sequence[int]) -> Dict[str, object]:
+    """Colored zero-threshold sweeps across worker counts.
+
+    The fixture is community-structured, so the candidate-group
+    interaction graph colors well and the final (zero-threshold)
+    iteration runs as colored decide rounds.  Every parallel summary is
+    asserted bit-identical to the serial reference; the section reports
+    how many groups replayed colored traces versus fell to the serial
+    reference inside the sweep.
+    """
+    section: Dict[str, object] = {
+        "iterations": iterations,
+        "cpus": available_cpus(),
+        "fork_available": process_execution_available(),
+        "workers": {},
+    }
+    reference_fingerprint = None
+    reference_seconds = None
+    engaged = False
+    for workers in workers_list:
+        config = SluggerConfig(iterations=iterations, seed=0)
+        execution = None if workers == 1 else ExecutionConfig(
+            workers=workers, shingle_parallel_min_nodes=0, colored_min_class=4,
+        )
+        started = time.perf_counter()
+        result = Slugger(config, execution=execution).summarize(graph)
+        elapsed = time.perf_counter() - started
+        fingerprint = _summary_fingerprint(result.summary)
+        if reference_fingerprint is None:
+            reference_fingerprint, reference_seconds = fingerprint, elapsed
+        else:
+            assert fingerprint == reference_fingerprint, (
+                f"colored run at workers={workers} diverged from the serial reference"
+            )
+        stats = result.execution_stats
+        if workers > 1 and stats["colored_rounds"] > 0:
+            engaged = True
+        speedup = reference_seconds / elapsed if elapsed > 0 else float("inf")
+        section["workers"][str(workers)] = {  # type: ignore[index]
+            "seconds": elapsed,
+            "speedup": speedup,
+            "colored_rounds": stats["colored_rounds"],
+            "colored_replayed": stats["colored_replayed"],
+            "colored_serial": stats["colored_serial"],
+        }
+        print(f"  coloring workers={workers}   {elapsed:8.3f}s  speedup={speedup:5.2f}x  "
+              f"rounds={stats['colored_rounds']}  replayed={stats['colored_replayed']}  "
+              f"serial={stats['colored_serial']}")
+    section["engaged"] = engaged
+    return section
+
+
+def bench_thaw(graph: Graph, repeats: int) -> Dict[str, object]:
+    """Mmap-backed thaw-on-demand versus the eager O(m) dense thaw.
+
+    Packs the fixture into a binary container, maps it back, and
+    compares materializing the full mutable dense substrate up front
+    (``DenseAdjacency.from_csr``) against the
+    :class:`~repro.graphs.dense.LazyDenseAdjacency` overlay, whose
+    construction is O(n) and whose read-dominated paths (degree reads,
+    membership probes, sorted edge streaming) never build per-node sets.
+    Contents are cross-checked equal, so the gate measures a pure
+    algorithmic ratio — independent of core count.
+    """
+    import tempfile
+
+    from repro import storage
+    from repro.graphs.dense import LazyDenseAdjacency
+
+    section: Dict[str, object] = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+    }
+    with tempfile.TemporaryDirectory() as workdir:
+        container_path = f"{workdir}/graph.slg"
+        storage.pack(graph, container_path)
+        with storage.load(container_path) as stored:
+            csr = stored.csr()
+            eager_seconds = best_of(repeats, lambda: DenseAdjacency.from_csr(csr))
+            lazy_seconds = best_of(repeats, lambda: LazyDenseAdjacency(csr))
+            eager = DenseAdjacency.from_csr(csr)
+            lazy = LazyDenseAdjacency(csr)
+
+            probes = [(u, (u * 7919) % graph.num_nodes) for u in range(0, graph.num_nodes, 97)]
+            read_path_seconds = best_of(repeats, lambda: (
+                sum(lazy.degree(u) for u, _ in probes),
+                sum(1 for u, v in probes if lazy.has_edge(u, v)),
+            ))
+            assert lazy.thawed_nodes == 0, "read-only probes must not thaw nodes"
+            assert sum(1 for _ in lazy.edge_ids()) == graph.num_edges
+            assert lazy.thawed_nodes == 0, "sorted edge streaming must not thaw nodes"
+            assert [lazy.degree(u) for u in range(graph.num_nodes)] == \
+                [eager.degree(u) for u in range(graph.num_nodes)]
+            assert list(lazy.neighbors) == list(eager.neighbors), "lazy thaw diverged"
+            assert lazy.thawed_nodes == graph.num_nodes
+    thaw_ratio = eager_seconds / lazy_seconds if lazy_seconds > 0 else float("inf")
+    section.update({
+        "eager_thaw_seconds": eager_seconds,
+        "lazy_init_seconds": lazy_seconds,
+        "read_path_seconds": read_path_seconds,
+        "thaw_ratio": thaw_ratio,
+    })
+    print(f"  thaw eager             {eager_seconds:8.3f}s  lazy init={lazy_seconds:8.3f}s  "
+          f"({thaw_ratio:5.1f}x)  read path={read_path_seconds:8.3f}s, 0 nodes thawed")
+    return section
+
+
 def check_devtools_isolation() -> None:
     """Importing ``repro`` must not import the ``repro.devtools`` analyzer.
 
@@ -679,6 +856,30 @@ def main(argv: Sequence[str] = None) -> int:
     print(f"{ingest_name}: ingest (text parse vs sharded parse vs mmap load)")
     record["ingest"] = bench_ingest(ingest_graph, ingest_name, repeats)
 
+    # Parallel pruning of one unpruned summary on the ER fixture.
+    pruning_name, pruning_graph = graphs[0]
+    pruning_workers = (1, 2, 4) if not args.quick else (1, 2)
+    print(f"{pruning_name}: pruning (serial vs sharded scans/re-encode)")
+    record["pruning"] = {
+        "graph": pruning_name,
+        **bench_pruning(pruning_graph, iterations, pruning_workers),
+    }
+
+    # Colored zero-threshold sweeps on a community-structured fixture
+    # (the ER fixtures interlock and would correctly degenerate).
+    coloring_graph = (caveman_graph(120, 12, 0.01, seed=2) if not args.quick
+                      else caveman_graph(30, 10, 0.0, seed=0))
+    coloring_iterations = 5 if not args.quick else 3
+    print(f"coloring: colored zero-threshold sweeps on a caveman fixture "
+          f"(n={coloring_graph.num_nodes}, iterations={coloring_iterations})")
+    record["coloring"] = bench_coloring(
+        coloring_graph, coloring_iterations, pruning_workers
+    )
+
+    # Thaw-on-demand read path versus the eager O(m) dense thaw.
+    print(f"{pruning_name}: lazy thaw-on-demand vs eager dense thaw")
+    record["thaw"] = {"graph": pruning_name, **bench_thaw(pruning_graph, repeats)}
+
     record["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     if not args.quick:
@@ -770,11 +971,63 @@ def main(argv: Sequence[str] = None) -> int:
             serving["gate"] = "passed"  # type: ignore[index]
             print(f"PASS: warm-pool service served {serving['requests']} requests "
                   f"{serving['speedup']:.2f}x faster than per-call engine.run")
+        pruning_section = record["pruning"]  # type: ignore[assignment]
+        four_prune = pruning_section["workers"].get("4")  # type: ignore[index]
+        if (not pruning_section["fork_available"] or pruning_section["cpus"] < 4
+                or four_prune is None):
+            # Like the scaling gate: speedup needs real cores; the
+            # bit-identity cross-check inside bench_pruning already ran.
+            pruning_section["gate"] = "skipped"  # type: ignore[index]
+            print(f"SKIP: pruning gate needs >= 4 usable CPUs and fork "
+                  f"(cpus={pruning_section['cpus']}, "
+                  f"fork={pruning_section['fork_available']}); "
+                  f"bit-identity cross-check still enforced")
+        elif four_prune["speedup"] < 2.0:
+            pruning_section["gate"] = "failed"  # type: ignore[index]
+            failures.append(f"parallel pruning on the 10k-node ER graph is only "
+                            f"{four_prune['speedup']:.2f}x at 4 workers (need >= 2x)")
+        else:
+            pruning_section["gate"] = "passed"  # type: ignore[index]
+            print(f"PASS: 10k-node ER pruning {four_prune['speedup']:.2f}x faster "
+                  f"at 4 workers")
+        coloring_section = record["coloring"]  # type: ignore[assignment]
+        four_color = coloring_section["workers"].get("4")  # type: ignore[index]
+        if not coloring_section["engaged"]:
+            coloring_section["gate"] = "failed"  # type: ignore[index]
+            failures.append("colored sweep never engaged on the community-structured "
+                            "fixture (zero colored rounds at every worker count)")
+        elif (not coloring_section["fork_available"] or coloring_section["cpus"] < 4
+                or four_color is None):
+            coloring_section["gate"] = "skipped"  # type: ignore[index]
+            print(f"SKIP: coloring gate needs >= 4 usable CPUs and fork "
+                  f"(cpus={coloring_section['cpus']}, "
+                  f"fork={coloring_section['fork_available']}); "
+                  f"bit-identity and engagement cross-checks still enforced")
+        elif four_color["speedup"] < 1.2:
+            coloring_section["gate"] = "failed"  # type: ignore[index]
+            failures.append(f"colored zero-threshold runs are only "
+                            f"{four_color['speedup']:.2f}x at 4 workers (need >= 1.2x)")
+        else:
+            coloring_section["gate"] = "passed"  # type: ignore[index]
+            print(f"PASS: colored zero-threshold runs {four_color['speedup']:.2f}x "
+                  f"faster at 4 workers")
+        thaw_section = record["thaw"]  # type: ignore[assignment]
+        if thaw_section["thaw_ratio"] < 5.0:
+            thaw_section["gate"] = "failed"  # type: ignore[index]
+            failures.append(f"lazy dense construction is only "
+                            f"{thaw_section['thaw_ratio']:.2f}x cheaper than the "
+                            f"eager O(m) thaw (need >= 5x)")
+        else:
+            thaw_section["gate"] = "passed"  # type: ignore[index]
+            print(f"PASS: lazy dense construction {thaw_section['thaw_ratio']:.1f}x "
+                  f"cheaper than the eager thaw; read path thawed 0 nodes")
     else:
         record["scaling"]["gate"] = "not-evaluated"  # type: ignore[index]
         record["serving"]["gate"] = "not-evaluated"  # type: ignore[index]
         for gate in ("load_gate", "size_gate", "sharded_gate"):
             record["ingest"][gate] = "not-evaluated"  # type: ignore[index]
+        for section in ("pruning", "coloring", "thaw"):
+            record[section]["gate"] = "not-evaluated"  # type: ignore[index]
         failures = []
 
     if args.json:

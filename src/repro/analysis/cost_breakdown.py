@@ -12,7 +12,7 @@ incremental counters and the definitions agree (Eq. 2 must hold).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.model.summary import HierarchicalSummary
 
@@ -20,6 +20,7 @@ __all__ = [
     "cost_decomposition",
     "cost_per_root",
     "hierarchy_cost_per_root",
+    "pruning_profile",
     "superedge_cost_per_root",
     "superedge_cost_per_root_pair",
 ]
@@ -102,4 +103,45 @@ def cost_decomposition(summary: HierarchicalSummary) -> Dict[str, float]:
         "matches_p_n_edges": float(
             total_superedges == summary.num_p_edges + summary.num_n_edges
         ),
+    }
+
+
+def pruning_profile(profile: Mapping[str, Any]) -> Dict[str, float]:
+    """Condense a prune profile into a per-substep timing report.
+
+    ``profile`` is the dictionary :func:`repro.core.pruning.prune`
+    fills (also surfaced as ``SluggerResult.prune_profile``): raw
+    per-substep wall times, the pair counters, and the parallel-round
+    count.  The report adds the derived quantities the bench harness and
+    the analysis examples plot — each substep's share of the total prune
+    time and the split between time spent deciding in workers versus
+    applying serially — so regressions in the re-parallelized pruning
+    step show up as a shifted ``serial_share``.  All values are plain
+    floats, safe for JSON.
+    """
+    edgeless = float(profile.get("edgeless_seconds", 0.0))
+    single_edge = float(profile.get("single_edge_seconds", 0.0))
+    reencode = float(profile.get("reencode_seconds", 0.0))
+    decide = float(profile.get("reencode_decide_seconds", 0.0))
+    total = edgeless + single_edge + reencode
+    serial = total - decide
+    return {
+        "rounds": float(profile.get("rounds", 0)),
+        "workers": float(profile.get("workers", 1)),
+        "parallel": float(bool(profile.get("parallel", False))),
+        "parallel_rounds": float(profile.get("parallel_rounds", 0)),
+        "pairs_scanned": float(profile.get("pairs_scanned", 0)),
+        "pairs_reencoded": float(profile.get("pairs_reencoded", 0)),
+        "total_seconds": total,
+        "edgeless_seconds": edgeless,
+        "single_edge_seconds": single_edge,
+        "reencode_seconds": reencode,
+        "reencode_index_seconds": float(profile.get("reencode_index_seconds", 0.0)),
+        "reencode_decide_seconds": decide,
+        "reencode_apply_seconds": float(profile.get("reencode_apply_seconds", 0.0)),
+        "edgeless_share": (edgeless / total) if total else 0.0,
+        "single_edge_share": (single_edge / total) if total else 0.0,
+        "reencode_share": (reencode / total) if total else 0.0,
+        "serial_seconds": serial,
+        "serial_share": (serial / total) if total else 1.0,
     }

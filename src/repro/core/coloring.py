@@ -1,0 +1,268 @@
+"""Colored merge sweeps: parallel zero-threshold iterations without replay.
+
+Zero-threshold iterations (SLUGGER's final passes) merge nearly every
+candidate group, so the optimistic decide/apply split of
+:mod:`repro.core.slugger` degenerates there: almost every trace fails
+its conflict check and is thrown away.  The ``serial_zero_threshold``
+heuristic therefore used to force those iterations onto the serial
+reference loop — the serial tail this module drains.
+
+The colored sweep exploits a different source of safety.  Candidate
+groups interact only through their *footprints*
+(:meth:`~repro.core.state.SluggerState.group_footprint`: the member
+roots plus every root adjacent to one of them); two groups with
+disjoint footprints cannot observe each other's merges.  Treating the
+groups (in canonical order) as vertices of an interaction graph whose
+edges connect footprint-overlapping groups, a deterministic greedy pass
+(:func:`first_color_class`) extracts an independent class: group ``i``
+enters the class iff its footprint is disjoint from the footprints of
+**all** canonically-earlier groups — not merely the earlier class
+members.  That stronger condition buys structural exactness:
+
+* *decide*: class members are pairwise disjoint, so forked workers can
+  decide several of them back-to-back on one copy-on-write image —
+  each decision is exactly what the serial reference would compute;
+* *apply*: every group (class member or not) is applied **in canonical
+  order** — traced members replay their trace, gaps run the serial
+  reference computation in place.  A class member's replay stays exact
+  because the writes of every canonically-earlier group, whenever it is
+  applied, stay inside the closure of earlier footprints: merges re-key
+  root state only onto supernodes made from roots already inside those
+  footprints, and a root adjacent to the member's footprint would have
+  put itself into both footprints, contradicting disjointness.  The
+  member's decide-time view therefore never goes stale — no conflict
+  check, no replay fallback.
+
+Applying strictly in canonical order also preserves the hierarchy's
+``create_parent`` id sequence, so the summary is **bit-identical** to
+the serial reference at any worker count (pinned by the execution test
+suite).  When the class is too small to pay for a decide round
+(``colored_min_class``), the sweep finishes the remainder on the serial
+reference path; the driver falls back to the optimistic replay pipeline
+when even the *first* class degenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import SluggerConfig
+from repro.core.merging import apply_merge_trace, decide_merges, process_candidate_set
+from repro.core.state import SluggerState
+from repro.engine.execution import ExecutionConfig, executor_for, shard_bounds, worker_context
+
+__all__ = [
+    "color_classes",
+    "colored_apply_sweep",
+    "colored_decide_worker",
+    "first_color_class",
+]
+
+MergeTrace = List[Tuple[int, int]]
+
+
+def first_color_class(
+    state: SluggerState,
+    candidate_sets: Sequence[List[int]],
+    start: int = 0,
+) -> List[int]:
+    """Indices of the first independent class of ``candidate_sets[start:]``.
+
+    One deterministic pass in canonical order: group ``i`` is admitted
+    iff its footprint is disjoint from the *running union* of the
+    footprints of every earlier group (admitted or not), which makes the
+    class pairwise disjoint **and** disjoint from every earlier
+    unapplied group — the invariant the sweep's exactness proof needs.
+    Footprints are read from the live state, so callers must not mutate
+    it between this pass and the class's decide round.
+    """
+    ready: List[int] = []
+    seen: Set[int] = set()
+    for index in range(start, len(candidate_sets)):
+        footprint = state.group_footprint(candidate_sets[index])
+        if seen.isdisjoint(footprint):
+            ready.append(index)
+        seen |= footprint
+    return ready
+
+
+def color_classes(
+    state: SluggerState, candidate_sets: Sequence[List[int]]
+) -> List[List[int]]:
+    """Greedy coloring of the group interaction graph, strongest class first.
+
+    Repeatedly peels :func:`first_color_class` off the remaining groups,
+    so every class is an independent set under the *running-union*
+    criterion (each member's footprint disjoint from every earlier
+    remaining group's).  Deterministic: a pure function of the state and
+    the canonical group order.  The sweep itself only consumes the first
+    class per round against live state; the full partition exists for
+    diagnostics and the property-based tests.
+    """
+    remaining = list(range(len(candidate_sets)))
+    classes: List[List[int]] = []
+    while remaining:
+        subset = [candidate_sets[index] for index in remaining]
+        picked = first_color_class(state, subset)
+        picked_set = set(picked)
+        classes.append([remaining[position] for position in picked])
+        remaining = [
+            index
+            for position, index in enumerate(remaining)
+            if position not in picked_set
+        ]
+    return classes
+
+
+class _ColorDecideContext:
+    """Worker context of one colored decide round (inherited via fork).
+
+    ``indices`` maps shard positions back to canonical group indices;
+    everything else is the snapshot the workers simulate on.  Class
+    members are pairwise footprint-disjoint, so one worker deciding
+    several of them in sequence on its private image computes exactly
+    what the serial reference would.
+    """
+
+    __slots__ = ("state", "candidate_sets", "threshold", "config", "seeds", "indices")
+
+    def __init__(
+        self,
+        state: SluggerState,
+        candidate_sets: Sequence[List[int]],
+        threshold: float,
+        config: SluggerConfig,
+        seeds: Sequence[int],
+        indices: Sequence[int],
+    ) -> None:
+        self.state = state
+        self.candidate_sets = candidate_sets
+        self.threshold = threshold
+        self.config = config
+        self.seeds = seeds
+        self.indices = indices
+
+
+def colored_decide_worker(
+    bounds: Tuple[int, int],
+) -> List[Tuple[int, MergeTrace]]:
+    """Decide one shard of a colored class on this worker's forked image.
+
+    Reads the :class:`_ColorDecideContext` via :func:`worker_context`
+    (no locks; the image is a private copy-on-write snapshot) and
+    returns ``(group_index, trace)`` pairs.  Traces are exact — the
+    class construction guarantees no replay-time conflict — and may be
+    empty when nothing in the group clears the threshold.
+    """
+    start, stop = bounds
+    context = worker_context()
+    state = context.state
+    candidate_sets = context.candidate_sets
+    seeds = context.seeds
+    decided: List[Tuple[int, MergeTrace]] = []
+    for position in range(start, stop):
+        index = context.indices[position]
+        trace = decide_merges(
+            state,
+            candidate_sets[index],
+            context.threshold,
+            context.config,
+            seed=seeds[index],
+        )
+        decided.append((index, trace))
+    return decided
+
+
+def colored_apply_sweep(
+    state: SluggerState,
+    candidate_sets: Sequence[List[int]],
+    seeds: Sequence[int],
+    threshold: float,
+    config: SluggerConfig,
+    execution: ExecutionConfig,
+    stats: Dict[str, int],
+    first_ready: Optional[List[int]] = None,
+) -> int:
+    """Run one zero-threshold iteration as colored rounds; returns merges.
+
+    Each round: extract the first independent class of the unapplied
+    suffix (``first_ready`` hands in the driver's already-computed
+    round-one class), decide the class's groups concurrently, then walk
+    the groups in canonical order — replaying traced groups, running
+    untraced gaps through the serial reference — pausing after a gap so
+    the next round re-colors against the mutated state.  Traces retained
+    across a round boundary are re-certified by the next round's class
+    pass (a retained group that falls out of the class is re-decided or
+    applied serially), so every replay stays exact.  Classes below
+    ``execution.colored_min_class`` end the coloring: the remainder
+    finishes on the serial reference path.
+    """
+    total = len(candidate_sets)
+    traces: Dict[int, MergeTrace] = {}
+    merges = 0
+    cursor = 0
+    ready = first_ready
+    while cursor < total:
+        if ready is None:
+            ready = first_color_class(state, candidate_sets, start=cursor)
+        ready_set = set(ready)
+        traces = {index: trace for index, trace in traces.items() if index in ready_set}
+        undecided = [index for index in ready if index not in traces]
+        colored = (
+            len(ready) >= execution.colored_min_class
+            and execution.effective_workers(len(undecided)) > 1
+        )
+        if colored:
+            context = _ColorDecideContext(
+                state, candidate_sets, threshold, config, seeds, undecided
+            )
+            executor = executor_for(execution, len(undecided), context=context)
+            try:
+                bounds = shard_bounds(
+                    len(undecided), execution.workers * execution.chunks_per_worker
+                )
+                for shard in executor.map_shards(colored_decide_worker, bounds):
+                    for index, trace in shard:
+                        traces[index] = trace
+            finally:
+                executor.close()
+            stats["colored_rounds"] += 1
+        ready = None
+        if not colored:
+            # Degenerate class: no parallelism left to extract — finish
+            # the suffix on the serial reference path (replaying what was
+            # already decided, in canonical order).
+            for index in range(cursor, total):
+                trace = traces.pop(index, None)
+                if trace is not None:
+                    merges += apply_merge_trace(state, trace, config)
+                    stats["colored_replayed"] += 1
+                else:
+                    merges += process_candidate_set(
+                        state, candidate_sets[index], threshold, config,
+                        seed=seeds[index],
+                    )
+                    stats["colored_serial"] += 1
+            cursor = total
+            break
+        # Canonical apply walk: replay the traced run, absorb one serial
+        # gap, keep replaying, and stop at the second gap — mutated state
+        # has diverged enough that re-coloring beats more serial work.
+        gap_done = False
+        while cursor < total:
+            trace = traces.pop(cursor, None)
+            if trace is not None:
+                merges += apply_merge_trace(state, trace, config)
+                stats["colored_replayed"] += 1
+                cursor += 1
+            elif not gap_done:
+                merges += process_candidate_set(
+                    state, candidate_sets[cursor], threshold, config,
+                    seed=seeds[cursor],
+                )
+                stats["colored_serial"] += 1
+                cursor += 1
+                gap_done = True
+            else:
+                break
+    return merges

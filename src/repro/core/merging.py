@@ -195,6 +195,13 @@ def decide_merges(
     makes the caller's own state an immutable snapshot).  The returned
     trace is id-independent (see :func:`process_candidate_set`) and can
     be replayed elsewhere with :func:`apply_merges`.
+
+    Two parallel consumers exist: the optimistic decide phase (traces
+    conflict-checked and possibly discarded at apply time) and the
+    colored zero-threshold sweep of :mod:`repro.core.coloring`, whose
+    footprint-disjoint classes let one forked worker decide several
+    groups back-to-back on the same image with every trace staying
+    exact.
     """
     trace: List[Tuple[int, int]] = []
     process_candidate_set(state, candidate_set, threshold, config, seed=seed,

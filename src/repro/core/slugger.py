@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.candidates import generate_candidate_sets
+from repro.core.coloring import colored_apply_sweep, first_color_class
 from repro.core.config import SluggerConfig
 from repro.core.merging import apply_merge_trace, process_candidate_set
 from repro.core.pruning import prune
@@ -98,6 +99,11 @@ class SluggerResult:
         supernodes, and the encoding cost at the end of the iteration.
     prune_stats:
         Per-substep change counters returned by the pruning step.
+    prune_profile:
+        Per-substep wall times and the serial-vs-parallel split of the
+        pruning step (see
+        :func:`repro.analysis.cost_breakdown.pruning_profile`); empty
+        when pruning is disabled.
     runtime_seconds:
         Wall-clock duration of the whole run (monotonic clock).
     phase_seconds:
@@ -106,14 +112,17 @@ class SluggerResult:
     execution_stats:
         Counters of the parallel decide/apply machinery: how many
         candidate groups were processed, how many decide traces were
-        replayed, and how many groups fell back to the serial path.
-        All zeros under pure serial execution.
+        replayed, how many groups fell back to the serial path, and —
+        for colored zero-threshold sweeps — how many decide rounds ran
+        and how many groups were replayed from or serially processed in
+        them.  All zeros under pure serial execution.
     """
 
     summary: HierarchicalSummary
     config: SluggerConfig
     history: List[Dict[str, float]] = field(default_factory=list)
     prune_stats: Dict[str, int] = field(default_factory=dict)
+    prune_profile: Dict[str, object] = field(default_factory=dict)
     runtime_seconds: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     execution_stats: Dict[str, int] = field(default_factory=dict)
@@ -152,6 +161,7 @@ class IterationContext:
     candidate_sets: List[List[int]] = field(default_factory=list)
     merge_seeds: List[int] = field(default_factory=list)
     decisions: Optional[Iterator[List[Optional[MergeTrace]]]] = None
+    colored_ready: Optional[List[int]] = None
     executor: Optional[object] = None
     merges: int = 0
     # Run-lifetime (not reset per iteration): the shingle pool's context
@@ -170,6 +180,7 @@ class IterationContext:
         self.candidate_sets = []
         self.merge_seeds = []
         self.decisions = None
+        self.colored_ready = None
         self.merges = 0
 
     def close_executor(self) -> None:
@@ -324,10 +335,19 @@ class DecidePhase:
     is lazy), so the apply phase can consume early chunks while later
     ones are still running.  All worker processes are forked before this
     phase returns, pinning their snapshot to the pre-apply state.  On
-    serial configurations — or zero-threshold iterations under the
-    ``serial_zero_threshold`` heuristic, where near-every group merges
-    and optimistic decisions would be discarded — the phase is a no-op
-    and the apply phase runs the serial reference loop directly.
+    serial configurations the phase is a no-op and the apply phase runs
+    the serial reference loop directly.
+
+    Zero-threshold iterations under the ``serial_zero_threshold``
+    heuristic — where near-every group merges and optimistic decisions
+    would be discarded — instead try a *colored* sweep
+    (``colored_zero_threshold``): when the first independent class of
+    the group interaction graph is big enough, the phase hands it to the
+    apply phase, which runs :func:`~repro.core.coloring
+    .colored_apply_sweep` in rounds.  When coloring degenerates (class
+    below ``colored_min_class``) the phase falls back to the optimistic
+    replay launch below; with the colored path disabled it stays a
+    no-op, exactly as before.
     """
 
     name = "decide"
@@ -336,11 +356,19 @@ class DecidePhase:
         execution = ctx.execution
         if execution is None or not execution.parallel:
             return
-        if execution.serial_zero_threshold and ctx.threshold <= 0.0:
-            return
         groups = len(ctx.candidate_sets)
         if execution.effective_workers(groups) <= 1:
             return
+        if execution.serial_zero_threshold and ctx.threshold <= 0.0:
+            if not execution.colored_zero_threshold:
+                return
+            ready = first_color_class(ctx.state, ctx.candidate_sets)
+            if len(ready) >= execution.colored_min_class:
+                ctx.colored_ready = ready
+                return
+            # Degenerate coloring: the optimistic replay path below is
+            # still exact (every trace is conflict-checked at apply
+            # time), just less likely to pay off.
         chunks = shard_bounds(groups, execution.workers * execution.chunks_per_worker)
         context = _DecideContext(
             ctx.state, ctx.candidate_sets, ctx.threshold, ctx.config, ctx.merge_seeds
@@ -360,6 +388,11 @@ class ApplyPhase:
     serially, which is exactly the reference computation.  ``dirty``
     tracks the footprints of all groups that merged anything — the roots
     on which the real state has moved past the iteration-start snapshot.
+
+    When the decide phase handed over a colored first class instead
+    (zero-threshold iterations), the whole iteration is delegated to
+    :func:`~repro.core.coloring.colored_apply_sweep`, whose class
+    construction makes every replay structurally exact.
     """
 
     name = "apply"
@@ -370,6 +403,14 @@ class ApplyPhase:
         threshold = ctx.threshold
         seeds = ctx.merge_seeds
         candidate_sets = ctx.candidate_sets
+        if ctx.colored_ready is not None:
+            ctx.merges = colored_apply_sweep(
+                state, candidate_sets, seeds, threshold, config,
+                ctx.execution, ctx.stats, first_ready=ctx.colored_ready,
+            )
+            ctx.stats["groups"] += len(candidate_sets)
+            ctx.stats["parallel_iterations"] += 1
+            return
         if ctx.decisions is None:
             merges = 0
             for index, members in enumerate(candidate_sets):
@@ -530,6 +571,7 @@ class Slugger:
         phase_seconds: Dict[str, float] = {}
         stats: Dict[str, int] = {
             "groups": 0, "replayed": 0, "fallbacks": 0, "parallel_iterations": 0,
+            "colored_rounds": 0, "colored_replayed": 0, "colored_serial": 0,
         }
 
         if graph.num_edges > 0:
@@ -568,11 +610,15 @@ class Slugger:
                 ctx.close_run()
 
         prune_stats: Dict[str, int] = {}
+        prune_profile: Dict[str, object] = {}
         if config.prune:
             if control is not None:
                 control.checkpoint()
             prune_started = time.perf_counter()
-            prune_stats = prune(graph, state.summary, rounds=config.prune_rounds)
+            prune_stats = prune(
+                graph, state.summary, rounds=config.prune_rounds,
+                execution=self.execution, profile=prune_profile,
+            )
             phase_seconds["prune"] = time.perf_counter() - prune_started
             if control is not None:
                 control.emit("prune", cost=int(state.summary.cost()))
@@ -585,6 +631,7 @@ class Slugger:
             config=config,
             history=history,
             prune_stats=prune_stats,
+            prune_profile=prune_profile,
             runtime_seconds=time.perf_counter() - started,
             phase_seconds=phase_seconds,
             execution_stats=stats,

@@ -173,6 +173,23 @@ class ExecutionConfig:
         Smallest graph (node count) for which the batch shingle phase is
         sharded across processes; below it the pool dispatch overhead
         exceeds the hashing work.
+    colored_zero_threshold:
+        Zero-threshold iterations can instead run *colored* merge
+        sweeps: candidate groups whose footprints are pairwise disjoint
+        (an independent class of the interaction graph) are decided
+        concurrently and applied in canonical order — structurally
+        exact, no replay.  On (default) the colored path engages
+        whenever ``serial_zero_threshold`` would have forced a parallel
+        zero-threshold iteration serial; purely a performance choice,
+        the output cannot change.
+    colored_min_class:
+        Smallest independent class worth a parallel decide round in a
+        colored sweep; below it the remaining groups run on the serial
+        reference path.
+    prune_parallel_min_pairs:
+        Smallest pruning scan (root pairs for substep 3, supernodes for
+        substep 1's candidate feed) worth sharding over the pool; each
+        sharded pruning scan pays a re-fork, so small scans stay inline.
     """
 
     workers: int = 1
@@ -180,6 +197,9 @@ class ExecutionConfig:
     serial_zero_threshold: bool = True
     min_parallel_items: int = 2
     shingle_parallel_min_nodes: int = 25000
+    colored_zero_threshold: bool = True
+    colored_min_class: int = 8
+    prune_parallel_min_pairs: int = 1024
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -196,6 +216,15 @@ class ExecutionConfig:
             raise ConfigurationError(
                 f"shingle_parallel_min_nodes must be >= 0, "
                 f"got {self.shingle_parallel_min_nodes}"
+            )
+        if self.colored_min_class < 2:
+            raise ConfigurationError(
+                f"colored_min_class must be >= 2, got {self.colored_min_class}"
+            )
+        if self.prune_parallel_min_pairs < 2:
+            raise ConfigurationError(
+                f"prune_parallel_min_pairs must be >= 2, "
+                f"got {self.prune_parallel_min_pairs}"
             )
 
     @property
@@ -390,17 +419,40 @@ class ProcessShardExecutor:
         self.close()
 
 
-def executor_for(config: Optional[ExecutionConfig], items: int, context: Any = None):
+def executor_for(
+    config: Optional[ExecutionConfig],
+    items: int,
+    context: Any = None,
+    reuse: Any = None,
+):
     """The executor matching ``config`` for ``items`` shardable work items.
 
     Falls back to :class:`SerialExecutor` when the configuration is
     serial, the platform cannot fork, or the work is too small to be
     worth a pool.  The choice can never affect results — only where the
     work runs.
+
+    ``reuse`` lets multi-round callers (the prune loop) hand back the
+    executor from the previous round: when it was registered with the
+    *same* context object and still fits (same class, enough workers),
+    it is returned again — restarted for process pools, dropping the
+    stale forked snapshot so the next submission re-forks against
+    current state — instead of being torn down and rebuilt each round.
+    When the returned executor is a different object, the caller still
+    owns (and must close) the one it passed in.
     """
-    if config is None:
-        return SerialExecutor(context)
-    workers = config.effective_workers(items)
+    workers = 1 if config is None else config.effective_workers(items)
+    if reuse is not None and reuse._context is context:
+        if workers <= 1 and isinstance(reuse, SerialExecutor):
+            return reuse
+        if (
+            workers > 1
+            and isinstance(reuse, ProcessShardExecutor)
+            and reuse.workers >= workers
+            and not reuse._closed
+        ):
+            reuse.restart()
+            return reuse
     if workers <= 1:
         return SerialExecutor(context)
     return ProcessShardExecutor(workers, context)

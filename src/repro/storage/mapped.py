@@ -14,9 +14,10 @@ varint-decoded ``indptr`` and the label index — are materialized.
 
 :class:`StoredGraph` wraps a mapped view as a full
 :class:`~repro.engine.hooks.GraphResources` implementation: ``csr()``
-returns the zero-copy view, ``dense()`` lazily thaws the mutable
-:class:`~repro.graphs.dense.DenseAdjacency` the summarizer state needs,
-and ``graph()`` lazily materializes the label-keyed
+returns the zero-copy view, ``dense()`` hands out a
+:class:`~repro.graphs.dense.LazyDenseAdjacency` overlay that thaws
+per-node neighbor sets from the map on first access (never the eager
+O(m) thaw), and ``graph()`` lazily materializes the label-keyed
 :class:`~repro.graphs.graph.Graph`.  Because nodes materialize in id
 order (the original insertion order) and substrate construction is
 deterministic in graph content, a run on a stored graph is
@@ -34,7 +35,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ContainerFormatError
-from repro.graphs.dense import DenseAdjacency
+from repro.graphs.dense import DenseAdjacency, LazyDenseAdjacency
 from repro.graphs.graph import Graph
 from repro.graphs.index import NodeIndex
 from repro.graphs.staleness import ensure_fresh_views
@@ -247,9 +248,19 @@ class StoredGraph(GraphResources):
         return self._csr
 
     def dense(self) -> DenseAdjacency:
-        """The mutable dense substrate, thawed from the map on first use."""
+        """The mutable dense substrate, thawed from the map on demand.
+
+        Returns a :class:`~repro.graphs.dense.LazyDenseAdjacency` overlay
+        over the mapped CSR: per-node neighbor sets materialize on first
+        access instead of paying the eager O(m) thaw up front, so
+        read-dominated consumers (pruning scans, analytics) touch only
+        the pages they actually read and summarization jobs off
+        ``--cache-dir`` start without a thaw pause.  Contents — and
+        therefore summarizer output — are bit-identical to the eager
+        ``DenseAdjacency.from_csr`` thaw.
+        """
         if self._dense is None:
-            self._dense = DenseAdjacency.from_csr(self._csr)
+            self._dense = LazyDenseAdjacency(self._csr)
         return self._dense
 
     def seed(

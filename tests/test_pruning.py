@@ -1,6 +1,16 @@
-"""Tests for the three pruning substeps (Sect. III-B4)."""
+"""Tests for the three pruning substeps (Sect. III-B4).
+
+Besides the per-substep unit tests, the parallel section pins the PR's
+central guarantee: pruning through the sharded executor layer is
+**bit-identical** to the serial reference at every worker count —
+substep 3's re-encode decisions are exact (never replayed) and applied
+in canonical pair order.  ``REPRO_TEST_WORKERS`` (comma-separated
+counts) restricts the sweep for the CI worker-matrix legs.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -11,8 +21,17 @@ from repro.core.pruning import (
     prune_single_edge_roots,
     reencode_root_pairs_flat,
 )
+from repro.engine import execution
+from repro.engine.execution import ExecutionConfig
 from repro.graphs import Graph, caveman_graph, complete_graph, nested_partition_graph
 from repro.model import Hierarchy, HierarchicalSummary
+
+
+def worker_counts():
+    env = os.environ.get("REPRO_TEST_WORKERS")
+    if env:
+        return tuple(int(part) for part in env.split(","))
+    return (1, 2, 4)
 
 
 def _unpruned_summary(graph, iterations=6, seed=0):
@@ -160,3 +179,113 @@ class TestFullPruning:
         stats = prune(small_caveman, summary, rounds=0)
         assert summary.cost() == cost_before
         assert stats == {"substep1": 0, "substep2": 0, "substep3": 0}
+
+
+# ----------------------------------------------------------------------
+# Parallel pruning
+# ----------------------------------------------------------------------
+def _summary_fingerprint(summary):
+    hierarchy = summary.hierarchy
+    return (
+        tuple(sorted(map(tuple, summary.p_edges()))),
+        tuple(sorted(map(tuple, summary.n_edges()))),
+        tuple(sorted(
+            (child, hierarchy.parent(child))
+            for child in hierarchy.supernodes()
+            if hierarchy.parent(child) is not None
+        )),
+        tuple(sorted(hierarchy.roots())),
+    )
+
+
+def _leaf_encoded_cliques(communities=12, size=5):
+    """Disjoint cliques left leaf-encoded: every pair re-encodes flat."""
+    graph = Graph()
+    hierarchy = Hierarchy()
+    for community in range(communities):
+        nodes = [community * size + offset for offset in range(size)]
+        for node in nodes:
+            graph.add_node(node)
+        for i in range(size):
+            for j in range(i + 1, size):
+                graph.add_edge(nodes[i], nodes[j])
+        hierarchy.create_parent([hierarchy.add_leaf(node) for node in nodes])
+    summary = HierarchicalSummary(hierarchy)
+    for u, v in graph.edges():
+        summary.add_p_edge(hierarchy.leaf_of(u), hierarchy.leaf_of(v))
+    return graph, summary
+
+
+def _prune_execution(workers):
+    return ExecutionConfig(workers=workers, prune_parallel_min_pairs=2,
+                           min_parallel_items=2)
+
+
+@pytest.mark.skipif(not execution.process_execution_available(),
+                    reason="process execution needs the fork start method")
+class TestParallelPruning:
+    @pytest.mark.parametrize("fixture,seed", [
+        (lambda: caveman_graph(30, 12, 0.05, seed=3), 11),
+        (lambda: nested_partition_graph((3, 3, 4), (0.02, 0.3, 0.95), seed=5), 0),
+    ])
+    def test_prune_bit_identical_across_worker_counts(self, fixture, seed):
+        graph = fixture()
+        base = _unpruned_summary(graph, iterations=8, seed=seed)
+        reference_stats = None
+        fingerprints = set()
+        for workers in worker_counts():
+            summary = base.copy()
+            profile = {}
+            exe = None if workers == 1 else _prune_execution(workers)
+            stats = prune(graph, summary, rounds=2, execution=exe, profile=profile)
+            summary.validate(graph)
+            if reference_stats is None:
+                reference_stats = stats
+            assert stats == reference_stats
+            fingerprints.add(_summary_fingerprint(summary))
+            if workers > 1:
+                assert profile["parallel_rounds"] > 0
+                assert profile["workers"] == workers
+            else:
+                assert profile["parallel_rounds"] == 0
+        assert len(fingerprints) == 1
+
+    def test_reencode_plans_applied_in_canonical_order(self):
+        graph, reference = _leaf_encoded_cliques()
+        assert reencode_root_pairs_flat(graph, reference) == 12
+        reference.validate(graph)
+        expected = _summary_fingerprint(reference)
+        for workers in worker_counts():
+            if workers == 1:
+                continue
+            graph2, summary = _leaf_encoded_cliques()
+            profile = {}
+            changed = reencode_root_pairs_flat(
+                graph2, summary, execution=_prune_execution(workers), profile=profile
+            )
+            summary.validate(graph2)
+            assert changed == 12
+            assert profile["parallel_rounds"] == 1
+            assert profile["pairs_reencoded"] == 12
+            assert _summary_fingerprint(summary) == expected
+
+    def test_profile_reports_substep_timings(self, small_caveman):
+        summary = _unpruned_summary(small_caveman)
+        profile = {}
+        prune(small_caveman, summary, rounds=2, profile=profile)
+        assert profile["rounds"] >= 1
+        assert profile["parallel"] is False
+        for key in ("edgeless_seconds", "single_edge_seconds", "reencode_seconds",
+                    "reencode_index_seconds", "reencode_decide_seconds",
+                    "reencode_apply_seconds"):
+            assert profile[key] >= 0.0
+        assert profile["pairs_scanned"] > 0
+
+    def test_slugger_run_threads_execution_into_prune(self):
+        graph = caveman_graph(20, 10, 0.05, seed=1)
+        config = SluggerConfig(iterations=4, seed=0)
+        serial = Slugger(config).summarize(graph)
+        parallel = Slugger(config, execution=_prune_execution(2)).summarize(graph)
+        assert _summary_fingerprint(parallel.summary) == _summary_fingerprint(serial.summary)
+        assert parallel.prune_profile["rounds"] >= 1
+        assert serial.prune_profile["parallel"] is False

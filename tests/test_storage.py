@@ -26,7 +26,13 @@ from repro import engine, storage
 from repro.core import Slugger, SluggerConfig
 from repro.engine.execution import process_execution_available
 from repro.exceptions import ContainerFormatError, GraphFormatError
-from repro.graphs import DenseAdjacency, Graph, caveman_graph, erdos_renyi_graph
+from repro.graphs import (
+    DenseAdjacency,
+    Graph,
+    LazyDenseAdjacency,
+    caveman_graph,
+    erdos_renyi_graph,
+)
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.service import SummaryService
 from repro.service.store import GraphStore
@@ -188,10 +194,20 @@ class TestRoundTrip:
         storage.pack(graph, path)
         with storage.load(path) as stored:
             dense = stored.dense()
+            # The stored read path is a thaw-on-demand overlay: nothing
+            # is materialized up front, degrees/edges come straight off
+            # the map, and per-node sets appear only when read.
+            assert isinstance(dense, LazyDenseAdjacency)
+            assert dense.thawed_nodes == 0
             assert dense.num_nodes == reference.num_nodes
             assert dense.num_edges == reference.num_edges
-            assert dense.neighbors == reference.neighbors
             assert list(dense.degrees) == list(reference.degrees)
+            assert sorted(dense.edge_ids()) == sorted(reference.edge_ids())
+            assert dense.thawed_nodes == 0
+            assert dense.neighbors[3] == reference.neighbors[3]
+            assert dense.thawed_nodes == 1
+            assert list(dense.neighbors) == reference.neighbors
+            assert dense.thawed_nodes == dense.num_nodes
             assert dense.index.labels() == reference.index.labels()
 
     def test_identity_labels_omit_dictionary(self, tmp_path):
