@@ -2,14 +2,20 @@
 
 Local and average clustering coefficients need only neighbor queries
 (one hop for the neighborhood, membership tests for the wedges), so they
-run directly on summaries like the algorithms of Sect. VIII-C.
+run directly on summaries like the algorithms of Sect. VIII-C.  The
+wedge closure counts come from the triangle kernels: a node's link count
+among its neighbors *is* its local triangle count, so the full sweep is
+one pass of :func:`repro.algorithms.kernels.local_triangles_ids` instead
+of a set intersection per node pair.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Sequence
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.algorithms.kernels import local_clustering_ids, local_triangles_ids, row_reader
+from repro.algorithms.neighbors import NeighborProvider
+from repro.algorithms.providers import resolve_id_adjacency
 
 __all__ = [
     "average_clustering",
@@ -22,27 +28,31 @@ Node = Hashable
 
 def local_clustering(provider: NeighborProvider, node: Node) -> float:
     """Local clustering coefficient of ``node`` (0 for degree < 2)."""
-    neighbors = as_neighbor_function(provider)
-    nbrs = list(neighbors(node))
-    degree = len(nbrs)
-    if degree < 2:
-        return 0.0
-    nbr_set = set(nbrs)
-    links = 0
-    for index, u in enumerate(nbrs):
-        u_neighbors = neighbors(u)
-        for v in nbrs[index + 1:]:
-            if v in u_neighbors and v in nbr_set:
-                links += 1
-    return 2.0 * links / (degree * (degree - 1))
+    adjacency = resolve_id_adjacency(provider)
+    return local_clustering_ids(adjacency, adjacency.index.id_of(node))
 
 
 def local_clustering_coefficients(
     provider: NeighborProvider, nodes: Optional[Sequence[Node]] = None
 ) -> Dict[Node, float]:
     """Local clustering coefficient for every node in ``nodes`` (default: all)."""
-    targets = list(nodes) if nodes is not None else node_universe(provider)
-    return {node: local_clustering(provider, node) for node in targets}
+    adjacency = resolve_id_adjacency(provider)
+    index = adjacency.index
+    if nodes is not None:
+        return {
+            node: local_clustering_ids(adjacency, index.id_of(node)) for node in nodes
+        }
+    row = row_reader(adjacency)
+    triangles = local_triangles_ids(adjacency)
+    labels = index.labels()
+    coefficients: Dict[Node, float] = {}
+    for u in range(adjacency.num_nodes):
+        degree = len(row(u))
+        if degree < 2:
+            coefficients[labels[u]] = 0.0
+        else:
+            coefficients[labels[u]] = 2.0 * triangles[u] / (degree * (degree - 1))
+    return coefficients
 
 
 def average_clustering(provider: NeighborProvider) -> float:

@@ -6,14 +6,21 @@ It accesses the graph only through neighbor queries, so it is another
 member of the algorithm family that runs directly on summaries
 (Sect. VIII-C) — and a convenient sanity check that SLUGGER's supernodes
 line up with structural communities.
+
+The sweep runs id-native in
+:func:`repro.algorithms.kernels.label_propagation_ids`; the shim passes
+the ``repr``-sort rank permutation so the shuffle and tie-break rng
+stream — and therefore the communities — are identical to the historical
+label-keyed implementation.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Dict, Hashable, List, Set
+from typing import Hashable, List, Set
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.algorithms.kernels import label_propagation_ids, modularity_ids
+from repro.algorithms.neighbors import NeighborProvider
+from repro.algorithms.providers import repr_rank, resolve_id_adjacency
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["community_sizes", "label_propagation_communities", "modularity"]
@@ -31,7 +38,7 @@ def label_propagation_communities(
     Parameters
     ----------
     provider:
-        A raw graph or a summary.
+        A raw graph, a summary, or a CSR-shaped substrate view.
     max_rounds:
         Upper bound on full passes over the nodes; the algorithm stops
         earlier once no label changes.
@@ -40,32 +47,13 @@ def label_propagation_communities(
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
-    neighbors = as_neighbor_function(provider)
+    adjacency = resolve_id_adjacency(provider)
     rng = ensure_rng(seed)
-    nodes = sorted(node_universe(provider), key=repr)
-    labels: Dict[Node, int] = {node: index for index, node in enumerate(nodes)}
-    for _ in range(max_rounds):
-        changed = False
-        order = list(nodes)
-        rng.shuffle(order)
-        for node in order:
-            neighbor_labels = Counter(labels[nbr] for nbr in neighbors(node))
-            if not neighbor_labels:
-                continue
-            best_count = max(neighbor_labels.values())
-            best_labels = sorted(
-                label for label, count in neighbor_labels.items() if count == best_count
-            )
-            new_label = best_labels[rng.randrange(len(best_labels))]
-            if new_label != labels[node]:
-                labels[node] = new_label
-                changed = True
-        if not changed:
-            break
-    groups: Dict[int, Set[Node]] = {}
-    for node, label in labels.items():
-        groups.setdefault(label, set()).add(node)
-    return sorted(groups.values(), key=len, reverse=True)
+    groups = label_propagation_ids(
+        adjacency, repr_rank(adjacency.index), max_rounds, rng
+    )
+    labels = adjacency.index.labels()
+    return [{labels[u] for u in group} for group in groups]
 
 
 def community_sizes(communities: List[Set[Node]]) -> List[int]:
@@ -76,27 +64,16 @@ def community_sizes(communities: List[Set[Node]]) -> List[int]:
 def modularity(provider: NeighborProvider, communities: List[Set[Node]]) -> float:
     """Newman modularity of a node partition under the represented graph.
 
-    The provider is queried for neighbor sets, so this also works on
+    The provider is queried for neighbor runs, so this also works on
     summaries; Q close to 0 means the partition is no better than random,
-    values around 0.3-0.7 indicate strong community structure.
+    values around 0.3-0.7 indicate strong community structure.  Nodes in
+    ``communities`` that the provider does not know are ignored, matching
+    the historical tolerance (they contributed degree 0).
     """
-    neighbors = as_neighbor_function(provider)
-    nodes = node_universe(provider)
-    degree = {node: len(neighbors(node)) for node in nodes}
-    two_m = sum(degree.values())
-    if two_m == 0:
-        return 0.0
-    community_of: Dict[Node, int] = {}
-    for index, community in enumerate(communities):
-        for node in community:
-            community_of[node] = index
-    intra = 0
-    for node in nodes:
-        for neighbor in neighbors(node):
-            if community_of.get(node) == community_of.get(neighbor):
-                intra += 1  # Counts each intra-community edge twice (u->v and v->u).
-    quality = intra / two_m
-    for community in communities:
-        community_degree = sum(degree.get(node, 0) for node in community)
-        quality -= (community_degree / two_m) ** 2
-    return quality
+    adjacency = resolve_id_adjacency(provider)
+    ids = adjacency.index
+    id_communities = [
+        [node_id for node in community if (node_id := ids.get(node)) is not None]
+        for community in communities
+    ]
+    return modularity_ids(adjacency, id_communities)

@@ -3,15 +3,20 @@
 Connected components are another example of the algorithm family of the
 paper's appendix (Sect. VIII-C): the graph is accessed only through
 neighbor queries, so the exact same code runs on a raw graph or on a
-summary via partial decompression.
+summary via partial decompression.  The sweep itself runs id-native in
+:func:`repro.algorithms.kernels.components_ids` over flat arrays — and,
+unlike the historical ``set.pop`` discovery loop, its output order is
+deterministic (components discovered by smallest id, then stably sorted
+by size, descending).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Hashable, List, Set
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.algorithms.kernels import components_ids
+from repro.algorithms.neighbors import NeighborProvider, node_universe
+from repro.algorithms.providers import resolve_id_adjacency
 
 __all__ = [
     "connected_components",
@@ -24,24 +29,12 @@ Node = Hashable
 
 
 def connected_components(provider: NeighborProvider) -> List[Set[Node]]:
-    """All connected components, largest first (ties broken arbitrarily)."""
-    neighbors = as_neighbor_function(provider)
-    remaining = set(node_universe(provider))
-    components: List[Set[Node]] = []
-    while remaining:
-        start = remaining.pop()
-        component = {start}
-        queue = deque([start])
-        while queue:
-            node = queue.popleft()
-            for neighbor in neighbors(node):
-                if neighbor in remaining:
-                    remaining.discard(neighbor)
-                    component.add(neighbor)
-                    queue.append(neighbor)
-        components.append(component)
-    components.sort(key=len, reverse=True)
-    return components
+    """All connected components, largest first (stable order for equal sizes)."""
+    adjacency = resolve_id_adjacency(provider)
+    labels = adjacency.index.labels()
+    return [
+        {labels[u] for u in component} for component in components_ids(adjacency)
+    ]
 
 
 def largest_component(provider: NeighborProvider) -> Set[Node]:

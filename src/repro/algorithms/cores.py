@@ -1,18 +1,22 @@
 """k-core decomposition over any neighbor provider.
 
-The k-core decomposition (Matula–Beck peeling) repeatedly removes the
-node of smallest remaining degree; a node's *core number* is the largest
-``k`` such that it survives in a subgraph of minimum degree ``k``.  Like
-the other algorithms of Sect. VIII-C it only needs neighbor queries, so
-it runs unchanged on summaries.
+The k-core decomposition repeatedly removes the node of smallest
+remaining degree; a node's *core number* is the largest ``k`` such that
+it survives in a subgraph of minimum degree ``k``.  Like the other
+algorithms of Sect. VIII-C it only needs neighbor queries, so it runs
+unchanged on summaries.  The peel itself is the O(n + m) bucket sort of
+Batagelj–Zaveršnik in :func:`repro.algorithms.kernels.core_numbers_ids`
+— core numbers are a graph invariant, so the result matches the
+historical heap-based peel exactly regardless of tie order.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, Hashable
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.algorithms.kernels import core_numbers_ids
+from repro.algorithms.neighbors import NeighborProvider
+from repro.algorithms.providers import resolve_id_adjacency
 
 __all__ = ["core_numbers", "k_core_nodes", "max_core"]
 
@@ -21,27 +25,10 @@ Node = Hashable
 
 def core_numbers(provider: NeighborProvider) -> Dict[Node, int]:
     """Core number of every node (empty dictionary for an empty graph)."""
-    neighbors = as_neighbor_function(provider)
-    adjacency: Dict[Node, set] = {node: set(neighbors(node)) for node in node_universe(provider)}
-    degrees: Dict[Node, int] = {node: len(nbrs) for node, nbrs in adjacency.items()}
-    heap = [(degree, repr(node), node) for node, degree in degrees.items()]
-    heapq.heapify(heap)
-    removed: set = set()
-    cores: Dict[Node, int] = {}
-    current = 0
-    while heap:
-        degree, _, node = heapq.heappop(heap)
-        if node in removed or degree != degrees[node]:
-            continue  # Stale heap entry.
-        current = max(current, degree)
-        cores[node] = current
-        removed.add(node)
-        for neighbor in adjacency[node]:
-            if neighbor in removed:
-                continue
-            degrees[neighbor] -= 1
-            heapq.heappush(heap, (degrees[neighbor], repr(neighbor), neighbor))
-    return cores
+    adjacency = resolve_id_adjacency(provider)
+    cores = core_numbers_ids(adjacency)
+    labels = adjacency.index.labels()
+    return {labels[u]: cores[u] for u in range(adjacency.num_nodes)}
 
 
 def max_core(provider: NeighborProvider) -> int:

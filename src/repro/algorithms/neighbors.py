@@ -1,16 +1,22 @@
-"""Uniform neighbor access over graphs and summaries.
+"""Uniform neighbor access over graphs, summaries, and substrate views.
 
 A *neighbor provider* is anything exposing the two calls the algorithms
 need: the set of nodes and the neighbors of one node.  Raw graphs answer
 neighbor queries from their adjacency sets; summaries answer them through
 partial decompression (Algorithm 4), which is exactly the execution model
-of Sect. VIII-C.
+of Sect. VIII-C; CSR-shaped substrate views (``CSRAdjacency``,
+``MappedCSR``, a stored container) answer them off the flat arrays
+through their :class:`~repro.graphs.index.NodeIndex`.
+
+These label-keyed helpers are the compatibility surface; the kernels in
+:mod:`repro.algorithms.kernels` run id-native and never touch them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, List, Set, Union
+from typing import Callable, Hashable, List, Set, Union
 
+from repro.algorithms.providers import resolve_id_adjacency
 from repro.graphs.graph import Graph
 from repro.model.flat import FlatSummary
 from repro.model.summary import HierarchicalSummary
@@ -22,19 +28,31 @@ NeighborProvider = Union[Graph, HierarchicalSummary, FlatSummary]
 NeighborFunction = Callable[[Subnode], Set[Subnode]]
 
 
-def as_neighbor_function(provider: NeighborProvider) -> NeighborFunction:
-    """A callable returning the neighbor set of a node for any provider type."""
+def as_neighbor_function(provider) -> NeighborFunction:
+    """A callable returning the neighbor set of a node for any provider type.
+
+    For a :class:`Graph` this is the *live* internal adjacency set —
+    callers must treat it as read-only.  Query sweeps used to pay a
+    fresh set copy per call here, which dominated the per-node cost of
+    the triangle and core kernels.  Summaries answer by partial
+    decompression; CSR-shaped substrate views translate their sorted id
+    runs through the index.
+    """
     if isinstance(provider, Graph):
-        return lambda node: set(provider.neighbor_set(node))
+        return provider.neighbor_set
     if isinstance(provider, (HierarchicalSummary, FlatSummary)):
         return provider.neighbors
-    raise TypeError(
-        "provider must be a Graph, HierarchicalSummary, or FlatSummary, "
-        f"got {type(provider).__name__}"
-    )
+    adjacency = resolve_id_adjacency(provider)
+    index = adjacency.index
+    labels = index.labels()
+
+    def neighbors(node: Subnode) -> Set[Subnode]:
+        return {labels[v] for v in adjacency.neighbor_ids(index.id_of(node))}
+
+    return neighbors
 
 
-def node_universe(provider: NeighborProvider) -> List[Subnode]:
+def node_universe(provider) -> List[Subnode]:
     """All nodes known to the provider."""
     if isinstance(provider, Graph):
         return provider.nodes()
@@ -42,7 +60,4 @@ def node_universe(provider: NeighborProvider) -> List[Subnode]:
         return provider.hierarchy.subnodes()
     if isinstance(provider, FlatSummary):
         return list(provider.group_of)
-    raise TypeError(
-        "provider must be a Graph, HierarchicalSummary, or FlatSummary, "
-        f"got {type(provider).__name__}"
-    )
+    return list(resolve_id_adjacency(provider).index.labels())

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, Hashable
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function, node_universe
+from repro.algorithms.kernels import pagerank_ids
+from repro.algorithms.neighbors import NeighborProvider
+from repro.algorithms.providers import resolve_id_adjacency
 from repro.utils.validation import require_positive, require_probability
 
 __all__ = ["pagerank"]
@@ -19,33 +21,20 @@ def pagerank(
 ) -> Dict[Subnode, float]:
     """Power-iteration PageRank on an undirected graph or summary.
 
-    Follows Algorithm 6: each iteration pushes every node's current score
-    to its neighbors (retrieved through the provider, i.e. by partial
+    Follows Algorithm 6: each iteration moves every node's current score
+    across its edges (retrieved through the provider, i.e. by partial
     decompression when the provider is a summary), then applies the
     damping factor and redistributes the leaked mass uniformly.  Scores
     sum to 1.
+
+    The iteration itself runs id-native in
+    :func:`repro.algorithms.kernels.pagerank_ids`; this shim only maps
+    labels to ids at the boundary, and the scores are bit-for-bit equal
+    to the historical label-keyed implementation.
     """
     require_probability(damping, "damping")
     require_positive(iterations, "iterations")
-    nodes = node_universe(provider)
-    if not nodes:
-        return {}
-    neighbors = as_neighbor_function(provider)
-    num_nodes = len(nodes)
-    scores: Dict[Subnode, float] = {node: 1.0 / num_nodes for node in nodes}
-    for _ in range(iterations):
-        incoming: Dict[Subnode, float] = {node: 0.0 for node in nodes}
-        for node in nodes:
-            adjacent = neighbors(node)
-            if not adjacent:
-                continue
-            share = scores[node] / len(adjacent)
-            for neighbor in adjacent:
-                incoming[neighbor] += share
-        total_flow = 0.0
-        for node in nodes:
-            incoming[node] *= damping
-            total_flow += incoming[node]
-        leak = (1.0 - total_flow) / num_nodes
-        scores = {node: incoming[node] + leak for node in nodes}
-    return scores
+    adjacency = resolve_id_adjacency(provider)
+    scores = pagerank_ids(adjacency, damping=damping, iterations=iterations)
+    labels = adjacency.index.labels()
+    return {labels[u]: scores[u] for u in range(adjacency.num_nodes)}

@@ -3,15 +3,18 @@
 The summarization models describe unweighted graphs, so edge weights are
 supplied externally through a weight function (defaulting to unit
 weights, where Dijkstra reduces to BFS but exercises the same code path
-the paper's appendix describes).
+the paper's appendix describes).  The relaxation loop runs id-native in
+:func:`repro.algorithms.kernels.dijkstra_ids`; label-keyed weight
+functions are translated at the boundary.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function
+from repro.algorithms.kernels import dijkstra_ids
+from repro.algorithms.neighbors import NeighborProvider
+from repro.algorithms.providers import resolve_id_adjacency
 
 __all__ = ["dijkstra_distances", "shortest_path"]
 
@@ -19,8 +22,10 @@ Subnode = Hashable
 WeightFunction = Callable[[Subnode, Subnode], float]
 
 
-def _unit_weight(_u: Subnode, _v: Subnode) -> float:
-    return 1.0
+def _id_weight(weight: Optional[WeightFunction], labels) -> Optional[Callable[[int, int], float]]:
+    if weight is None:
+        return None
+    return lambda u, v: weight(labels[u], labels[v])
 
 
 def dijkstra_distances(
@@ -29,27 +34,17 @@ def dijkstra_distances(
     weight: Optional[WeightFunction] = None,
 ) -> Dict[Subnode, float]:
     """Shortest-path distances from ``source`` to every reachable node."""
-    weight_of = weight or _unit_weight
-    neighbors = as_neighbor_function(provider)
-    distances: Dict[Subnode, float] = {source: 0.0}
-    settled: set = set()
-    heap: List[Tuple[float, int, Subnode]] = [(0.0, 0, source)]
-    counter = 0
-    while heap:
-        distance, _tie, node = heapq.heappop(heap)
-        if node in settled:
-            continue
-        settled.add(node)
-        for neighbor in neighbors(node):
-            step = weight_of(node, neighbor)
-            if step < 0:
-                raise ValueError("Dijkstra's algorithm requires non-negative weights")
-            candidate = distance + step
-            if candidate < distances.get(neighbor, float("inf")):
-                distances[neighbor] = candidate
-                counter += 1
-                heapq.heappush(heap, (candidate, counter, neighbor))
-    return distances
+    adjacency = resolve_id_adjacency(provider)
+    labels = adjacency.index.labels()
+    distances, _ = dijkstra_ids(
+        adjacency, adjacency.index.id_of(source), weight=_id_weight(weight, labels)
+    )
+    infinity = float("inf")
+    return {
+        labels[u]: distances[u]
+        for u in range(adjacency.num_nodes)
+        if distances[u] < infinity
+    }
 
 
 def shortest_path(
@@ -59,31 +54,21 @@ def shortest_path(
     weight: Optional[WeightFunction] = None,
 ) -> Optional[List[Subnode]]:
     """One shortest path from ``source`` to ``target`` (``None`` if unreachable)."""
-    weight_of = weight or _unit_weight
-    neighbors = as_neighbor_function(provider)
-    distances: Dict[Subnode, float] = {source: 0.0}
-    predecessor: Dict[Subnode, Subnode] = {}
-    settled: set = set()
-    heap: List[Tuple[float, int, Subnode]] = [(0.0, 0, source)]
-    counter = 0
-    while heap:
-        distance, _tie, node = heapq.heappop(heap)
-        if node in settled:
-            continue
-        if node == target:
-            break
-        settled.add(node)
-        for neighbor in neighbors(node):
-            candidate = distance + weight_of(node, neighbor)
-            if candidate < distances.get(neighbor, float("inf")):
-                distances[neighbor] = candidate
-                predecessor[neighbor] = node
-                counter += 1
-                heapq.heappush(heap, (candidate, counter, neighbor))
-    if target not in distances:
+    adjacency = resolve_id_adjacency(provider)
+    index = adjacency.index
+    labels = index.labels()
+    source_id = index.id_of(source)
+    target_id = index.get(target)
+    if target_id is None:
+        # An unknown target is simply unreachable (historical behavior).
         return None
-    path: List[Subnode] = [target]
-    while path[-1] != source:
-        path.append(predecessor[path[-1]])
-    path.reverse()
-    return path
+    distances, predecessors = dijkstra_ids(
+        adjacency, source_id, weight=_id_weight(weight, labels)
+    )
+    if distances[target_id] == float("inf"):
+        return None
+    path_ids = [target_id]
+    while path_ids[-1] != source_id:
+        path_ids.append(predecessors[path_ids[-1]])
+    path_ids.reverse()
+    return [labels[u] for u in path_ids]

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Set
 
-from repro.algorithms.neighbors import NeighborProvider, as_neighbor_function
+from repro.algorithms.kernels import bfs_distances_ids, bfs_order_ids, dfs_order_ids
+from repro.algorithms.neighbors import NeighborProvider
+from repro.algorithms.providers import repr_rank, resolve_id_adjacency
 
 __all__ = ["bfs_distances", "bfs_order", "connected_component_of", "dfs_order"]
 
@@ -13,57 +14,45 @@ Subnode = Hashable
 
 
 def bfs_order(provider: NeighborProvider, source: Subnode) -> List[Subnode]:
-    """Nodes reachable from ``source`` in breadth-first visiting order."""
-    neighbors = as_neighbor_function(provider)
-    order: List[Subnode] = []
-    seen: Set[Subnode] = {source}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        order.append(node)
-        for neighbor in sorted(neighbors(node), key=repr):
-            if neighbor not in seen:
-                seen.add(neighbor)
-                queue.append(neighbor)
-    return order
+    """Nodes reachable from ``source`` in breadth-first visiting order.
+
+    Neighbors are expanded in ``repr``-sorted order (via a rank
+    permutation handed to the id kernel), matching the historical
+    label-keyed traversal exactly.
+    """
+    adjacency = resolve_id_adjacency(provider)
+    labels = adjacency.index.labels()
+    order = bfs_order_ids(
+        adjacency, adjacency.index.id_of(source), rank=repr_rank(adjacency.index)
+    )
+    return [labels[u] for u in order]
 
 
 def bfs_distances(provider: NeighborProvider, source: Subnode) -> Dict[Subnode, int]:
     """Hop distance from ``source`` to every reachable node."""
-    neighbors = as_neighbor_function(provider)
-    distances: Dict[Subnode, int] = {source: 0}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for neighbor in neighbors(node):
-            if neighbor not in distances:
-                distances[neighbor] = distances[node] + 1
-                queue.append(neighbor)
-    return distances
+    adjacency = resolve_id_adjacency(provider)
+    labels = adjacency.index.labels()
+    distances = bfs_distances_ids(adjacency, adjacency.index.id_of(source))
+    return {
+        labels[u]: distances[u]
+        for u in range(adjacency.num_nodes)
+        if distances[u] >= 0
+    }
 
 
 def dfs_order(provider: NeighborProvider, source: Subnode) -> List[Subnode]:
     """Nodes reachable from ``source`` in (iterative) depth-first pre-order.
 
     This is Algorithm 5 of the paper, made iterative so deep graphs do not
-    hit Python's recursion limit.
+    hit Python's recursion limit; neighbors are explored in
+    ``repr``-sorted order like the recursive formulation.
     """
-    neighbors = as_neighbor_function(provider)
-    order: List[Subnode] = []
-    seen: Set[Subnode] = set()
-    stack: List[Subnode] = [source]
-    while stack:
-        node = stack.pop()
-        if node in seen:
-            continue
-        seen.add(node)
-        order.append(node)
-        # Reverse-sorted push keeps the visit order equal to the recursive
-        # formulation that explores neighbors in sorted order.
-        for neighbor in sorted(neighbors(node), key=repr, reverse=True):
-            if neighbor not in seen:
-                stack.append(neighbor)
-    return order
+    adjacency = resolve_id_adjacency(provider)
+    labels = adjacency.index.labels()
+    order = dfs_order_ids(
+        adjacency, adjacency.index.id_of(source), rank=repr_rank(adjacency.index)
+    )
+    return [labels[u] for u in order]
 
 
 def connected_component_of(provider: NeighborProvider, source: Subnode) -> Set[Subnode]:

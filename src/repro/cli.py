@@ -37,6 +37,13 @@ memory-maps::
     repro-slugger pack --input graph.txt --output graph.slg
     repro-slugger inspect --container graph.slg
     repro-slugger summarize --input graph.txt --cache-dir ~/.cache/slg
+
+Serve graph queries straight off a packed substrate — the container is
+memory-mapped and queried id-native, with no label-keyed graph ever
+materialized::
+
+    repro-slugger query pagerank --container graph.slg --top 5
+    repro-slugger query bfs --input graph.txt --cache-dir ~/.cache/slg --source 0
 """
 
 from __future__ import annotations
@@ -128,6 +135,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the per-section checksum verification",
     )
+
+    query_parser = subparsers.add_parser(
+        "query", help="run a graph query straight off a packed substrate"
+    )
+    query_parser.add_argument(
+        "kind", choices=("pagerank", "bfs", "components", "triangles", "cores"),
+        help="which query to run",
+    )
+    query_source = query_parser.add_mutually_exclusive_group(required=True)
+    query_source.add_argument("--container", help="packed .slg container to query (mmap)")
+    query_source.add_argument("--input", help="edge-list file (pair with --cache-dir to serve mmap)")
+    query_source.add_argument("--dataset", help="built-in dataset analogue key")
+    query_parser.add_argument(
+        "--source", default=None, metavar="NODE",
+        help="start node for bfs (integer-looking values are tried as ints first)",
+    )
+    query_parser.add_argument("--top", type=int, default=None, metavar="N",
+                              help="truncate ranked output to the N best entries")
+    query_parser.add_argument("--iterations", type=int, default=20,
+                              help="pagerank power iterations (default 20)")
+    query_parser.add_argument("--damping", type=float, default=0.85,
+                              help="pagerank damping factor (default 0.85)")
+    query_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for generating built-in dataset analogues")
+    query_parser.add_argument("--json", action="store_true",
+                              help="emit the raw result payload as JSON")
+    _add_cache_argument(query_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run a batch file of requests through a warm SummaryService"
@@ -273,14 +307,19 @@ def _load_graph_cached(arguments: argparse.Namespace):
     Returns ``(graph, resources)`` — ``resources`` is a
     :class:`~repro.storage.mapped.StoredGraph` on a cache hit (the run
     then consumes the memory-mapped substrate zero-copy) and ``None``
-    otherwise.
+    otherwise.  Hits skip the label-graph materialization entirely:
+    ``graph`` is then the read-only ``CSRGraphView`` facade, which the
+    summarizers initialize from directly (``from_substrate`` semantics —
+    leaf numbering and substrate ids coincide, so output is
+    bit-identical to a run over the parsed graph).
     """
     cache_dir = getattr(arguments, "cache_dir", None)
     if arguments.input and cache_dir:
         from repro.storage import GraphCache
 
         cached = GraphCache(cache_dir).fetch_edge_list(
-            arguments.input, workers=getattr(arguments, "workers", 1)
+            arguments.input, workers=getattr(arguments, "workers", 1),
+            materialize=False,
         )
         origin = "cache hit (mmap)" if cached.hit else "parsed + packed"
         print(f"cache: {origin}  {cached.container_path}")
@@ -379,6 +418,85 @@ def _command_inspect(arguments: argparse.Namespace) -> int:
     checked = "verified" if not arguments.no_verify else "not checked"
     print(format_table(rows, ["section", "offset", "length", "crc32"],
                        title=f"{len(rows)} sections (checksums {checked})"))
+    return 0
+
+
+def _coerce_node(value: str):
+    """CLI node argument → label: integer-looking values become ints."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    """Serve one graph query, straight off the substrate where possible."""
+    from repro.algorithms.query import run_query
+
+    stored = None
+    if arguments.container:
+        from repro import storage
+
+        stored = storage.load(arguments.container)
+        provider: Any = stored
+        origin = f"container (mmap)  {arguments.container}"
+    elif arguments.input and arguments.cache_dir:
+        from repro.storage import GraphCache
+
+        cached = GraphCache(arguments.cache_dir).fetch_edge_list(
+            arguments.input, materialize=False
+        )
+        stored = cached.stored
+        provider = cached.graph
+        origin = (f"cache {'hit (mmap)' if cached.hit else 'miss (parsed + packed)'}  "
+                  f"{cached.container_path}")
+    elif arguments.input:
+        provider = read_edge_list(arguments.input)
+        origin = f"parsed  {arguments.input}"
+    else:
+        provider = load_dataset(arguments.dataset, seed=arguments.seed)
+        origin = f"dataset  {arguments.dataset}"
+
+    source = _coerce_node(arguments.source) if arguments.source is not None else None
+    try:
+        try:
+            result = run_query(
+                provider, arguments.kind, source=source, top=arguments.top,
+                damping=arguments.damping, iterations=arguments.iterations,
+            )
+        except KeyError:
+            if not isinstance(source, int):
+                raise
+            # An integer-looking --source on a string-labelled graph:
+            # retry with the raw text label before giving up.
+            result = run_query(
+                provider, arguments.kind, source=arguments.source, top=arguments.top,
+                damping=arguments.damping, iterations=arguments.iterations,
+            )
+    except KeyError:
+        print(f"query source node {arguments.source!r} is not in the graph",
+              file=sys.stderr)
+        return 1
+
+    print(f"query: {arguments.kind}  {origin}")
+    if stored is not None:
+        # Substrate-served queries never materialize the label graph.
+        print(f"serving: materialized_graphs={stored.materializations} "
+              f"(zero-copy={'yes' if stored.materializations == 0 else 'no'})")
+    if arguments.json:
+        print(json.dumps(result.value, default=str))
+        return 0
+    for key, value in result.value.items():
+        if key in ("ranking",):
+            rows = [{"node": node, "value": value_of} for node, value_of in value]
+            print(format_table(rows, ["node", "value"],
+                               title=f"{len(rows)} ranked entries", precision=6))
+        elif key == "order":
+            print(f"{key}: {' '.join(str(node) for node in value)}")
+        elif key == "sizes":
+            print(f"{key}: {' '.join(str(size) for size in value)}")
+        else:
+            print(f"{key}={value}")
     return 0
 
 
@@ -583,6 +701,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "pack": _command_pack,
         "inspect": _command_inspect,
+        "query": _command_query,
         "serve": _command_serve,
         "datasets": _command_datasets,
         "methods": _command_methods,

@@ -3,6 +3,7 @@
 from repro.graphs.graph import Graph
 from repro.graphs.index import NodeIndex
 from repro.graphs.dense import CSRAdjacency, DenseAdjacency, LazyDenseAdjacency
+from repro.graphs.view import CSRGraphView
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.generators import (
     barabasi_albert_graph,
@@ -40,6 +41,7 @@ __all__ = [
     "DenseAdjacency",
     "LazyDenseAdjacency",
     "CSRAdjacency",
+    "CSRGraphView",
     "read_edge_list",
     "write_edge_list",
     "barabasi_albert_graph",

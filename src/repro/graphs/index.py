@@ -46,7 +46,7 @@ class NodeIndex:
     3
     """
 
-    __slots__ = ("_labels", "_ids")
+    __slots__ = ("_labels", "_ids", "__weakref__")
 
     def __init__(self, labels: Iterable[Label] = ()) -> None:
         self._labels: List[Label] = []

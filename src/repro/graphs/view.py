@@ -1,0 +1,167 @@
+"""Read-only label-keyed :class:`Graph` facade over ``(index, csr)``.
+
+:class:`CSRGraphView` is what lets the summarizers initialize straight
+from a mapped container: it satisfies the full :class:`Graph` read API —
+``nodes()``/``edges()``/``neighbor_set()``/``degree()`` and friends —
+but is backed by a CSR substrate and a :class:`NodeIndex` instead of
+per-node adjacency sets.  Nothing is materialized up front:
+
+- ``nodes()``, ``edges()``, ``num_edges``, ``degree()`` and edge
+  membership stream straight off the flat arrays (zero rows thawed);
+- ``neighbor_set(label)`` thaws exactly the queried row into a memoized
+  label set — the access pattern of the pruning scans, which only ever
+  inspect the subnode pairs of candidate root trees;
+- full materialization only happens if a consumer explicitly walks
+  ``adjacency().items()`` or calls :meth:`copy`.
+
+The view is immutable: mutators raise
+:class:`~repro.exceptions.InvalidStateError`.  A ``--cache-dir`` hit
+hands one of these to the engine instead of paying the O(m)
+``StoredGraph.graph()`` materialization, and the summary layer's
+``from_graph`` over a view streams the same (index, csr) substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import InvalidStateError
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.index import NodeIndex
+
+__all__ = ["CSRGraphView"]
+
+Label = Hashable
+
+_READ_ONLY = (
+    "CSRGraphView is a read-only substrate view; materialize a mutable "
+    "Graph with .copy() to edit"
+)
+
+
+class _LazyAdjacencyMap(Mapping):
+    """Mapping facade over the view: keys are free, values thaw per row."""
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view: "CSRGraphView") -> None:
+        self._view = view
+
+    def __getitem__(self, label: Label) -> Set[Label]:
+        return self._view._thaw_row(label)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._view.index.labels())
+
+    def __len__(self) -> int:
+        return len(self._view.index)
+
+    def __contains__(self, label: object) -> bool:
+        # Mapping's default __contains__ would thaw the row just to
+        # answer membership; the index already knows.
+        return label in self._view.index
+
+
+class CSRGraphView(Graph):
+    """A :class:`Graph`-compatible, read-only view over ``(index, csr)``."""
+
+    def __init__(self, csr, index: Optional[NodeIndex] = None) -> None:
+        resolved = index if index is not None else getattr(csr, "index", None)
+        if resolved is None:
+            resolved = NodeIndex(range(csr.num_nodes))
+        if len(resolved) != csr.num_nodes:
+            raise InvalidStateError(
+                f"index covers {len(resolved)} labels but the substrate has "
+                f"{csr.num_nodes} nodes"
+            )
+        self._substrate = csr
+        self._index = resolved
+        self._rows: Dict[Label, Set[Label]] = {}
+        self._num_edges = csr.num_edges
+        self._mutations = 0
+        self._adjacency = _LazyAdjacencyMap(self)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Substrate access
+    # ------------------------------------------------------------------
+    @property
+    def substrate(self):
+        """The backing CSR-shaped view (``CSRAdjacency`` or ``MappedCSR``)."""
+        return self._substrate
+
+    @property
+    def index(self) -> NodeIndex:
+        """The label ↔ id mapping of the substrate."""
+        return self._index
+
+    @property
+    def thawed_rows(self) -> int:
+        """How many label rows have been materialized so far."""
+        return len(self._rows)
+
+    def _thaw_row(self, label: Label) -> Set[Label]:
+        cached = self._rows.get(label)
+        if cached is None:
+            node_id = self._index.id_of(label)
+            labels = self._index.labels()
+            cached = {labels[v] for v in self._substrate.neighbors_of(node_id)}
+            self._rows[label] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Read overrides that stay on the flat arrays (zero thaw)
+    # ------------------------------------------------------------------
+    def has_edge(self, u: Label, v: Label) -> bool:
+        """Edge membership via binary search on the substrate (no thaw)."""
+        u_id = self._index.get(u)
+        v_id = self._index.get(v)
+        if u_id is None or v_id is None:
+            return False
+        return self._substrate.has_edge(u_id, v_id)
+
+    def degree(self, node: Label) -> int:
+        """Degree off the index pointers (no thaw)."""
+        node_id = self._index.get(node)
+        if node_id is None:
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
+            raise KeyError(f"node {node!r} is not in the graph")
+        return self._substrate.degree(node_id)
+
+    def edges(self) -> Iterator[Edge]:
+        """Stream every edge once, in canonical label form, off the map."""
+        labels = self._index.labels()
+        for u, v in self._substrate.edge_ids():
+            yield canonical_edge(labels[u], labels[v])
+
+    def relabeled(self) -> Tuple[Graph, Dict[Label, int]]:
+        """A relabeled mutable copy (materializes; see :meth:`Graph.relabeled`)."""
+        try:
+            ordered = sorted(self._index.labels())
+        except TypeError:
+            ordered = sorted(self._index.labels(), key=repr)
+        mapping = {node: position for position, node in enumerate(ordered)}
+        relabeled = Graph(nodes=mapping.values())
+        for u, v in self.edges():
+            relabeled.add_edge(mapping[u], mapping[v])
+        return relabeled, mapping
+
+    # ------------------------------------------------------------------
+    # Mutation is refused
+    # ------------------------------------------------------------------
+    def add_node(self, node: Label) -> None:
+        raise InvalidStateError(_READ_ONLY)
+
+    def add_edge(self, u: Label, v: Label) -> bool:
+        raise InvalidStateError(_READ_ONLY)
+
+    def remove_edge(self, u: Label, v: Label) -> bool:
+        raise InvalidStateError(_READ_ONLY)
+
+    def remove_node(self, node: Label) -> None:
+        raise InvalidStateError(_READ_ONLY)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraphView(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges}, thawed_rows={self.thawed_rows})"
+        )

@@ -152,6 +152,10 @@ class Hierarchy:
         """Ids of all supernodes."""
         return list(self._parent)
 
+    def is_leaf(self, supernode: int) -> bool:
+        """Whether ``supernode`` is a leaf (wraps exactly one subnode)."""
+        return supernode in self._leaf_subnode
+
     def contains(self, supernode: int) -> bool:
         """Whether the id refers to a live supernode."""
         return supernode in self._parent

@@ -71,6 +71,25 @@ class HierarchicalSummary:
             summary.add_p_edge(summary.hierarchy.leaf_of(u), summary.hierarchy.leaf_of(v))
         return summary
 
+    @classmethod
+    def from_substrate(cls, index, csr) -> "HierarchicalSummary":
+        """The trivial summary, built straight from ``(index, csr)``.
+
+        Leaves are added in id order (``index.labels()``), so leaf
+        supernode ids coincide with the dense node ids by construction,
+        and p-edges stream off :meth:`csr.edge_ids` — no label-keyed
+        :class:`~repro.graphs.graph.Graph` is ever materialized and no
+        dense rows are thawed.  Content-identical to
+        :meth:`from_graph` over the equivalent graph.
+        """
+        summary = cls()
+        add_leaf = summary.hierarchy.add_leaf
+        for label in index.labels():
+            add_leaf(label)
+        for u, v in csr.edge_ids():
+            summary.add_p_edge(u, v)
+        return summary
+
     # ------------------------------------------------------------------
     # Superedge mutation
     # ------------------------------------------------------------------
@@ -316,6 +335,44 @@ class HierarchicalSummary:
                 for target in targets:
                     counts[target] = counts.get(target, 0) + sign
         return {node for node, weight in counts.items() if weight > 0}
+
+    def neighbor_ids(self, node_id: int) -> List[int]:
+        """Sorted leaf ids adjacent to leaf ``node_id`` by partial decompression.
+
+        The id-native twin of :meth:`neighbors` (Alg. 4): walks the
+        superedges incident to the leaf's ancestors and accumulates the
+        net p-minus-n coverage per far leaf, but speaks dense ids end to
+        end — leaf ids coincide with the node ids of an index built from
+        the same graph, so no subnode labels are resolved.  This is the
+        neighbor query the substrate-native kernels
+        (:mod:`repro.algorithms.kernels`) run on when serving analytics
+        off the summary.
+        """
+        hierarchy = self.hierarchy
+        if not hierarchy.is_leaf(node_id):
+            # repro-lint: disable=raise-taxonomy (documented mapping-style lookup contract)
+            raise KeyError(f"unknown leaf supernode id {node_id}")
+        ancestors = hierarchy.ancestors(node_id)
+        ancestor_set = set(ancestors)
+        counts: Dict[int, int] = {}
+        processed: Set[Tuple[int, int, int]] = set()
+        for ancestor in ancestors:
+            for other, sign in self._incident.get(ancestor, ()):
+                edge = _canonical(ancestor, other)
+                key = (edge[0], edge[1], sign)
+                if key in processed:
+                    continue
+                processed.add(key)
+                x, y = edge
+                targets: Set[int] = set()
+                if x in ancestor_set:
+                    targets.update(hierarchy.leaf_id_view(y))
+                if y in ancestor_set:
+                    targets.update(hierarchy.leaf_id_view(x))
+                targets.discard(node_id)
+                for target in targets:
+                    counts[target] = counts.get(target, 0) + sign
+        return sorted(node for node, weight in counts.items() if weight > 0)
 
     # ------------------------------------------------------------------
     # Validation

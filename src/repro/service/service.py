@@ -234,6 +234,37 @@ class SummaryService:
         return self.store.register(key, graph, dense=dense, csr=csr, prefetch=prefetch)
 
     # ------------------------------------------------------------------
+    # Query serving
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        graph,
+        kind: str,
+        *,
+        source=None,
+        top: Optional[int] = None,
+        damping: float = 0.85,
+        iterations: int = 20,
+    ):
+        """Serve a graph query off the store's interned substrate.
+
+        ``graph`` is a registered graph key (``str``) or a
+        :class:`~repro.graphs.graph.Graph` (interned on first use, so
+        repeated queries share one frozen CSR with the summarize jobs).
+        The query runs id-native on the substrate via
+        :func:`repro.algorithms.query.run_query` — the label-keyed graph
+        is never consulted.  Returns a
+        :class:`~repro.algorithms.query.QueryResult`.
+        """
+        from repro.algorithms.query import run_query
+
+        handle = self.store.get(graph) if isinstance(graph, str) else self.store.intern(graph)
+        return run_query(
+            handle.csr(), kind, source=source, top=top,
+            damping=damping, iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------
     # Request intake
     # ------------------------------------------------------------------
     def _make_request(

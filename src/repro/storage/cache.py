@@ -68,6 +68,10 @@ class CachedEdgeList(NamedTuple):
     on hits *and* misses (a miss packs, then maps the fresh container) —
     inject it as the run's ``resources`` for zero-copy substrate reuse.
     Only a torn concurrent write can leave it ``None``.
+
+    With ``materialize=False`` a hit's ``graph`` is the read-only
+    :class:`~repro.graphs.view.CSRGraphView` facade instead of a
+    materialized :class:`Graph` — the zero-copy serving path.
     """
 
     graph: Graph
@@ -131,7 +135,9 @@ class GraphCache:
     # ------------------------------------------------------------------
     # Edge-list front door
     # ------------------------------------------------------------------
-    def fetch_edge_list(self, path: PathLike, workers: int = 1) -> CachedEdgeList:
+    def fetch_edge_list(
+        self, path: PathLike, workers: int = 1, materialize: bool = True
+    ) -> CachedEdgeList:
         """Load an edge-list file through the cache.
 
         Hit: memory-map the container keyed by the file's byte digest —
@@ -143,6 +149,13 @@ class GraphCache:
         An unreadable cached container (e.g. torn by an external
         process) is discarded and treated as a miss rather than failing
         the load.
+
+        ``materialize=False`` keeps a hit entirely on the substrate:
+        ``graph`` is then :meth:`StoredGraph.view` (a read-only
+        ``CSRGraphView``; zero rows thawed, zero nodes materialized)
+        rather than the O(m) :meth:`StoredGraph.graph` materialization.
+        Misses parsed the text anyway, so they return the parsed graph
+        either way.
         """
         from repro.graphs.io import read_edge_list
 
@@ -155,7 +168,7 @@ class GraphCache:
             else:
                 if stored is not None:
                     return CachedEdgeList(
-                        graph=stored.graph(),
+                        graph=stored.graph() if materialize else stored.view(),
                         stored=stored,
                         hit=True,
                         digest=digest,

@@ -225,12 +225,17 @@ class StoredGraph(GraphResources):
     canonical ascending order); all three views are cached.
     """
 
-    __slots__ = ("_csr", "_dense", "_graph")
+    __slots__ = ("_csr", "_dense", "_graph", "_view", "materializations")
 
     def __init__(self, csr: MappedCSR) -> None:
         self._csr = csr
         self._dense: Optional[DenseAdjacency] = None
         self._graph: Optional[Graph] = None
+        self._view: Optional[Graph] = None
+        #: How many times :meth:`graph` actually built the label-keyed
+        #: Graph (0 or 1; cached afterwards).  The query layer asserts
+        #: this stays 0 when serving straight off the substrate.
+        self.materializations = 0
 
     @property
     def info(self) -> ContainerInfo:
@@ -300,6 +305,7 @@ class StoredGraph(GraphResources):
         source graph's exactly.
         """
         if self._graph is None:
+            self.materializations += 1
             csr = self._csr
             labels: List = csr.index.labels()
             graph = Graph(nodes=labels)
@@ -307,6 +313,22 @@ class StoredGraph(GraphResources):
                 graph.add_edge(labels[u], labels[v])
             self._graph = graph
         return self._graph
+
+    def view(self) -> Graph:
+        """A read-only label-keyed facade over the mapped substrate.
+
+        Unlike :meth:`graph` this materializes nothing: the returned
+        :class:`~repro.graphs.view.CSRGraphView` answers ``nodes()`` /
+        ``edges()`` / ``degree()`` / ``has_edge()`` straight off the
+        flat arrays and thaws individual label rows only when a consumer
+        asks for a neighbor set.  This is what the query serving path
+        and the cache hit path hand out.
+        """
+        if self._view is None:
+            from repro.graphs.view import CSRGraphView
+
+            self._view = CSRGraphView(self._csr, self._csr.index)
+        return self._view
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
