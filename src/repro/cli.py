@@ -44,6 +44,19 @@ materialized::
 
     repro-slugger query pagerank --container graph.slg --top 5
     repro-slugger query bfs --input graph.txt --cache-dir ~/.cache/slg --source 0
+
+Persist the summary itself: ``pack --with-summary`` embeds the SLUGGER
+summary as ``SUMM`` sections in the container, ``serve
+--summary-cache`` warm-starts identical requests from a
+content-addressed result cache (and resumes interrupted jobs from
+per-iteration checkpoints), and ``cache stats`` / ``cache gc`` manage
+the cache directory::
+
+    repro-slugger pack --input graph.txt --with-summary --seed 0
+    repro-slugger query components --container graph.txt.slg
+    repro-slugger serve --batch requests.json --summary-cache ~/.cache/summ
+    repro-slugger cache stats --dir ~/.cache/summ
+    repro-slugger cache gc --dir ~/.cache/summ --budget 50000000
 """
 
 from __future__ import annotations
@@ -126,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="parse the edge list over N forked shard workers (default 1)",
     )
+    pack_parser.add_argument(
+        "--with-summary", action="store_true",
+        help="also run SLUGGER and embed the summary as SUMM sections, "
+             "so later runs warm-start with zero recompute",
+    )
+    pack_parser.add_argument(
+        "--iterations", type=int, default=20,
+        help="iterations for --with-summary (default 20)",
+    )
+    pack_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for --with-summary (default 0)",
+    )
 
     inspect_parser = subparsers.add_parser(
         "inspect", help="show the header and sections of a packed container"
@@ -163,6 +189,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="emit the raw result payload as JSON")
     _add_cache_argument(query_parser)
 
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or trim a summary result cache directory"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "gc"),
+        help="stats = report entries and bytes; gc = evict LRU entries to a budget",
+    )
+    cache_parser.add_argument("--dir", required=True, metavar="DIR",
+                              help="summary cache directory")
+    cache_parser.add_argument(
+        "--budget", type=int, default=None, metavar="BYTES",
+        help="byte budget for gc (0 empties the cache; default: keep everything)",
+    )
+    cache_parser.add_argument("--json", action="store_true",
+                              help="emit the raw stats/gc report as JSON")
+
     serve_parser = subparsers.add_parser(
         "serve", help="run a batch file of requests through a warm SummaryService"
     )
@@ -178,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="job execution mode (process = warm forked worker pool)")
     serve_parser.add_argument("--seed", type=int, default=0,
                               help="seed for generating built-in dataset analogues")
+    serve_parser.add_argument(
+        "--summary-cache", default=None, metavar="DIR",
+        help="content-addressed summary result cache: finished summaries are "
+             "persisted as SUMM containers and later identical requests "
+             "warm-start from the mmap with zero summarizer iterations",
+    )
+    serve_parser.add_argument(
+        "--summary-budget", type=int, default=None, metavar="BYTES",
+        help="byte budget for --summary-cache (LRU eviction after stores)",
+    )
     _add_progress_argument(serve_parser)
     _add_cache_argument(serve_parser)
 
@@ -388,12 +440,34 @@ def _command_pack(arguments: argparse.Namespace) -> int:
     output = arguments.output
     if output is None:
         output = arguments.input + storage.CONTAINER_SUFFIX
-    info = storage.pack(graph, output)
+    if arguments.with_summary:
+        from repro.graphs.dense import DenseAdjacency
+        from repro.storage.format import write_container_image
+
+        csr = DenseAdjacency.from_graph(graph).freeze()
+        options = {"iterations": arguments.iterations}
+        config_digest, config_json = storage.config_fingerprint("slugger", options)
+        config = SluggerConfig(seed=arguments.seed, **options)
+        result = Slugger(config, execution=_execution_config(arguments)).summarize(graph)
+        meta = storage.SummaryMeta(
+            kind="hierarchical", method="slugger", seed=arguments.seed,
+            graph_digest=storage.container_digest(csr),
+            config_digest=config_digest, config_json=config_json,
+            extra={"history": result.history},
+        )
+        image = storage.encode_summary_container(csr, result.summary, meta)
+        info = write_container_image(output, image)
+        print(f"summary: method=slugger seed={arguments.seed} "
+              f"iterations={arguments.iterations} key={meta.key[:16]}... "
+              f"({result.runtime_seconds:.2f}s)")
+    else:
+        info = storage.pack(graph, output)
     text_bytes = os.path.getsize(arguments.input)
     ratio = text_bytes / info.file_bytes if info.file_bytes else float("inf")
     print(f"packed {arguments.input} -> {output}")
     print(f"nodes={info.num_nodes} edges={info.num_edges} "
-          f"index_width={info.index_width} labels={'yes' if info.has_labels else 'no'}")
+          f"index_width={info.index_width} labels={'yes' if info.has_labels else 'no'} "
+          f"summary={'yes' if info.has_summary else 'no'}")
     print(f"container={info.file_bytes} bytes  text={text_bytes} bytes  "
           f"({ratio:.2f}x smaller)")
     return 0
@@ -409,7 +483,17 @@ def _command_inspect(arguments: argparse.Namespace) -> int:
     print(f"container {info.path}")
     print(f"  version={info.version} nodes={info.num_nodes} edges={info.num_edges} "
           f"index_width={info.index_width} labels={'yes' if info.has_labels else 'no'} "
+          f"csr={'yes' if info.has_csr else 'no'} "
+          f"summary={'yes' if info.has_summary else 'no'} "
           f"bytes={info.file_bytes}")
+    if info.has_summary:
+        meta = storage.read_summary_meta(arguments.container, info)
+        checkpoint = info.maybe_section(b"CKPT")
+        print(f"  summary: kind={meta.kind} method={meta.method} seed={meta.seed}")
+        print(f"  summary: graph_digest={meta.graph_digest[:16]}... "
+              f"config_digest={meta.config_digest[:16]}... key={meta.key[:16]}...")
+        if checkpoint is not None:
+            print("  summary: resumable checkpoint (CKPT section present)")
     rows = [
         {"section": entry.tag, "offset": entry.offset, "length": entry.length,
          "crc32": f"{entry.crc32:#010x}"}
@@ -434,11 +518,26 @@ def _command_query(arguments: argparse.Namespace) -> int:
     from repro.algorithms.query import run_query
 
     stored = None
+    summary_note = None
     if arguments.container:
         from repro import storage
 
-        stored = storage.load(arguments.container)
-        provider: Any = stored
+        info = storage.inspect_container(arguments.container, verify=False)
+        if info.has_summary and info.has_csr:
+            # A summary-bearing container: queries still run zero-copy
+            # off the mmap CSR, and ``components`` is served straight
+            # from the decoded summary (superedge-level shortcut) —
+            # the stored graph is never materialized either way.
+            opened = storage.load_summary(arguments.container)
+            stored = opened.stored
+            provider: Any = opened.summary if arguments.kind == "components" else stored
+            summary_note = (f"summary: kind={opened.meta.kind} "
+                            f"method={opened.meta.method} seed={opened.meta.seed}"
+                            + ("  (superedge components shortcut)"
+                               if arguments.kind == "components" else ""))
+        else:
+            stored = storage.load(arguments.container)
+            provider = stored
         origin = f"container (mmap)  {arguments.container}"
     elif arguments.input and arguments.cache_dir:
         from repro.storage import GraphCache
@@ -479,6 +578,8 @@ def _command_query(arguments: argparse.Namespace) -> int:
         return 1
 
     print(f"query: {arguments.kind}  {origin}")
+    if summary_note is not None:
+        print(summary_note)
     if stored is not None:
         # Substrate-served queries never materialize the label graph.
         print(f"serving: materialized_graphs={stored.materializations} "
@@ -500,6 +601,41 @@ def _command_query(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(arguments: argparse.Namespace) -> int:
+    """Report on — or garbage-collect — a summary result cache."""
+    from repro.storage import SummaryCache
+
+    cache = SummaryCache(arguments.dir, budget_bytes=arguments.budget)
+    if arguments.action == "gc":
+        report = cache.gc(budget_bytes=arguments.budget)
+        if arguments.json:
+            print(json.dumps(report))
+            return 0
+        budget = report["budget_bytes"]
+        print(f"gc {arguments.dir}: evicted={report['evicted']} "
+              f"freed={report['freed_bytes']} bytes  kept={report['kept']} "
+              f"({report['total_bytes']} bytes, "
+              f"budget={'unbounded' if budget is None else budget})")
+        return 0
+    stats = cache.stats()
+    if arguments.json:
+        print(json.dumps(stats))
+        return 0
+    print(f"cache {stats['directory']}")
+    print(f"  entries={stats['entries']} (checkpoints={stats['checkpoints']}) "
+          f"bytes={stats['total_bytes']} "
+          f"budget={'unbounded' if stats['budget_bytes'] is None else stats['budget_bytes']}")
+    rows = [
+        {"key": entry["key"][:16] + "...", "kind": entry["kind"],
+         "bytes": entry["bytes"]}
+        for entry in cache.entries()
+    ]
+    if rows:
+        print(format_table(rows, ["key", "kind", "bytes"],
+                           title=f"{len(rows)} entries (least-recently-used first)"))
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     """Batch-file serving: many requests, one warm service."""
     with open(arguments.batch, "r", encoding="utf-8") as handle:
@@ -516,7 +652,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
         cache = GraphCache(arguments.cache_dir)
     with SummaryService(mode=arguments.mode, max_inflight=arguments.inflight,
-                        cache_dir=arguments.cache_dir) as service:
+                        cache_dir=arguments.cache_dir,
+                        summary_cache_dir=arguments.summary_cache,
+                        summary_cache_budget=arguments.summary_budget) as service:
         jobs = []
         graphs: Dict[str, Any] = {}
         for record in records:
@@ -597,6 +735,13 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                   f"inflight={stats['max_inflight']}, substrate builds: "
                   f"{stats['store']['misses']}, warm hits: {stats['store']['hits']})",
         ))
+        if arguments.summary_cache:
+            print(f"summary cache: hits={stats['summary_cache_hits']} "
+                  f"stores={stats['summary_cache_stores']} "
+                  f"resumes={stats['summary_resumes']} "
+                  f"errors={stats['summary_cache_errors']} "
+                  f"({stats['summary_cache']['entries']} entries, "
+                  f"{stats['summary_cache']['total_bytes']} bytes)")
     return 1 if failures else 0
 
 
@@ -702,6 +847,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "pack": _command_pack,
         "inspect": _command_inspect,
         "query": _command_query,
+        "cache": _command_cache,
         "serve": _command_serve,
         "datasets": _command_datasets,
         "methods": _command_methods,

@@ -554,6 +554,17 @@ class Slugger:
         summary escapes).  ``resources`` supplies prebuilt substrate
         views and a warm shingle pool (service graph-store interning);
         both default to ``None`` and cannot change the summary.
+
+        Checkpoint/resume rides on ``control`` too: when it carries a
+        ``checkpoint_sink``, the run hands over an iteration-boundary
+        snapshot (summary, RNG stream position, history so far) after
+        every iteration; when it carries a ``resume_payload``, the run
+        restores that snapshot and continues at iteration ``k + 1``.
+        Because every random draw of a run comes from the single
+        ``ensure_rng(seed)`` stream and each iteration consumes a
+        deterministic prefix of it, restoring the summary plus the RNG
+        state at a boundary makes the resumed run bit-identical to the
+        uninterrupted one.
         """
         require_type(graph, Graph, "graph")
         config = self.config
@@ -574,6 +585,14 @@ class Slugger:
             "colored_rounds": 0, "colored_replayed": 0, "colored_serial": 0,
         }
 
+        start_iteration = 0
+        resume = control.resume_payload if control is not None else None
+        if resume is not None and graph.num_edges > 0:
+            state.restore_summary(resume["summary"])
+            rng.setstate(resume["rng_state"])
+            history.extend(resume["history"])
+            start_iteration = min(int(resume["iteration"]), config.iterations)
+
         if graph.num_edges > 0:
             ctx = IterationContext(
                 graph=graph,
@@ -591,7 +610,7 @@ class Slugger:
                     ctx.shingle_executor = warm_pool
                     ctx.owns_shingle_executor = False
             try:
-                for iteration in range(1, config.iterations + 1):
+                for iteration in range(start_iteration + 1, config.iterations + 1):
                     if control is not None:
                         control.checkpoint()
                     self.pipeline.run_iteration(ctx, iteration)
@@ -606,6 +625,12 @@ class Slugger:
                             roots=int(entry["roots"]),
                             cost=int(entry["cost"]),
                         )
+                        control.save_checkpoint({
+                            "iteration": iteration,
+                            "summary": state.summary,
+                            "rng_state": rng.getstate(),
+                            "history": history,
+                        })
             finally:
                 ctx.close_run()
 

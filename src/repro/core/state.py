@@ -188,6 +188,55 @@ class SluggerState:
             summary=HierarchicalSummary.from_substrate(index, csr),
         )
 
+    def restore_summary(self, summary: HierarchicalSummary) -> None:
+        """Adopt a checkpointed summary, rebuilding every per-root index.
+
+        This is the resume path: the summary comes from a checkpoint
+        container whose hierarchy was rebuilt in ascending-id order
+        (:meth:`~repro.model.hierarchy.Hierarchy.from_parts`), so its
+        iteration orders match the interrupted run's exactly.  The
+        indices are reconstructed from the ground truth the same way
+        :meth:`check_consistency` derives its expectations: ``root_adj``
+        from the input edges, ``pn_count``/``pn_edges``/``pn_total``
+        from the summary's superedges, ``tree_h`` from the subtree
+        supernode counts and ``tree_height`` from the tree heights.
+        Rebuild order is deterministic (sorted roots, sorted superedge
+        pairs), so a resumed state is bit-compatible with the one the
+        uninterrupted run would have carried.
+        """
+        hierarchy = summary.hierarchy
+        self.summary = summary
+        self.roots = set(hierarchy.roots())
+        self.root_adj = {root: {} for root in sorted(self.roots)}
+        self.pn_count = {root: {} for root in sorted(self.roots)}
+        self.pn_total = {root: 0 for root in sorted(self.roots)}
+        self.pn_edges = {}
+        leaf_root = [0] * hierarchy.num_subnodes
+        for root in sorted(self.roots):
+            for leaf in hierarchy.leaf_id_view(root):
+                leaf_root[leaf] = root
+        if self.dense is not None:
+            # Node id == leaf id on the dense substrate (both follow
+            # graph insertion order), so edges map straight to roots.
+            for leaf_u, leaf_v in self.dense.edge_ids():
+                self._bump_adj(leaf_root[leaf_u], leaf_root[leaf_v], 1)
+        else:
+            leaf_of = hierarchy.leaf_of
+            for u, v in self.graph.edges():
+                self._bump_adj(leaf_root[leaf_of(u)], leaf_root[leaf_of(v)], 1)
+        for edges, sign in ((sorted(summary.p_edges()), 1), (sorted(summary.n_edges()), -1)):
+            for x, y in edges:
+                self._register_superedge(
+                    hierarchy.root_of(x), hierarchy.root_of(y), x, y, sign, delta=1,
+                )
+        self.tree_h = {}
+        self.tree_height = {}
+        for root in sorted(self.roots):
+            # Cost^H_A = (#supernodes in the tree) - 1 hierarchy edges.
+            subtree = sum(1 for _ in hierarchy.descendants(root))
+            self.tree_h[root] = subtree - 1
+            self.tree_height[root] = hierarchy.height(root)
+
     # ------------------------------------------------------------------
     # Internal index maintenance
     # ------------------------------------------------------------------

@@ -48,17 +48,33 @@ class RunControl:
         :class:`~repro.exceptions.JobCancelled` once it is set; drivers
         call it between iterations, so cancellation is cooperative and
         never yields a partial summary.
+    checkpoint_sink:
+        Callback invoked with one payload ``dict`` (``iteration``,
+        ``summary``, ``rng_state``, ``history``) after every completed
+        iteration — the persistence layer serializes it into a
+        checkpoint container.  Runs synchronously on the summarizer
+        thread, so the snapshot is consistent; ``None`` disables
+        checkpointing (the historical behavior).
+    resume_payload:
+        A previously checkpointed payload ``dict`` to restart from.
+        Drivers that support resumption restore the summary and RNG
+        stream position and skip the completed iterations; the result
+        stays bit-identical to an uninterrupted fixed-seed run.
     """
 
-    __slots__ = ("_on_progress", "_cancel")
+    __slots__ = ("_on_progress", "_cancel", "checkpoint_sink", "resume_payload")
 
     def __init__(
         self,
         on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
         cancel: Optional[Any] = None,
+        checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        resume_payload: Optional[Dict[str, Any]] = None,
     ) -> None:
         self._on_progress = on_progress
         self._cancel = cancel
+        self.checkpoint_sink = checkpoint_sink
+        self.resume_payload = resume_payload
 
     def cancelled(self) -> bool:
         """Whether the cancel token has been set."""
@@ -75,6 +91,11 @@ class RunControl:
             event: Dict[str, Any] = {"stage": stage}
             event.update(values)
             self._on_progress(event)
+
+    def save_checkpoint(self, payload: Dict[str, Any]) -> None:
+        """Hand an iteration-boundary snapshot to the checkpoint sink."""
+        if self.checkpoint_sink is not None:
+            self.checkpoint_sink(payload)
 
 
 class GraphResources:

@@ -102,6 +102,70 @@ class Hierarchy:
             self._leaf_cache[node_id] = tuple(combined)
         return node_id
 
+    @classmethod
+    def from_parts(
+        cls,
+        subnodes: Iterable[Subnode],
+        internal: Iterable[Tuple[int, List[int]]],
+        next_id: Optional[int] = None,
+    ) -> "Hierarchy":
+        """Rebuild a forest from its serialized parts (the summary codec).
+
+        ``subnodes`` is the id-ordered leaf list (leaf ``i`` wraps the
+        ``i``-th subnode); ``internal`` yields ``(id, children)`` pairs in
+        **ascending id order** with each children list verbatim as
+        originally created; ``next_id`` restores the id counter (defaults
+        to one past the largest id).  Because supernode ids are assigned
+        monotonically and dict deletions preserve insertion order, the
+        ascending-id rebuild reproduces the original iteration order of
+        every internal mapping — :meth:`roots` and friends return ids in
+        exactly the order the serialized forest did, which is what keeps
+        resumed runs bit-identical.  Sizes and leaf caches are recomputed
+        bottom-up from the children lists.
+        """
+        forest = cls()
+        for subnode in subnodes:
+            forest.add_leaf(subnode)
+        num_leaves = forest._next_id
+        if num_leaves != len(forest._leaf_subnode):
+            raise SummaryInvariantError("serialized hierarchy repeats a subnode")
+        for node_id, children in internal:
+            if node_id < forest._next_id or node_id in forest._parent:
+                raise SummaryInvariantError(
+                    f"serialized internal supernodes must arrive in ascending id "
+                    f"order above the leaves, got id {node_id}"
+                )
+            if not children:
+                raise SummaryInvariantError(
+                    f"serialized internal supernode {node_id} has no children"
+                )
+            combined: List[int] = []
+            size = 0
+            for child in children:
+                if child not in forest._parent:
+                    raise SummaryInvariantError(
+                        f"serialized supernode {node_id} references unknown child {child}"
+                    )
+                if forest._parent[child] is not None:
+                    raise SummaryInvariantError(
+                        f"serialized supernode {child} has two parents"
+                    )
+                forest._parent[child] = node_id
+                size += forest._size[child]
+                combined.extend(forest._leaf_cache[child])
+            forest._parent[node_id] = None
+            forest._children[node_id] = list(children)
+            forest._size[node_id] = size
+            forest._leaf_cache[node_id] = tuple(combined)
+            forest._next_id = node_id + 1
+        if next_id is not None:
+            if next_id < forest._next_id:
+                raise SummaryInvariantError(
+                    f"serialized id counter {next_id} is below the largest id"
+                )
+            forest._next_id = next_id
+        return forest
+
     def splice_out(self, supernode: int) -> None:
         """Remove an internal supernode, reattaching its children to its parent.
 

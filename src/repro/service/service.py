@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import queue
 import threading
+import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.base import EngineResult
@@ -58,9 +59,19 @@ from repro.exceptions import (
     ServiceSaturatedError,
 )
 from repro.graphs.graph import Graph
+from repro.model.summary import HierarchicalSummary
 from repro.service.jobs import SummaryJob
 from repro.service.request import SummaryRequest
 from repro.service.store import GraphHandle, GraphStore
+from repro.storage.format import container_digest
+from repro.storage.summary_store import (
+    SummaryCache,
+    SummaryMeta,
+    config_fingerprint,
+    encode_checkpoint_container,
+    encode_summary_container,
+    summary_key,
+)
 from repro.utils.rng import SeedLike
 
 __all__ = ["SummaryService", "default_service", "shutdown_default_service"]
@@ -161,6 +172,21 @@ class SummaryService:
         registrations are persisted as packed containers there.
         Mutually exclusive with ``graph_store`` (a shared store carries
         its own cache configuration).
+    summary_cache_dir:
+        Directory for the content-addressed **summary** cache
+        (:class:`~repro.storage.summary_store.SummaryCache`).  With a
+        cache configured the service consults it before running a job —
+        a previously computed ``(graph, method, seed, config)`` is
+        answered from its mmap-backed container with zero summarizer
+        iterations, bit-identical to the original run — persists every
+        seeded result on completion, and checkpoints thread-mode jobs
+        after each iteration so a killed run resumes at iteration ``k``
+        with the identical fixed-seed result.  Unseeded requests bypass
+        the cache (without a seed the result is not a reproducible
+        content address).
+    summary_cache_budget:
+        Optional size budget in bytes for the summary cache
+        (LRU-by-mtime eviction, see :meth:`SummaryCache.gc`).
     """
 
     def __init__(
@@ -173,6 +199,8 @@ class SummaryService:
         max_pending: int = 256,
         graph_store: Optional[GraphStore] = None,
         cache_dir=None,
+        summary_cache_dir=None,
+        summary_cache_budget: Optional[int] = None,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ConfigurationError(f"mode must be 'thread' or 'process', got {mode!r}")
@@ -208,8 +236,15 @@ class SummaryService:
         self._job_ids = 0
         self._job_pool: Optional[ProcessShardExecutor] = None
         self._job_pool_generation = -1
+        self.summary_cache: Optional[SummaryCache] = (
+            SummaryCache(summary_cache_dir, budget_bytes=summary_cache_budget)
+            if summary_cache_dir is not None
+            else None
+        )
         self._stats = {"submitted": 0, "completed": 0, "failed": 0,
-                       "cancelled": 0, "inline_runs": 0, "pool_jobs": 0}
+                       "cancelled": 0, "inline_runs": 0, "pool_jobs": 0,
+                       "summary_cache_hits": 0, "summary_cache_stores": 0,
+                       "summary_resumes": 0, "summary_cache_errors": 0}
 
     # ------------------------------------------------------------------
     # Graph registration
@@ -380,7 +415,21 @@ class SummaryService:
             if self._closed:
                 raise ServiceClosedError("service is shut down; no new requests")
             self._stats["inline_runs"] += 1
-        return self._run_request(request, control, warm_pools=False, resources=resources)
+        address = (
+            self._summary_address(request)
+            if resources is None and control is None
+            else None
+        )
+        if address is not None:
+            cached = self._cached_result(address, request)
+            if cached is not None:
+                with self._lock:
+                    self._stats["summary_cache_hits"] += 1
+                return cached
+        result = self._run_request(request, control, warm_pools=False, resources=resources)
+        if address is not None:
+            self._persist_result(address, request, result)
+        return result
 
     # ------------------------------------------------------------------
     # Async entry point
@@ -468,11 +517,39 @@ class SummaryService:
             with self._lock:
                 self._stats["cancelled"] += 1
             return
-        control = RunControl(on_progress=job._on_run_progress, cancel=job.cancel_event)
+        address = self._summary_address(job.request)
+        if address is not None:
+            cached = self._cached_result(address, job.request)
+            if cached is not None:
+                job._record("cache", summary_cache="hit", summary_key=address["key"])
+                job._finish(cached)
+                with self._lock:
+                    self._stats["completed"] += 1
+                    self._stats["summary_cache_hits"] += 1
+                return
         try:
             if self.mode == "process" and job.request.serializable:
+                # The job body runs in a forked worker, so mid-run
+                # checkpoint hooks cannot reach this process; caching is
+                # parent-side only (consult above, persist below).
                 result = self._run_in_pool(job.request)
             else:
+                resume = (
+                    self._resume_payload(address) if address is not None else None
+                )
+                control = RunControl(
+                    on_progress=job._on_run_progress,
+                    cancel=job.cancel_event,
+                    checkpoint_sink=(
+                        self._checkpoint_sink(address, job.request, job)
+                        if address is not None else None
+                    ),
+                    resume_payload=resume,
+                )
+                if resume is not None:
+                    job._record("resume", iteration=resume["iteration"])
+                    with self._lock:
+                        self._stats["summary_resumes"] += 1
                 result = self._run_request(job.request, control)
         except BaseException as error:  # noqa: BLE001 - settled on the job
             job._fail(error)
@@ -480,9 +557,162 @@ class SummaryService:
                 key = "cancelled" if job.cancelled() else "failed"
                 self._stats[key] += 1
         else:
+            if address is not None:
+                self._persist_result(address, job.request, result)
             job._finish(result)
             with self._lock:
                 self._stats["completed"] += 1
+
+    # ------------------------------------------------------------------
+    # Summary cache (warm-start + resumable checkpoints)
+    # ------------------------------------------------------------------
+    def _graph_digest(self, handle: GraphHandle) -> str:
+        """The handle's graph content address (memoized on the handle)."""
+        if handle.content_digest is None:
+            handle.content_digest = container_digest(handle.csr())
+        return handle.content_digest
+
+    def _summary_address(self, request: SummaryRequest) -> Optional[Dict[str, Any]]:
+        """Resolve a request to its summary-cache address, or ``None``.
+
+        Uncacheable requests — no cache configured, no seed (the result
+        is not reproducible), or an opaque pre-configured summarizer —
+        return ``None`` and follow the historical path untouched.  The
+        execution config is deliberately *not* part of the address:
+        results are bit-identical at any worker count.
+        """
+        if self.summary_cache is None or request.seed is None:
+            return None
+        if request.summarizer is not None:
+            return None
+        graph, handle = self._resolve(request)
+        graph_digest = self._graph_digest(handle)
+        config_digest, config_json = config_fingerprint(
+            request.method, dict(request.options)
+        )
+        return {
+            "key": summary_key(graph_digest, request.method, request.seed, config_digest),
+            "graph_digest": graph_digest,
+            "config_digest": config_digest,
+            "config_json": config_json,
+            "handle": handle,
+        }
+
+    def _cached_result(self, address: Dict[str, Any],
+                       request: SummaryRequest) -> Optional[EngineResult]:
+        """The warm-start path: rebuild an EngineResult off the cache."""
+        assert self.summary_cache is not None
+        started = time.perf_counter()
+        stored = self.summary_cache.load_summary(address["key"])
+        if stored is None:
+            return None
+        try:
+            summary = stored.summary
+            history = stored.meta.extra.get("history", [])
+        finally:
+            stored.close()
+        return EngineResult(
+            method=request.method,
+            summary=summary,
+            runtime_seconds=time.perf_counter() - started,
+            history=list(history),
+            details={
+                "summary_cache": "hit",
+                "summary_key": address["key"],
+                "container": stored.path,
+            },
+        )
+
+    def _meta_for(self, address: Dict[str, Any], method: str, seed,
+                  kind: str, extra: Optional[Dict[str, Any]] = None) -> SummaryMeta:
+        return SummaryMeta(
+            kind=kind,
+            method=method,
+            seed=seed,
+            graph_digest=address["graph_digest"],
+            config_digest=address["config_digest"],
+            config_json=address["config_json"],
+            extra=extra or {},
+        )
+
+    def _resume_payload(self, address: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """A checkpointed snapshot for this address, or ``None``.
+
+        Leaves are rebuilt against the live graph's node order; the
+        checkpoint's graph digest must match the address, so a stale or
+        foreign checkpoint can never leak into a run.
+        """
+        assert self.summary_cache is not None
+        handle: GraphHandle = address["handle"]
+        checkpoint = self.summary_cache.load_checkpoint(
+            address["key"],
+            list(handle.graph.nodes()),
+            graph_digest=address["graph_digest"],
+        )
+        if checkpoint is None:
+            return None
+        return {
+            "iteration": checkpoint.iteration,
+            "summary": checkpoint.summary,
+            "rng_state": checkpoint.rng_state,
+            "history": checkpoint.history,
+        }
+
+    def _checkpoint_sink(self, address: Dict[str, Any],
+                         request: SummaryRequest, job: Optional[SummaryJob]):
+        """A RunControl checkpoint sink persisting iteration snapshots."""
+
+        def sink(payload: Dict[str, Any]) -> None:
+            summary = payload.get("summary")
+            if not isinstance(summary, HierarchicalSummary):
+                return
+            try:
+                meta = self._meta_for(
+                    address, request.method, request.seed, kind="hierarchical"
+                )
+                image = encode_checkpoint_container(
+                    summary, meta, int(payload["iteration"]),
+                    payload["rng_state"], payload["history"],
+                )
+                assert self.summary_cache is not None
+                self.summary_cache.store_checkpoint(address["key"], image)
+            except Exception:  # noqa: BLE001 - checkpointing must not fail a run
+                with self._lock:
+                    self._stats["summary_cache_errors"] += 1
+                return
+            if job is not None:
+                job._record("checkpoint", iteration=int(payload["iteration"]))
+
+        return sink
+
+    def _persist_result(self, address: Dict[str, Any], request: SummaryRequest,
+                        result: EngineResult) -> None:
+        """Persist a finished result under its content address.
+
+        Persistence failures (unserializable history, disk errors) are
+        counted but never surfaced — the job already has its result.
+        """
+        assert self.summary_cache is not None
+        handle: GraphHandle = address["handle"]
+        try:
+            meta = self._meta_for(
+                address,
+                result.method,
+                request.seed,
+                kind=(
+                    "hierarchical"
+                    if isinstance(result.summary, HierarchicalSummary)
+                    else "flat"
+                ),
+                extra={"history": result.history},
+            )
+            image = encode_summary_container(handle.csr(), result.summary, meta)
+            self.summary_cache.store_summary(address["key"], image)
+            with self._lock:
+                self._stats["summary_cache_stores"] += 1
+        except Exception:  # noqa: BLE001 - persistence must not fail the job
+            with self._lock:
+                self._stats["summary_cache_errors"] += 1
 
     def _resolve(self, request: SummaryRequest) -> Tuple[Graph, GraphHandle]:
         if request.graph_key is not None:
@@ -595,6 +825,8 @@ class SummaryService:
         record["max_inflight"] = self.max_inflight
         record["pending"] = self._queue.qsize()
         record["store"] = self.store.stats()
+        if self.summary_cache is not None:
+            record["summary_cache"] = self.summary_cache.stats()
         return record
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:

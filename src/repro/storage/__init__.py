@@ -13,7 +13,11 @@ This subsystem is the persistence layer between "dataset on disk" and
   behind ``read_edge_list(..., workers=N)``;
 * :mod:`repro.storage.cache` — the content-addressed on-disk cache the
   CLI's ``--cache-dir`` and the serving layer's
-  :class:`~repro.service.store.GraphStore` persistence use.
+  :class:`~repro.service.store.GraphStore` persistence use;
+* :mod:`repro.storage.summary_store` — the ``SUMM`` section family that
+  persists summaries *inside* the container format, the
+  content-addressed :class:`SummaryCache` behind warm-start serving,
+  and resumable per-iteration job checkpoints.
 
 Quick start::
 
@@ -47,21 +51,47 @@ from repro.storage.format import (
 )
 from repro.storage.ingest import sharded_read_edge_list
 from repro.storage.mapped import MappedCSR, StoredGraph, load
+from repro.storage.summary_store import (
+    CHECKPOINT_SUFFIX,
+    StoredSummary,
+    SummaryCache,
+    SummaryCheckpoint,
+    SummaryMeta,
+    config_fingerprint,
+    encode_summary_container,
+    load_checkpoint,
+    load_summary,
+    read_summary_meta,
+    summary_fingerprint,
+    summary_key,
+)
 
 __all__ = [
+    "CHECKPOINT_SUFFIX",
     "CONTAINER_SUFFIX",
     "CachedEdgeList",
     "ContainerInfo",
     "GraphCache",
     "MappedCSR",
     "StoredGraph",
+    "StoredSummary",
+    "SummaryCache",
+    "SummaryCheckpoint",
+    "SummaryMeta",
+    "config_fingerprint",
     "container_digest",
+    "encode_summary_container",
     "file_digest",
     "inspect_container",
     "load",
+    "load_checkpoint",
+    "load_summary",
     "pack",
     "read_container_info",
+    "read_summary_meta",
     "sharded_read_edge_list",
+    "summary_fingerprint",
+    "summary_key",
     "write_container",
 ]
 

@@ -64,6 +64,9 @@ from repro.exceptions import ContainerFormatError, GraphFormatError
 __all__ = [
     "CONTAINER_SUFFIX",
     "ContainerInfo",
+    "FLAG_LABELS",
+    "FLAG_NO_CSR",
+    "FLAG_SUMMARY",
     "FORMAT_VERSION",
     "MAGIC",
     "SectionInfo",
@@ -72,6 +75,7 @@ __all__ = [
     "decode_labels",
     "decode_varint",
     "encode_container",
+    "encode_image",
     "encode_varint",
     "index_width_for",
     "read_container_info",
@@ -92,6 +96,17 @@ CONTAINER_SUFFIX = ".slg"
 #: Header flag: a ``LBLS`` section is present (labels are not the
 #: identity mapping ``id -> id``).
 FLAG_LABELS = 0x1
+
+#: Header flag: the container carries a ``SUMM`` section family (a
+#: serialized summary riding alongside — or instead of — the CSR); see
+#: :mod:`repro.storage.summary_store` for the family's codecs.
+FLAG_SUMMARY = 0x2
+
+#: Header flag: the container holds **no** CSR sections (``IPTR`` /
+#: ``INDX``) — it is a summary/checkpoint artifact addressed to a graph
+#: stored elsewhere.  :class:`~repro.storage.mapped.MappedCSR` refuses
+#: such containers; the summary store reads them directly.
+FLAG_NO_CSR = 0x4
 
 #: ``<`` little-endian: magic, version, flags, num_nodes, num_edges,
 #: index width, 3 pad bytes, section count.
@@ -295,6 +310,16 @@ class ContainerInfo:
         """Whether the container carries an explicit label dictionary."""
         return bool(self.flags & FLAG_LABELS)
 
+    @property
+    def has_summary(self) -> bool:
+        """Whether the container carries a serialized summary (``SUMM`` family)."""
+        return bool(self.flags & FLAG_SUMMARY)
+
+    @property
+    def has_csr(self) -> bool:
+        """Whether the container holds the CSR sections (``IPTR``/``INDX``)."""
+        return not self.flags & FLAG_NO_CSR
+
     def section(self, tag: bytes) -> SectionInfo:
         """The section table entry for ``tag``; raises if absent."""
         name = tag.decode("ascii")
@@ -302,6 +327,14 @@ class ContainerInfo:
             if entry.tag == name:
                 return entry
         raise ContainerFormatError(f"container has no {name!r} section")
+
+    def maybe_section(self, tag: bytes) -> Optional[SectionInfo]:
+        """The section table entry for ``tag``, or ``None`` when absent."""
+        name = tag.decode("ascii")
+        for entry in self.sections:
+            if entry.tag == name:
+                return entry
+        return None
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-compatible description (the CLI ``inspect`` payload)."""
@@ -312,6 +345,8 @@ class ContainerInfo:
             "num_edges": self.num_edges,
             "index_width": self.index_width,
             "has_labels": self.has_labels,
+            "has_summary": self.has_summary,
+            "has_csr": self.has_csr,
             "file_bytes": self.file_bytes,
             "sections": [
                 {
@@ -350,14 +385,34 @@ def _build_sections(csr) -> Tuple[int, int, List[Tuple[bytes, bytes]]]:
     return flags, width, sections
 
 
-def encode_container(csr) -> bytes:
+def encode_container(csr, extra_sections: Optional[Sequence[Tuple[bytes, bytes]]] = None,
+                     extra_flags: int = 0) -> bytes:
     """The complete container image for ``csr`` as one bytes object.
 
     The encoding is canonical — equal graphs yield byte-identical
     containers — which is what makes :func:`container_digest` a content
-    address.
+    address.  ``extra_sections`` appends additional checksummed payloads
+    (the summary store's ``SUMM`` family) after the CSR sections, in the
+    order given, and ``extra_flags`` is OR-ed into the header flags;
+    canonical callers must pass deterministic payloads to keep the
+    content-address property.
     """
     flags, width, sections = _build_sections(csr)
+    if extra_sections:
+        sections = sections + list(extra_sections)
+    return encode_image(
+        flags | extra_flags, csr.num_nodes, csr.num_edges, width, sections
+    )
+
+
+def encode_image(flags: int, num_nodes: int, num_edges: int, width: int,
+                 sections: Sequence[Tuple[bytes, bytes]]) -> bytes:
+    """Assemble a container image from already-encoded section payloads.
+
+    The low-level assembler behind :func:`encode_container`; the summary
+    store also uses it directly for CSR-less checkpoint containers
+    (``flags`` carrying :data:`FLAG_NO_CSR`).
+    """
     header_size = _HEADER.size + _SECTION.size * len(sections)
     table: List[Tuple[bytes, int, int, int]] = []
     chunks: List[bytes] = []
@@ -371,7 +426,7 @@ def encode_container(csr) -> bytes:
         offset = next_offset
     out = bytearray()
     out += _HEADER.pack(
-        MAGIC, FORMAT_VERSION, flags, csr.num_nodes, csr.num_edges, width, len(table)
+        MAGIC, FORMAT_VERSION, flags, num_nodes, num_edges, width, len(table)
     )
     for tag, section_offset, length, crc in table:
         out += _SECTION.pack(tag, section_offset, length, crc)
@@ -475,16 +530,17 @@ def _parse_container(view, path: Optional[str]) -> ContainerInfo:
         file_bytes=total,
         sections=tuple(sections),
     )
-    expected = 2 * num_edges * width
-    indices = info.section(TAG_INDICES)
-    if indices.length != expected:
-        raise ContainerFormatError(
-            f"{where}: INDX section is {indices.length} bytes, header promises "
-            f"{expected} ({2 * num_edges} entries x {width} bytes)"
-        )
-    info.section(TAG_INDPTR)
-    if info.has_labels:
-        info.section(TAG_LABELS)
+    if info.has_csr:
+        expected = 2 * num_edges * width
+        indices = info.section(TAG_INDICES)
+        if indices.length != expected:
+            raise ContainerFormatError(
+                f"{where}: INDX section is {indices.length} bytes, header promises "
+                f"{expected} ({2 * num_edges} entries x {width} bytes)"
+            )
+        info.section(TAG_INDPTR)
+        if info.has_labels:
+            info.section(TAG_LABELS)
     return info
 
 

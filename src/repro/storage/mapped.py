@@ -97,6 +97,12 @@ class MappedCSR:
             view = memoryview(self._mmap)
             try:
                 info: ContainerInfo = container_format._parse_container(view, self.path)
+                if not info.has_csr:
+                    raise ContainerFormatError(
+                        f"{self.path}: container holds no CSR sections (a "
+                        f"summary checkpoint artifact); load it through "
+                        f"repro.storage.summary_store instead"
+                    )
                 if verify:
                     verify_sections(view, info)
                 indptr_entry = info.section(TAG_INDPTR)
