@@ -63,6 +63,11 @@ SLUGGER run through a cache-attached service versus the identical
 request warm-started from the persisted ``SUMM`` container by a fresh
 service, summaries cross-checked bit-identical (hardware-independent
 gate: warm >= 10x cold).
+
+The ``obs`` section measures telemetry overhead: the same run with
+telemetry disabled, with a live metrics registry, and with metrics plus
+span tracing, costs cross-checked identical (gate: full telemetry
+<= +3% wall time over the disabled path on the 10k-node ER fixture).
 """
 
 from __future__ import annotations
@@ -932,6 +937,57 @@ def bench_summary_cache(quick: bool) -> Dict[str, object]:
     return section
 
 
+def bench_obs(graph: Graph, iterations: int, repeats: int) -> Dict[str, object]:
+    """Telemetry overhead: a fully instrumented run versus the null path.
+
+    The same SLUGGER run three ways — telemetry disabled (the null-object
+    default), with a live :class:`~repro.obs.MetricsRegistry`, and with a
+    registry *plus* a :class:`~repro.obs.Tracer` — best-of-``repeats``
+    each.  Costs are cross-checked identical (telemetry is pure
+    observation), and the full-telemetry run must stay within 3% of the
+    disabled wall time: the null spans already pay the two
+    ``perf_counter`` calls per phase, so instrumentation only adds the
+    registry/span bookkeeping.
+    """
+    from repro.engine.hooks import RunControl
+    from repro.obs import MetricsRegistry, Tracer
+
+    config = SluggerConfig(iterations=iterations, seed=0)
+
+    def run_disabled() -> int:
+        return Slugger(config).summarize(graph).cost()
+
+    def run_metered() -> int:
+        control = RunControl(metrics=MetricsRegistry())
+        return Slugger(config).summarize(graph, control=control).cost()
+
+    def run_traced() -> int:
+        control = RunControl(metrics=MetricsRegistry(), tracer=Tracer())
+        return Slugger(config).summarize(graph, control=control).cost()
+
+    cost_disabled = run_disabled()
+    assert run_metered() == cost_disabled, "metrics perturbed the summary cost"
+    assert run_traced() == cost_disabled, "tracing perturbed the summary cost"
+
+    disabled = best_of(repeats, run_disabled)
+    metered = best_of(repeats, run_metered)
+    traced = best_of(repeats, run_traced)
+    overhead = traced / disabled - 1.0 if disabled > 0 else 0.0
+    section: Dict[str, object] = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "iterations": iterations,
+        "disabled_seconds": disabled,
+        "metrics_seconds": metered,
+        "metrics_and_trace_seconds": traced,
+        "overhead": overhead,
+        "cost": cost_disabled,
+    }
+    print(f"  obs disabled           {disabled:8.3f}s  metrics={metered:8.3f}s  "
+          f"metrics+trace={traced:8.3f}s  overhead={overhead:+.1%}")
+    return section
+
+
 def check_devtools_isolation() -> None:
     """Importing ``repro`` must not import the ``repro.devtools`` analyzer.
 
@@ -1076,6 +1132,11 @@ def main(argv: Sequence[str] = None) -> int:
     # Summary persistence: cold compute vs warm-start off the cache.
     print("summary cache: cold compute vs warm-start (SUMM container mmap)")
     record["summary_cache"] = bench_summary_cache(args.quick)
+
+    # Telemetry overhead: instrumented vs disabled on the ER fixture.
+    obs_name, obs_graph = graphs[0]
+    print(f"{obs_name}: telemetry overhead (disabled vs metrics vs metrics+trace)")
+    record["obs"] = {"graph": obs_name, **bench_obs(obs_graph, iterations, repeats)}
 
     record["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
@@ -1249,12 +1310,23 @@ def main(argv: Sequence[str] = None) -> int:
             )
             print(f"PASS: CSR-native query kernels >= 3x the dict implementations "
                   f"({speedups}); 0 graphs materialized, 0 dense overlays built")
+        obs_section = record["obs"]  # type: ignore[assignment]
+        if obs_section["overhead"] > 0.03:
+            obs_section["gate"] = "failed"  # type: ignore[index]
+            failures.append(f"full telemetry costs {obs_section['overhead']:+.1%} "
+                            f"over the disabled path on the 10k-node ER run "
+                            f"(need <= +3%)")
+        else:
+            obs_section["gate"] = "passed"  # type: ignore[index]
+            print(f"PASS: full telemetry overhead {obs_section['overhead']:+.1%} "
+                  f"on the 10k-node ER run; costs identical")
     else:
         record["scaling"]["gate"] = "not-evaluated"  # type: ignore[index]
         record["serving"]["gate"] = "not-evaluated"  # type: ignore[index]
         for gate in ("load_gate", "size_gate", "sharded_gate"):
             record["ingest"][gate] = "not-evaluated"  # type: ignore[index]
-        for section in ("pruning", "coloring", "thaw", "queries", "summary_cache"):
+        for section in ("pruning", "coloring", "thaw", "queries", "summary_cache",
+                        "obs"):
             record[section]["gate"] = "not-evaluated"  # type: ignore[index]
         failures = []
 

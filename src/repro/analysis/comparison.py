@@ -80,6 +80,8 @@ def _run_spec(
     service=None,
     on_progress: Optional[ProgressCallback] = None,
     resources=None,
+    metrics=None,
+    tracer=None,
 ) -> EngineResult:
     if isinstance(spec, (str, Summarizer)):
         # Registry names and configured summarizers run through the
@@ -95,13 +97,18 @@ def _run_spec(
             execution=execution,
         )
         control = None
-        if on_progress is not None:
-            control = RunControl(
-                on_progress=lambda event, _name=name: on_progress(_name, event)
-            )
-        return (service if service is not None else default_service()).run(
-            request, control=control, resources=resources
-        )
+        if on_progress is not None or metrics is not None or tracer is not None:
+            callback = None
+            if on_progress is not None:
+                callback = lambda event, _name=name: on_progress(_name, event)  # noqa: E731
+            control = RunControl(on_progress=callback, metrics=metrics, tracer=tracer)
+        runner = service if service is not None else default_service()
+        if tracer is not None:
+            # One parent span per method so a comparison's trace
+            # separates the methods' engine spans by enclosure.
+            with tracer.span("method", method=name):
+                return runner.run(request, control=control, resources=resources)
+        return runner.run(request, control=control, resources=resources)
     # Legacy plain callable: wrap its output into an EngineResult so the
     # rest of the harness sees one shape.
     started = time.perf_counter()
@@ -122,6 +129,8 @@ def compare_methods(
     service=None,
     on_progress: Optional[ProgressCallback] = None,
     resources=None,
+    metrics=None,
+    tracer=None,
 ) -> List[MethodResult]:
     """Run every method on ``graph`` and return per-method results.
 
@@ -141,12 +150,18 @@ def compare_methods(
     :class:`repro.storage.StoredGraph` mmap load.  Results are
     bit-identical to direct ``Summarizer.summarize`` calls for the same
     seeds.
+
+    ``metrics``/``tracer`` optionally collect telemetry across the whole
+    comparison: one :class:`~repro.obs.MetricsRegistry` accumulates every
+    method's engine counters, and the tracer wraps each engine run in a
+    ``method`` span.  Pure observation — summaries are bit-identical
+    with telemetry on or off.
     """
     resolved = _resolve(methods)
     results: List[MethodResult] = []
     for name, spec in resolved.items():
         outcome = _run_spec(name, spec, graph, seed, execution, service,
-                            on_progress, resources)
+                            on_progress, resources, metrics, tracer)
         if validate:
             outcome.summary.validate(graph)
         results.append(

@@ -57,6 +57,16 @@ the cache directory::
     repro-slugger serve --batch requests.json --summary-cache ~/.cache/summ
     repro-slugger cache stats --dir ~/.cache/summ
     repro-slugger cache gc --dir ~/.cache/summ --budget 50000000
+
+Observe a run without perturbing it: ``--trace`` writes the phase/shard
+span tree (Chrome trace-event JSON, or JSON-lines for ``.jsonl`` paths),
+``--metrics-file`` writes a Prometheus text-format snapshot, and the
+``metrics`` subcommand pretty-prints such a file — summaries stay
+bit-identical with telemetry on or off::
+
+    repro-slugger summarize --dataset PR --workers 4 --trace run.trace.json
+    repro-slugger serve --batch requests.json --metrics-file metrics.prom
+    repro-slugger metrics --file metrics.prom --match service_
 """
 
 from __future__ import annotations
@@ -111,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(summarize_parser)
     _add_progress_argument(summarize_parser)
     _add_cache_argument(summarize_parser)
+    _add_telemetry_arguments(summarize_parser)
 
     compare_parser = subparsers.add_parser("compare", help="compare SLUGGER with the baselines")
     compare_source = compare_parser.add_mutually_exclusive_group(required=True)
@@ -126,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(compare_parser)
     _add_progress_argument(compare_parser)
     _add_cache_argument(compare_parser)
+    _add_telemetry_arguments(compare_parser)
 
     pack_parser = subparsers.add_parser(
         "pack", help="pack an edge list into a binary mmap-able container"
@@ -188,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--json", action="store_true",
                               help="emit the raw result payload as JSON")
     _add_cache_argument(query_parser)
+    _add_telemetry_arguments(query_parser)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or trim a summary result cache directory"
@@ -232,6 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_progress_argument(serve_parser)
     _add_cache_argument(serve_parser)
+    _add_telemetry_arguments(serve_parser)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="pretty-print a Prometheus metrics file written by --metrics-file"
+    )
+    metrics_parser.add_argument("--file", required=True, metavar="FILE",
+                                help="Prometheus text-exposition file to render")
+    metrics_parser.add_argument(
+        "--match", default=None, metavar="SUBSTR",
+        help="only show samples whose metric name contains SUBSTR",
+    )
+    metrics_parser.add_argument("--json", action="store_true",
+                                help="emit the parsed samples as JSON")
 
     subparsers.add_parser("datasets", help="list the built-in dataset analogues")
 
@@ -324,6 +350,54 @@ def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record phase/shard spans and write them to FILE — Chrome "
+             "trace-event JSON (load in chrome://tracing or Perfetto), or "
+             "one JSON object per span when FILE ends in .jsonl; output is "
+             "bit-identical with tracing on or off",
+    )
+    parser.add_argument(
+        "--metrics-file", default=None, metavar="FILE",
+        help="write the run's metrics snapshot to FILE in Prometheus text "
+             "exposition format (pretty-print with the 'metrics' subcommand)",
+    )
+
+
+def _telemetry_from_args(arguments: argparse.Namespace):
+    """``(metrics, tracer)`` per the telemetry flags — ``None`` when off."""
+    from repro.obs import MetricsRegistry, Tracer
+
+    metrics = MetricsRegistry() if getattr(arguments, "metrics_file", None) else None
+    tracer = Tracer() if getattr(arguments, "trace", None) else None
+    return metrics, tracer
+
+
+def _write_telemetry(arguments, metrics, tracer, snapshot=None) -> None:
+    """Persist collected telemetry to the files the flags asked for.
+
+    ``snapshot`` optionally overrides ``metrics.snapshot()`` — the serve
+    path hands in the service's federated :meth:`telemetry` snapshot so
+    the file covers store/cache counters, not just the run registry.
+    """
+    from repro.obs import render_prometheus
+
+    if tracer is not None:
+        spans = len(tracer.sorted_spans())
+        if arguments.trace.endswith(".jsonl"):
+            tracer.write_jsonl(arguments.trace)
+        else:
+            tracer.write_chrome_trace(arguments.trace)
+        print(f"trace written to {arguments.trace} ({spans} spans)")
+    if metrics is not None:
+        data = snapshot if snapshot is not None else metrics.snapshot()
+        with open(arguments.metrics_file, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(data))
+        print(f"metrics written to {arguments.metrics_file} "
+              f"({len(data)} metric families)")
+
+
 def _execution_config(arguments: argparse.Namespace):
     workers = getattr(arguments, "workers", 1)
     if workers <= 1:
@@ -387,11 +461,13 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
         prune=not arguments.no_prune,
         height_bound=arguments.height_bound,
     )
+    metrics, tracer = _telemetry_from_args(arguments)
     control = None
-    if arguments.progress:
-        control = RunControl(
-            on_progress=lambda event: print(_format_progress("slugger", event))
-        )
+    if arguments.progress or metrics is not None or tracer is not None:
+        on_progress = None
+        if arguments.progress:
+            on_progress = lambda event: print(_format_progress("slugger", event))  # noqa: E731
+        control = RunControl(on_progress=on_progress, metrics=metrics, tracer=tracer)
     result = Slugger(config, execution=_execution_config(arguments)).summarize(
         graph, control=control, resources=resources
     )
@@ -404,6 +480,7 @@ def _command_summarize(arguments: argparse.Namespace) -> int:
     if arguments.output:
         save_hierarchical_summary(result.summary, arguments.output)
         print(f"summary written to {arguments.output}")
+    _write_telemetry(arguments, metrics, tracer)
     return 0
 
 
@@ -415,9 +492,11 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     on_progress = None
     if arguments.progress:
         on_progress = lambda name, event: print(_format_progress(name, event))  # noqa: E731
+    metrics, tracer = _telemetry_from_args(arguments)
     results = compare_methods(graph, methods=methods, seed=arguments.seed,
                               execution=_execution_config(arguments),
-                              on_progress=on_progress, resources=resources)
+                              on_progress=on_progress, resources=resources,
+                              metrics=metrics, tracer=tracer)
     rows = [
         {
             "method": result.method,
@@ -429,6 +508,7 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     ]
     print(format_table(rows, ["method", "relative_size", "cost", "seconds"],
                        title=f"nodes={graph.num_nodes} edges={graph.num_edges}"))
+    _write_telemetry(arguments, metrics, tracer)
     return 0
 
 
@@ -556,26 +636,35 @@ def _command_query(arguments: argparse.Namespace) -> int:
         provider = load_dataset(arguments.dataset, seed=arguments.seed)
         origin = f"dataset  {arguments.dataset}"
 
+    metrics, tracer = _telemetry_from_args(arguments)
+    from repro.obs import NULL_METRICS, NULL_TRACER
+
+    obs_metrics = metrics if metrics is not None else NULL_METRICS
+    obs_tracer = tracer if tracer is not None else NULL_TRACER
     source = _coerce_node(arguments.source) if arguments.source is not None else None
     try:
-        try:
-            result = run_query(
-                provider, arguments.kind, source=source, top=arguments.top,
-                damping=arguments.damping, iterations=arguments.iterations,
-            )
-        except KeyError:
-            if not isinstance(source, int):
-                raise
-            # An integer-looking --source on a string-labelled graph:
-            # retry with the raw text label before giving up.
-            result = run_query(
-                provider, arguments.kind, source=arguments.source, top=arguments.top,
-                damping=arguments.damping, iterations=arguments.iterations,
-            )
+        with obs_tracer.span("query", kind=arguments.kind) as span:
+            try:
+                result = run_query(
+                    provider, arguments.kind, source=source, top=arguments.top,
+                    damping=arguments.damping, iterations=arguments.iterations,
+                )
+            except KeyError:
+                if not isinstance(source, int):
+                    raise
+                # An integer-looking --source on a string-labelled graph:
+                # retry with the raw text label before giving up.
+                result = run_query(
+                    provider, arguments.kind, source=arguments.source, top=arguments.top,
+                    damping=arguments.damping, iterations=arguments.iterations,
+                )
     except KeyError:
         print(f"query source node {arguments.source!r} is not in the graph",
               file=sys.stderr)
         return 1
+    obs_metrics.counter("cli_queries_total", kind=arguments.kind).inc()
+    obs_metrics.histogram("cli_query_seconds", kind=arguments.kind).observe(span.duration)
+    _write_telemetry(arguments, metrics, tracer)
 
     print(f"query: {arguments.kind}  {origin}")
     if summary_note is not None:
@@ -651,10 +740,12 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         from repro.storage import GraphCache
 
         cache = GraphCache(arguments.cache_dir)
+    metrics, tracer = _telemetry_from_args(arguments)
     with SummaryService(mode=arguments.mode, max_inflight=arguments.inflight,
                         cache_dir=arguments.cache_dir,
                         summary_cache_dir=arguments.summary_cache,
-                        summary_cache_budget=arguments.summary_budget) as service:
+                        summary_cache_budget=arguments.summary_budget,
+                        metrics=metrics, tracer=tracer) as service:
         jobs = []
         graphs: Dict[str, Any] = {}
         for record in records:
@@ -742,7 +833,41 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                   f"errors={stats['summary_cache_errors']} "
                   f"({stats['summary_cache']['entries']} entries, "
                   f"{stats['summary_cache']['total_bytes']} bytes)")
+        # Snapshot inside the ``with``: the federated telemetry view
+        # reads the live store/cache stats, which close() tears down.
+        snapshot = service.telemetry() if metrics is not None else None
+    _write_telemetry(arguments, metrics, tracer, snapshot=snapshot)
     return 1 if failures else 0
+
+
+def _command_metrics(arguments: argparse.Namespace) -> int:
+    """Pretty-print a Prometheus text-format metrics file."""
+    from repro.obs import parse_prometheus_text
+
+    with open(arguments.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    samples = parse_prometheus_text(text)
+    if arguments.match:
+        samples = [sample for sample in samples if arguments.match in sample[0]]
+    if arguments.json:
+        print(json.dumps(
+            [{"name": name, "labels": labels, "value": value}
+             for name, labels, value in samples]
+        ))
+        return 0
+    rows = [
+        {
+            "metric": name,
+            "labels": ",".join(f"{key}={value}"
+                               for key, value in sorted(labels.items())) or "-",
+            "value": value,
+        }
+        for name, labels, value in samples
+    ]
+    print(format_table(rows, ["metric", "labels", "value"],
+                       title=f"{len(rows)} samples from {arguments.file}",
+                       precision=6))
+    return 0
 
 
 def _command_methods(_arguments: argparse.Namespace) -> int:
@@ -849,6 +974,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _command_query,
         "cache": _command_cache,
         "serve": _command_serve,
+        "metrics": _command_metrics,
         "datasets": _command_datasets,
         "methods": _command_methods,
         "compress": _command_compress,

@@ -50,6 +50,7 @@ from repro.core.config import SluggerConfig
 from repro.core.merging import apply_merge_trace, decide_merges, process_candidate_set
 from repro.core.state import SluggerState
 from repro.engine.execution import ExecutionConfig, executor_for, shard_bounds, worker_context
+from repro.obs import NULL_TRACER
 
 __all__ = [
     "color_classes",
@@ -182,8 +183,13 @@ def colored_apply_sweep(
     execution: ExecutionConfig,
     stats: Dict[str, int],
     first_ready: Optional[List[int]] = None,
+    tracer=NULL_TRACER,
 ) -> int:
     """Run one zero-threshold iteration as colored rounds; returns merges.
+
+    ``tracer`` records one ``colored-round`` span per sweep round (class
+    size, decide/apply split) — pure observation, the sweep's decisions
+    and ordering are identical with tracing on or off.
 
     Each round: extract the first independent class of the unapplied
     suffix (``first_ready`` hands in the driver's already-computed
@@ -202,67 +208,76 @@ def colored_apply_sweep(
     merges = 0
     cursor = 0
     ready = first_ready
+    round_number = 0
     while cursor < total:
         if ready is None:
             ready = first_color_class(state, candidate_sets, start=cursor)
-        ready_set = set(ready)
-        traces = {index: trace for index, trace in traces.items() if index in ready_set}
-        undecided = [index for index in ready if index not in traces]
-        colored = (
-            len(ready) >= execution.colored_min_class
-            and execution.effective_workers(len(undecided)) > 1
+        round_number += 1
+        round_span = tracer.span(
+            "colored-round", round=round_number,
+            class_size=len(ready), cursor=cursor, groups=total,
         )
-        if colored:
-            context = _ColorDecideContext(
-                state, candidate_sets, threshold, config, seeds, undecided
+        with round_span:
+            ready_set = set(ready)
+            traces = {index: trace for index, trace in traces.items() if index in ready_set}
+            undecided = [index for index in ready if index not in traces]
+            colored = (
+                len(ready) >= execution.colored_min_class
+                and execution.effective_workers(len(undecided)) > 1
             )
-            executor = executor_for(execution, len(undecided), context=context)
-            try:
-                bounds = shard_bounds(
-                    len(undecided), execution.workers * execution.chunks_per_worker
+            if colored:
+                context = _ColorDecideContext(
+                    state, candidate_sets, threshold, config, seeds, undecided
                 )
-                for shard in executor.map_shards(colored_decide_worker, bounds):
-                    for index, trace in shard:
-                        traces[index] = trace
-            finally:
-                executor.close()
-            stats["colored_rounds"] += 1
-        ready = None
-        if not colored:
-            # Degenerate class: no parallelism left to extract — finish
-            # the suffix on the serial reference path (replaying what was
-            # already decided, in canonical order).
-            for index in range(cursor, total):
-                trace = traces.pop(index, None)
+                executor = executor_for(execution, len(undecided), context=context)
+                try:
+                    bounds = shard_bounds(
+                        len(undecided), execution.workers * execution.chunks_per_worker
+                    )
+                    with tracer.span("colored-decide", undecided=len(undecided)):
+                        for shard in executor.map_shards(colored_decide_worker, bounds):
+                            for index, trace in shard:
+                                traces[index] = trace
+                finally:
+                    executor.close()
+                stats["colored_rounds"] += 1
+            ready = None
+            if not colored:
+                # Degenerate class: no parallelism left to extract — finish
+                # the suffix on the serial reference path (replaying what was
+                # already decided, in canonical order).
+                round_span.annotate(degenerate=True)
+                for index in range(cursor, total):
+                    trace = traces.pop(index, None)
+                    if trace is not None:
+                        merges += apply_merge_trace(state, trace, config)
+                        stats["colored_replayed"] += 1
+                    else:
+                        merges += process_candidate_set(
+                            state, candidate_sets[index], threshold, config,
+                            seed=seeds[index],
+                        )
+                        stats["colored_serial"] += 1
+                cursor = total
+                break
+            # Canonical apply walk: replay the traced run, absorb one serial
+            # gap, keep replaying, and stop at the second gap — mutated state
+            # has diverged enough that re-coloring beats more serial work.
+            gap_done = False
+            while cursor < total:
+                trace = traces.pop(cursor, None)
                 if trace is not None:
                     merges += apply_merge_trace(state, trace, config)
                     stats["colored_replayed"] += 1
-                else:
+                    cursor += 1
+                elif not gap_done:
                     merges += process_candidate_set(
-                        state, candidate_sets[index], threshold, config,
-                        seed=seeds[index],
+                        state, candidate_sets[cursor], threshold, config,
+                        seed=seeds[cursor],
                     )
                     stats["colored_serial"] += 1
-            cursor = total
-            break
-        # Canonical apply walk: replay the traced run, absorb one serial
-        # gap, keep replaying, and stop at the second gap — mutated state
-        # has diverged enough that re-coloring beats more serial work.
-        gap_done = False
-        while cursor < total:
-            trace = traces.pop(cursor, None)
-            if trace is not None:
-                merges += apply_merge_trace(state, trace, config)
-                stats["colored_replayed"] += 1
-                cursor += 1
-            elif not gap_done:
-                merges += process_candidate_set(
-                    state, candidate_sets[cursor], threshold, config,
-                    seed=seeds[cursor],
-                )
-                stats["colored_serial"] += 1
-                cursor += 1
-                gap_done = True
-            else:
-                break
+                    cursor += 1
+                    gap_done = True
+                else:
+                    break
     return merges

@@ -57,6 +57,7 @@ from repro.engine.execution import (
 )
 from repro.engine.hooks import GraphResources, RunControl
 from repro.graphs.graph import Graph
+from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry
 from repro.model.summary import HierarchicalSummary
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_type
@@ -171,6 +172,10 @@ class IterationContext:
     # closes it, not this context (``owns_shingle_executor``).
     shingle_executor: Optional[object] = None
     owns_shingle_executor: bool = True
+    # Telemetry sinks (null objects by default — observation only, the
+    # pipeline's decisions never read them).
+    metrics: object = NULL_METRICS
+    tracer: object = NULL_TRACER
 
     def begin_iteration(self, iteration: int) -> None:
         self.iteration = iteration
@@ -207,26 +212,39 @@ class _DecideContext:
     """
 
     __slots__ = ("state", "candidate_sets", "threshold", "config", "seeds",
-                 "local_dirty")
+                 "local_dirty", "telemetry")
 
     def __init__(self, state: SluggerState, candidate_sets: List[List[int]],
-                 threshold: float, config: SluggerConfig, seeds: List[int]) -> None:
+                 threshold: float, config: SluggerConfig, seeds: List[int],
+                 telemetry: bool = False) -> None:
         self.state = state
         self.candidate_sets = candidate_sets
         self.threshold = threshold
         self.config = config
         self.seeds = seeds
         self.local_dirty: Set[int] = set()
+        self.telemetry = telemetry
 
 
-def _decide_shard(bounds: Tuple[int, int]) -> List[Optional[MergeTrace]]:
+def _decide_shard(
+    bounds: Tuple[int, int],
+) -> Tuple[List[Optional[MergeTrace]], Optional[dict]]:
     """Decide the merges of candidate sets ``bounds`` on this worker's image.
 
-    Returns one entry per group: the recorded merge trace, or ``None``
-    when the group is *tainted* — its footprint intersects state this
-    worker already mutated while simulating an earlier group, so its
-    decisions cannot be certified and the apply phase must fall back to
-    the serial path for it.
+    Returns ``(results, telemetry)``.  ``results`` holds one entry per
+    group: the recorded merge trace, or ``None`` when the group is
+    *tainted* — its footprint intersects state this worker already
+    mutated while simulating an earlier group, so its decisions cannot
+    be certified and the apply phase must fall back to the serial path
+    for it.
+
+    ``telemetry`` is ``None`` unless the run has metrics/tracing
+    enabled, in which case it carries a shard-local
+    :class:`~repro.obs.MetricsRegistry` snapshot plus the shard's raw
+    ``perf_counter`` interval — plain picklable data the parent merges
+    into its own registry (order-independent) and converts onto its
+    span timeline.  Purely observational: the decide results are
+    byte-identical with telemetry on or off.
     """
     context: _DecideContext = worker_context()
     state = context.state
@@ -234,6 +252,8 @@ def _decide_shard(bounds: Tuple[int, int]) -> List[Optional[MergeTrace]]:
     local_dirty = context.local_dirty
     results: List[Optional[MergeTrace]] = []
     start, stop = bounds
+    perf_start = time.perf_counter() if context.telemetry else 0.0
+    tainted = 0
     for index in range(start, stop):
         members = candidate_sets[index]
         # The footprint must be taken *before* simulating: the group's
@@ -241,6 +261,7 @@ def _decide_shard(bounds: Tuple[int, int]) -> List[Optional[MergeTrace]]:
         footprint = state.group_footprint(members)
         if local_dirty and not local_dirty.isdisjoint(footprint):
             results.append(None)
+            tainted += 1
             continue
         trace: MergeTrace = []
         process_candidate_set(
@@ -250,7 +271,21 @@ def _decide_shard(bounds: Tuple[int, int]) -> List[Optional[MergeTrace]]:
         if trace:
             local_dirty.update(footprint)
         results.append(trace)
-    return results
+    if not context.telemetry:
+        return results, None
+    seconds = time.perf_counter() - perf_start
+    shard_metrics = MetricsRegistry()
+    shard_metrics.histogram("slugger_decide_shard_seconds").observe(seconds)
+    shard_metrics.counter("slugger_decide_groups_total").inc(stop - start)
+    if tainted:
+        shard_metrics.counter("slugger_decide_tainted_total").inc(tainted)
+    return results, {
+        "metrics": shard_metrics.snapshot(),
+        "perf_start": perf_start,
+        "seconds": seconds,
+        "bounds": bounds,
+        "tainted": tainted,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -371,7 +406,8 @@ class DecidePhase:
             # time), just less likely to pay off.
         chunks = shard_bounds(groups, execution.workers * execution.chunks_per_worker)
         context = _DecideContext(
-            ctx.state, ctx.candidate_sets, ctx.threshold, ctx.config, ctx.merge_seeds
+            ctx.state, ctx.candidate_sets, ctx.threshold, ctx.config, ctx.merge_seeds,
+            telemetry=ctx.metrics.enabled or ctx.tracer.enabled,
         )
         ctx.executor = executor_for(execution, groups, context=context)
         ctx.decisions = ctx.executor.map_shards(_decide_shard, chunks)
@@ -407,6 +443,7 @@ class ApplyPhase:
             ctx.merges = colored_apply_sweep(
                 state, candidate_sets, seeds, threshold, config,
                 ctx.execution, ctx.stats, first_ready=ctx.colored_ready,
+                tracer=ctx.tracer,
             )
             ctx.stats["groups"] += len(candidate_sets)
             ctx.stats["parallel_iterations"] += 1
@@ -424,7 +461,22 @@ class ApplyPhase:
         merges = 0
         dirty: Set[int] = set()
         index = 0
-        for chunk in ctx.decisions:
+        shard_number = 0
+        for chunk, shard_info in ctx.decisions:
+            if shard_info is not None:
+                # Per-shard registries merge order-independently, and the
+                # shard's raw perf_counter interval lands on the parent
+                # timeline (CLOCK_MONOTONIC is system-wide across a fork).
+                ctx.metrics.merge(shard_info["metrics"])
+                ctx.tracer.add(
+                    "decide-shard",
+                    perf_start=shard_info["perf_start"],
+                    duration=shard_info["seconds"],
+                    lane=f"shard-{shard_number}",
+                    groups=shard_info["bounds"][1] - shard_info["bounds"][0],
+                    tainted=shard_info["tainted"],
+                )
+            shard_number += 1
             for trace in chunk:
                 members = candidate_sets[index]
                 footprint: Optional[Set[int]] = None
@@ -484,7 +536,11 @@ class IterationPipeline:
     """The staged per-iteration pipeline SLUGGER's driver runs.
 
     Phases execute in order against a shared :class:`IterationContext`;
-    per-phase wall time is accumulated into ``ctx.phase_seconds``.  The
+    each phase runs inside one tracer span and its duration accumulates
+    into ``ctx.phase_seconds`` — the span *is* the measurement, so the
+    per-phase numbers in :class:`SluggerResult`, the progress events,
+    and the trace file can never drift apart.  (The null tracer's spans
+    still self-time, so the disabled path measures identically.)  The
     executor opened by the decide phase is closed when the iteration
     ends, successfully or not.
     """
@@ -498,11 +554,10 @@ class IterationPipeline:
         ctx.begin_iteration(iteration)
         try:
             for phase in self.phases:
-                started = time.perf_counter()
-                phase.run(ctx)
+                with ctx.tracer.span(phase.name, iteration=iteration) as span:
+                    phase.run(ctx)
                 ctx.phase_seconds[phase.name] = (
-                    ctx.phase_seconds.get(phase.name, 0.0)
-                    + time.perf_counter() - started
+                    ctx.phase_seconds.get(phase.name, 0.0) + span.duration
                 )
         finally:
             ctx.close_executor()
@@ -570,6 +625,9 @@ class Slugger:
         config = self.config
         started = time.perf_counter()
         rng = ensure_rng(config.seed)
+        metrics = control.metrics if control is not None else NULL_METRICS
+        tracer = control.tracer if control is not None else NULL_TRACER
+        telemetry = metrics.enabled or tracer.enabled
 
         use_resources = resources is not None and config.use_dense_substrate
         state = SluggerState(
@@ -603,6 +661,8 @@ class Slugger:
                 phase_seconds=phase_seconds,
                 stats=stats,
                 history=history,
+                metrics=metrics,
+                tracer=tracer,
             )
             if resources is not None:
                 warm_pool = resources.shingle_executor(self.execution)
@@ -613,7 +673,28 @@ class Slugger:
                 for iteration in range(start_iteration + 1, config.iterations + 1):
                     if control is not None:
                         control.checkpoint()
-                    self.pipeline.run_iteration(ctx, iteration)
+                    phase_before = dict(phase_seconds) if telemetry else None
+                    with tracer.span("iteration", number=iteration):
+                        self.pipeline.run_iteration(ctx, iteration)
+                    if telemetry:
+                        # One measurement source: the per-phase numbers
+                        # below are the span durations run_iteration just
+                        # accumulated, so events/metrics cannot drift
+                        # from ``SluggerResult.phase_seconds``.
+                        deltas = {
+                            name: phase_seconds.get(name, 0.0)
+                                  - phase_before.get(name, 0.0)
+                            for name in PHASE_NAMES
+                        }
+                        for name in PHASE_NAMES:
+                            metrics.histogram(
+                                "slugger_phase_seconds", phase=name
+                            ).observe(deltas[name])
+                        metrics.counter("slugger_iterations_total").inc()
+                        metrics.counter("slugger_merges_total").inc(ctx.merges)
+                        if control is not None:
+                            control.emit("phases", iteration=iteration,
+                                         seconds=deltas)
                     if control is not None:
                         entry = history[-1]
                         control.emit(
@@ -639,17 +720,30 @@ class Slugger:
         if config.prune:
             if control is not None:
                 control.checkpoint()
-            prune_started = time.perf_counter()
-            prune_stats = prune(
-                graph, state.summary, rounds=config.prune_rounds,
-                execution=self.execution, profile=prune_profile,
-            )
-            phase_seconds["prune"] = time.perf_counter() - prune_started
+            with tracer.span("prune") as prune_span:
+                prune_stats = prune(
+                    graph, state.summary, rounds=config.prune_rounds,
+                    execution=self.execution, profile=prune_profile,
+                )
+            phase_seconds["prune"] = prune_span.duration
+            if telemetry:
+                metrics.histogram("slugger_phase_seconds", phase="prune").observe(
+                    prune_span.duration
+                )
             if control is not None:
                 control.emit("prune", cost=int(state.summary.cost()))
 
         if config.validate_output:
             state.summary.validate(graph)
+
+        if telemetry:
+            # Replay/fallback/colored counters: one counter per
+            # execution-stats key, so parallel efficiency is visible in
+            # any exporter without reading SluggerResult.
+            for key in sorted(stats):
+                if stats[key]:
+                    metrics.counter(f"slugger_{key}_total").inc(stats[key])
+            metrics.gauge("slugger_final_cost").set(float(state.summary.cost()))
 
         return SluggerResult(
             summary=state.summary,

@@ -60,9 +60,20 @@ class RunControl:
         Drivers that support resumption restore the summary and RNG
         stream position and skip the completed iterations; the result
         stays bit-identical to an uninterrupted fixed-seed run.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` the run records counters /
+        gauges / histograms into, or ``None`` for the shared no-op
+        registry.  Telemetry is observational: enabling it cannot
+        change a summary.
+    tracer:
+        A :class:`repro.obs.Tracer` the run records phase / shard spans
+        into, or ``None`` for the shared no-op tracer (whose spans
+        still self-time, so drivers read one measurement source either
+        way).
     """
 
-    __slots__ = ("_on_progress", "_cancel", "checkpoint_sink", "resume_payload")
+    __slots__ = ("_on_progress", "_cancel", "checkpoint_sink", "resume_payload",
+                 "metrics", "tracer", "_seq")
 
     def __init__(
         self,
@@ -70,11 +81,20 @@ class RunControl:
         cancel: Optional[Any] = None,
         checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
         resume_payload: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
+        # Imported here (stdlib-only module) to keep hooks importable
+        # without dragging the telemetry package into every consumer.
+        from repro.obs import NULL_METRICS, NULL_TRACER
+
         self._on_progress = on_progress
         self._cancel = cancel
         self.checkpoint_sink = checkpoint_sink
         self.resume_payload = resume_payload
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._seq = 0
 
     def cancelled(self) -> bool:
         """Whether the cancel token has been set."""
@@ -86,9 +106,15 @@ class RunControl:
             raise JobCancelled("run cancelled between iterations")
 
     def emit(self, stage: str, **values: Any) -> None:
-        """Report one progress event to the callback (if any)."""
+        """Report one progress event to the callback (if any).
+
+        Every event carries a monotonic ``seq`` (0, 1, 2, ...) assigned
+        at emit time, so consumers can detect reordering or loss on any
+        transport without trusting arrival order.
+        """
         if self._on_progress is not None:
-            event: Dict[str, Any] = {"stage": stage}
+            event: Dict[str, Any] = {"stage": stage, "seq": self._seq}
+            self._seq += 1
             event.update(values)
             self._on_progress(event)
 

@@ -25,6 +25,7 @@ __all__ = [
     "ServiceSaturatedError",
     "StreamError",
     "SummaryInvariantError",
+    "TelemetryError",
 ]
 
 
@@ -115,6 +116,15 @@ class JobCancelled(ReproError):
     instead of returning a partial summary, so no caller can mistake an
     interrupted run for a complete one.  :meth:`SummaryJob.result
     <repro.service.jobs.SummaryJob.result>` re-raises it to the waiter.
+    """
+
+
+class TelemetryError(ReproError):
+    """Raised when telemetry data is malformed or inconsistent.
+
+    Covers metric type/bucket mismatches during registry merges and
+    unparseable exposition text in :mod:`repro.obs.export`.  Telemetry
+    failures never corrupt a summary — they surface here instead.
     """
 
 

@@ -60,6 +60,7 @@ from repro.exceptions import (
 )
 from repro.graphs.graph import Graph
 from repro.model.summary import HierarchicalSummary
+from repro.obs import NULL_TRACER, MetricsRegistry, ingest_stats
 from repro.service.jobs import SummaryJob
 from repro.service.request import SummaryRequest
 from repro.service.store import GraphHandle, GraphStore
@@ -187,6 +188,17 @@ class SummaryService:
     summary_cache_budget:
         Optional size budget in bytes for the summary cache
         (LRU-by-mtime eviction, see :meth:`SummaryCache.gc`).
+    metrics:
+        Optional shared :class:`~repro.obs.MetricsRegistry` the service
+        records job-lifecycle metrics into (queue-depth gauge, queue /
+        run latency histograms, outcome counters).  The service owns a
+        private registry by default — service-level events are per-job,
+        not per-merge, so an always-on registry costs nothing
+        measurable; read it via :meth:`telemetry`.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` receiving one span per
+        executed job (lane ``job-<id>``) and, for thread-mode jobs, the
+        nested engine phase/shard spans.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -201,6 +213,8 @@ class SummaryService:
         cache_dir=None,
         summary_cache_dir=None,
         summary_cache_budget: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ConfigurationError(f"mode must be 'thread' or 'process', got {mode!r}")
@@ -245,6 +259,12 @@ class SummaryService:
                        "cancelled": 0, "inline_runs": 0, "pool_jobs": 0,
                        "summary_cache_hits": 0, "summary_cache_stores": 0,
                        "summary_resumes": 0, "summary_cache_errors": 0}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Engine-level telemetry (phase spans, per-shard registries) is
+        # opt-in: it flows only when the caller supplied a sink.  The
+        # always-on private registry carries job-lifecycle metrics only.
+        self._engine_telemetry = metrics is not None or tracer is not None
 
     # ------------------------------------------------------------------
     # Graph registration
@@ -294,10 +314,16 @@ class SummaryService:
         from repro.algorithms.query import run_query
 
         handle = self.store.get(graph) if isinstance(graph, str) else self.store.intern(graph)
-        return run_query(
-            handle.csr(), kind, source=source, top=top,
-            damping=damping, iterations=iterations,
-        )
+        with self.tracer.span("query", kind=kind) as span:
+            result = run_query(
+                handle.csr(), kind, source=source, top=top,
+                damping=damping, iterations=iterations,
+            )
+        self.metrics.counter("service_queries_total", "Queries served",
+                             kind=kind).inc()
+        self.metrics.histogram("service_query_seconds", "Query latency",
+                               kind=kind).observe(span.duration)
+        return result
 
     # ------------------------------------------------------------------
     # Request intake
@@ -362,6 +388,7 @@ class SummaryService:
             job = SummaryJob(self._job_ids, request)
             self._stats["submitted"] += 1
             self._ensure_dispatchers()
+        job._enqueued_perf = time.perf_counter()
         try:
             self._queue.put(job, block=block)
         except queue.Full:
@@ -371,6 +398,10 @@ class SummaryService:
                 f"request queue is full ({self._queue.maxsize} pending); "
                 "retry, submit with block=True, or raise max_pending"
             ) from None
+        self.metrics.counter("service_jobs_submitted_total",
+                             "Jobs accepted onto the queue").inc()
+        self.metrics.gauge("service_queue_depth",
+                           "Jobs currently pending").set(self._queue.qsize())
         if self._closed:
             # A concurrent shutdown may have drained the queue and
             # stopped the dispatchers between our closed-check and the
@@ -513,9 +544,19 @@ class SummaryService:
                 self._queue.task_done()
 
     def _execute_job(self, job: SummaryJob) -> None:
+        started_perf = time.perf_counter()
+        queued_perf = getattr(job, "_enqueued_perf", None)
+        if queued_perf is not None:
+            self.metrics.histogram(
+                "service_queue_seconds", "Queued-to-running latency"
+            ).observe(started_perf - queued_perf)
+        self.metrics.gauge("service_queue_depth",
+                           "Jobs currently pending").set(self._queue.qsize())
+        method = job.request.method or "custom"
         if not job._try_start():
             with self._lock:
                 self._stats["cancelled"] += 1
+            self._job_settled(job, method, started_perf, "cancelled")
             return
         address = self._summary_address(job.request)
         if address is not None:
@@ -526,42 +567,61 @@ class SummaryService:
                 with self._lock:
                     self._stats["completed"] += 1
                     self._stats["summary_cache_hits"] += 1
+                self._job_settled(job, method, started_perf, "cache_hit")
                 return
+        span = self.tracer.span("job", lane=f"job-{job.id}", method=method,
+                                job_id=job.id)
+        outcome = "completed"
         try:
-            if self.mode == "process" and job.request.serializable:
-                # The job body runs in a forked worker, so mid-run
-                # checkpoint hooks cannot reach this process; caching is
-                # parent-side only (consult above, persist below).
-                result = self._run_in_pool(job.request)
-            else:
-                resume = (
-                    self._resume_payload(address) if address is not None else None
-                )
-                control = RunControl(
-                    on_progress=job._on_run_progress,
-                    cancel=job.cancel_event,
-                    checkpoint_sink=(
-                        self._checkpoint_sink(address, job.request, job)
-                        if address is not None else None
-                    ),
-                    resume_payload=resume,
-                )
-                if resume is not None:
-                    job._record("resume", iteration=resume["iteration"])
-                    with self._lock:
-                        self._stats["summary_resumes"] += 1
-                result = self._run_request(job.request, control)
+            with span:
+                if self.mode == "process" and job.request.serializable:
+                    # The job body runs in a forked worker, so mid-run
+                    # checkpoint hooks cannot reach this process; caching is
+                    # parent-side only (consult above, persist below).
+                    result = self._run_in_pool(job.request)
+                else:
+                    resume = (
+                        self._resume_payload(address) if address is not None else None
+                    )
+                    control = RunControl(
+                        on_progress=job._on_run_progress,
+                        cancel=job.cancel_event,
+                        checkpoint_sink=(
+                            self._checkpoint_sink(address, job.request, job)
+                            if address is not None else None
+                        ),
+                        resume_payload=resume,
+                        metrics=self.metrics if self._engine_telemetry else None,
+                        tracer=self.tracer if self._engine_telemetry else None,
+                    )
+                    if resume is not None:
+                        job._record("resume", iteration=resume["iteration"])
+                        with self._lock:
+                            self._stats["summary_resumes"] += 1
+                    result = self._run_request(job.request, control)
         except BaseException as error:  # noqa: BLE001 - settled on the job
             job._fail(error)
             with self._lock:
-                key = "cancelled" if job.cancelled() else "failed"
-                self._stats[key] += 1
+                outcome = "cancelled" if job.cancelled() else "failed"
+                self._stats[outcome] += 1
         else:
             if address is not None:
                 self._persist_result(address, job.request, result)
             job._finish(result)
             with self._lock:
                 self._stats["completed"] += 1
+        span.annotate(outcome=outcome)
+        self._job_settled(job, method, started_perf, outcome)
+
+    def _job_settled(self, job: SummaryJob, method: str, started_perf: float,
+                     outcome: str) -> None:
+        """Record one settled job's lifecycle metrics."""
+        self.metrics.counter("service_jobs_total", "Settled jobs by outcome",
+                             outcome=outcome, method=method).inc()
+        self.metrics.histogram("service_job_seconds",
+                               "Running-to-settled duration",
+                               method=method).observe(
+            time.perf_counter() - started_perf)
 
     # ------------------------------------------------------------------
     # Summary cache (warm-start + resumable checkpoints)
@@ -828,6 +888,37 @@ class SummaryService:
         if self.summary_cache is not None:
             record["summary_cache"] = self.summary_cache.stats()
         return record
+
+    def telemetry(self) -> Dict[str, Any]:
+        """One federated metrics snapshot across every layer.
+
+        Merges the live lifecycle registry (queue depth, latency
+        histograms, outcome counters — plus engine metrics when the
+        service was built with telemetry sinks) with the three legacy
+        ``stats()`` dicts — the service's own counters
+        (``repro_service_*``), the graph store's interning stats
+        (``repro_graph_store_*``), and the summary cache's
+        (``repro_summary_cache_*``) — and the substrate
+        :class:`~repro.storage.cache.GraphCache` counters
+        (``repro_graph_cache_*``) when the store has one.  The result is
+        a plain :meth:`~repro.obs.MetricsRegistry.snapshot` dict, ready
+        for :func:`repro.obs.render_prometheus` /
+        :func:`repro.obs.render_json` — the payload a ``/metrics``
+        endpoint serves.
+        """
+        registry = MetricsRegistry()
+        registry.merge(self.metrics.snapshot())
+        stats = self.stats()
+        store_stats = stats.pop("store", {})
+        summary_stats = stats.pop("summary_cache", None)
+        ingest_stats(registry, stats, "repro_service")
+        ingest_stats(registry, store_stats, "repro_graph_store")
+        cache = self.store.cache
+        if cache is not None:
+            ingest_stats(registry, cache.stats(), "repro_graph_cache")
+        if summary_stats is not None:
+            ingest_stats(registry, summary_stats, "repro_summary_cache")
+        return registry.snapshot()
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting requests, drain, and tear everything down.

@@ -26,8 +26,9 @@ directory race benignly.
 from __future__ import annotations
 
 import hashlib
+import threading
 from pathlib import Path
-from typing import Iterator, List, NamedTuple, Optional, Tuple, Union
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple, Union
 
 from repro.exceptions import ContainerFormatError
 from repro.graphs.dense import DenseAdjacency
@@ -87,6 +88,27 @@ class GraphCache:
     def __init__(self, directory: PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "mmap_loads": 0, "packs": 0, "corrupt": 0,
+        }
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[key] += amount
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime cache counters (this process only).
+
+        ``hits``/``misses`` count :meth:`fetch_edge_list` outcomes,
+        ``mmap_loads`` successful :meth:`load` maps, ``packs`` containers
+        actually written by :meth:`store_csr`, and ``corrupt`` unreadable
+        containers discarded and re-packed.  Telemetry only — the
+        on-disk cache itself is shared across processes and has no
+        process-local state.
+        """
+        with self._stats_lock:
+            return dict(self._counters)
 
     def container_path(self, digest: str) -> Path:
         """Where the container for ``digest`` lives (whether or not it exists)."""
@@ -101,7 +123,9 @@ class GraphCache:
         path = self.container_path(digest)
         if not path.is_file():
             return None
-        return load(path, verify=verify)
+        stored = load(path, verify=verify)
+        self._count("mmap_loads")
+        return stored
 
     # ------------------------------------------------------------------
     # Write paths
@@ -126,6 +150,7 @@ class GraphCache:
             write_container(path, csr)
         else:
             write_container_image(path, image)
+        self._count("packs")
         return digest, path, True
 
     def store_graph(self, graph: Graph, digest: Optional[str] = None) -> Tuple[str, Path, bool]:
@@ -164,9 +189,11 @@ class GraphCache:
             try:
                 stored = self.load(digest)
             except ContainerFormatError:
+                self._count("corrupt")
                 self.container_path(digest).unlink(missing_ok=True)
             else:
                 if stored is not None:
+                    self._count("hits")
                     return CachedEdgeList(
                         graph=stored.graph() if materialize else stored.view(),
                         stored=stored,
@@ -174,6 +201,7 @@ class GraphCache:
                         digest=digest,
                         container_path=self.container_path(digest),
                     )
+        self._count("misses")
         graph = read_edge_list(path, workers=workers)
         dense = DenseAdjacency.from_graph(graph)
         _, container_path, _ = self.store_csr(dense.freeze(), digest=digest)

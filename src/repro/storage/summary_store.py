@@ -833,6 +833,11 @@ class SummaryCache:
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError(f"cache budget must be non-negative, got {budget_bytes}")
         self.budget_bytes = budget_bytes
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "stores": 0, "corrupt": 0,
+            "checkpoint_hits": 0, "checkpoint_misses": 0,
+            "checkpoint_stores": 0, "evictions": 0,
+        }
 
     # -- paths ----------------------------------------------------------
     def summary_path(self, key: str) -> Path:
@@ -852,6 +857,7 @@ class SummaryCache:
         """Persist an encoded summary container under its content key."""
         path = self.summary_path(key)
         write_container_image(path, image)
+        self.counters["stores"] += 1
         self.drop_checkpoint(key)
         self._evict()
         return path
@@ -864,12 +870,16 @@ class SummaryCache:
         """
         path = self.summary_path(key)
         if not path.exists():
+            self.counters["misses"] += 1
             return None
         try:
             stored = load_summary(path, verify=True)
         except ContainerFormatError:
+            self.counters["corrupt"] += 1
+            self.counters["misses"] += 1
             path.unlink(missing_ok=True)
             return None
+        self.counters["hits"] += 1
         path.touch()
         return stored
 
@@ -877,6 +887,7 @@ class SummaryCache:
     def store_checkpoint(self, key: str, image: bytes) -> Path:
         path = self.checkpoint_path(key)
         write_container_image(path, image)
+        self.counters["checkpoint_stores"] += 1
         self._evict()
         return path
 
@@ -889,12 +900,16 @@ class SummaryCache:
         """
         path = self.checkpoint_path(key)
         if not path.exists():
+            self.counters["checkpoint_misses"] += 1
             return None
         try:
             checkpoint = load_checkpoint(path, subnodes, graph_digest=graph_digest)
         except ContainerFormatError:
+            self.counters["corrupt"] += 1
+            self.counters["checkpoint_misses"] += 1
             path.unlink(missing_ok=True)
             return None
+        self.counters["checkpoint_hits"] += 1
         path.touch()
         return checkpoint
 
@@ -956,6 +971,7 @@ class SummaryCache:
                 total -= record["bytes"]
                 freed += record["bytes"]
                 evicted += 1
+        self.counters["evictions"] += evicted
         return {
             "evicted": evicted,
             "freed_bytes": freed,
@@ -973,10 +989,12 @@ class SummaryCache:
         records = self.entries()
         summaries = [record for record in records if record["kind"] == "summary"]
         checkpoints = [record for record in records if record["kind"] == "checkpoint"]
-        return {
+        record = {
             "directory": str(self.directory),
             "entries": len(summaries),
             "checkpoints": len(checkpoints),
-            "total_bytes": sum(record["bytes"] for record in records),
+            "total_bytes": sum(item["bytes"] for item in records),
             "budget_bytes": self.budget_bytes,
         }
+        record.update(self.counters)
+        return record

@@ -1,4 +1,12 @@
-"""Lightweight wall-clock timing used by the experiment harness."""
+"""Lightweight monotonic interval timing used by the experiment harness.
+
+Everything here measures elapsed intervals with
+:func:`time.perf_counter` — a monotonic, high-resolution clock — never
+wall-clock time (``time.time``), so timings are immune to system clock
+adjustments and safe under the repo's determinism lint.
+:class:`Stopwatch` is the canonical timer for the whole codebase and is
+re-exported from :mod:`repro.obs` alongside the telemetry substrate.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +19,11 @@ __all__ = ["Stopwatch", "time_call"]
 
 
 class Stopwatch:
-    """A resettable wall-clock stopwatch.
+    """A resettable monotonic stopwatch over ``time.perf_counter``.
+
+    Measures elapsed intervals, not time-of-day: readings are
+    differences of a monotonic clock, so they never go backwards and
+    are unaffected by NTP slews or timezone changes.
 
     Example
     -------

@@ -658,7 +658,11 @@ class TestRunControl:
         token = threading.Event()
         control = RunControl(on_progress=events.append, cancel=token)
         control.emit("iteration", iteration=1)
-        assert events == [{"stage": "iteration", "iteration": 1}]
+        control.emit("iteration", iteration=2)
+        assert events == [
+            {"stage": "iteration", "seq": 0, "iteration": 1},
+            {"stage": "iteration", "seq": 1, "iteration": 2},
+        ]
         assert not control.cancelled()
         control.checkpoint()
         token.set()
